@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"ZERO", "ONE", "STATIC", "SIZE", "PROCESS", "ORACLE", "MCKP", "mckp", "static"} {
+		p, err := policyByName(name)
+		if err != nil {
+			t.Errorf("policyByName(%q): %v", name, err)
+			continue
+		}
+		if p == nil {
+			t.Errorf("policyByName(%q) returned nil", name)
+		}
+	}
+	if _, err := policyByName("BOGUS"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

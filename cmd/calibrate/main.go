@@ -1,0 +1,29 @@
+// Command calibrate prints the performance model's calibration report: the
+// modeled Figure 1 curves and the distribution of optimal I/O-node counts
+// over the 189-scenario survey, side by side with the paper's targets.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	m := perfmodel.Default()
+	dist := perfmodel.OptimumDistribution(m.SurveyCurves())
+	paper := map[int]float64{0: 33, 1: 6, 2: 44, 4: 8, 8: 9}
+	fmt.Println("optimum-ION distribution over the 189-scenario survey:")
+	fmt.Printf("  %-10s %10s %10s\n", "I/O nodes", "model %", "paper %")
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		fmt.Printf("  %-10d %10.1f %10.1f\n", k, dist[k]*100, paper[k])
+	}
+	fmt.Println("\nFigure 1 patterns (modeled MB/s at 0/1/2/4/8 I/O nodes):")
+	labels := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for _, label := range labels {
+		p := pattern.Figure1Patterns()[label]
+		c := m.CurveFor(p, 8, true)
+		fmt.Printf("  %s %-52s %s\n", label, p, c)
+	}
+}

@@ -1,0 +1,144 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables.
+//
+// Usage:
+//
+//	experiments [-sets N] [table1|figure1|distribution|headlines|figure2|
+//	             figure3|figure5|figure6|table4|figure7|figure8|figure9|
+//	             timing|all]
+//
+// With no arguments, everything except the slow campaign experiments runs;
+// "all" includes those too. -sets controls the Figure 2/3 campaign size
+// (default 2000; the paper uses 10000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	sets := flag.Int("sets", 2000, "application sets for the Figure 2/3 campaigns (paper: 10000)")
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"table1", "figure1", "distribution", "figure5",
+			"figure6", "table4", "figure7", "figure8", "figure9", "timing", "ablation", "robustness"}
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table1", "figure1", "distribution", "headlines", "figure2",
+			"figure3", "figure5", "figure6", "table4", "figure7", "figure8", "figure9", "timing", "ablation", "robustness"}
+	}
+
+	for _, name := range targets {
+		if err := run(name, *sets, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, sets int, w io.Writer) error {
+	switch name {
+	case "table1":
+		fmt.Fprintln(w, experiments.ExpTable1().Table())
+	case "figure1":
+		fmt.Fprintln(w, experiments.ExpFigure1().Table())
+	case "figure1live":
+		r, err := experiments.ExpFigure1Live(0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "distribution":
+		fmt.Fprintln(w, experiments.ExpOptimumDistribution().Table())
+	case "headlines":
+		fig2, err := experiments.ExpFigure2(sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.ExpPolicyHeadlines(fig2).Table())
+	case "figure2":
+		r, err := experiments.ExpFigure2(sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "figure3":
+		r, err := experiments.ExpFigure3(sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+		fmt.Fprintf(w, "peak median %.2f× at %d IONs; overall max %.2f×; mean %.2f×\n\n",
+			r.PeakMedian, r.PeakPool, r.OverallMax, r.OverallMean)
+	case "figure5":
+		fmt.Fprintln(w, experiments.ExpFigure5().Table())
+	case "figure6":
+		r, err := experiments.ExpFigure6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+		fmt.Fprintf(w, "MCKP over STATIC/SIZE/PROCESS at 12 IONs: %.2f× / %.2f× / %.2f× (paper: 4.59/4.59/4.1)\n",
+			r.MCKPOverStatic12, r.MCKPOverSize12, r.MCKPOverProcess12)
+		fmt.Fprintf(w, "MCKP matches ORACLE at %d IONs (paper: 36)\n\n", r.OracleMatchPool)
+	case "table4":
+		r, err := experiments.ExpTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "figure7":
+		r, err := experiments.ExpFigure7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "figure8":
+		r, err := experiments.ExpFigure8()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "figure9live":
+		r, err := experiments.ExpFigure9Live()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "figure9":
+		r, err := experiments.ExpFigure9()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+		fmt.Fprintf(w, "MCKP over STATIC: %.2f× (paper: 1.9×)\n\n", r.MCKPOverStatic)
+	case "timing":
+		r, err := experiments.ExpSolverTiming()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "ablation":
+		r, err := experiments.ExpAblationDynamic()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	case "robustness":
+		r, err := experiments.ExpQueueRobustness(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Table())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestKernelFor(t *testing.T) {
+	for _, label := range []string{"BT-C", "HACC", "IOR-MPI", "POSIX-S", "POSIX-L", "MAD", "SIM", "S3D"} {
+		k, err := kernelFor(label)
+		if err != nil {
+			t.Errorf("kernelFor(%q): %v", label, err)
+			continue
+		}
+		if k.Name() != label {
+			t.Errorf("kernelFor(%q) returned %q", label, k.Name())
+		}
+	}
+	if _, err := kernelFor("NOPE"); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := kernelFor(" HACC "); err != nil {
+		t.Errorf("labels should be trimmed: %v", err)
+	}
+}

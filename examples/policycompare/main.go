@@ -1,0 +1,40 @@
+// Policycompare reproduces the paper's §5.2 allocation analysis: the six
+// evaluation applications arbitrated by every policy across pool sizes
+// (Figure 6), the Table 4 allocation detail at 12 I/O nodes, and the
+// headline improvement ratios.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig6, err := experiments.ExpFigure6()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig6.Table())
+	fmt.Printf("MCKP over STATIC at 12 IONs: %.2f×  (paper: 4.59×)\n", fig6.MCKPOverStatic12)
+	fmt.Printf("MCKP over SIZE   at 12 IONs: %.2f×  (paper: 4.59×)\n", fig6.MCKPOverSize12)
+	fmt.Printf("MCKP over PROCESS at 12 IONs: %.2f× (paper: 4.1×)\n", fig6.MCKPOverProcess12)
+	fmt.Printf("MCKP first matches ORACLE with %d I/O nodes (paper: 36)\n\n", fig6.OracleMatchPool)
+
+	t4, err := experiments.ExpTable4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t4.Table())
+
+	fig7, err := experiments.ExpFigure7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig7.Table())
+	fmt.Println("(100% = the bandwidth the application would get running alone")
+	fmt.Println(" under the same I/O-node limit; the cost of global optimization.)")
+}

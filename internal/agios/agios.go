@@ -1,0 +1,507 @@
+// Package agios is the request-scheduling library embedded in the I/O-node
+// daemons, playing the role AGIOS plays in GekkoFWD: once a forwarded
+// request arrives at an I/O node it is handed to a scheduler that decides
+// when (and merged with what) it is dispatched to the PFS.
+//
+// Five schedulers are provided, mirroring the families AGIOS offers:
+//
+//   - FIFO: arrival order (the baseline in Ohta et al.);
+//   - SJF: shortest job (smallest request) first;
+//   - HBRR: handle-based round-robin with a per-handle request quantum and
+//     contiguous aggregation (Ohta et al.'s quantum-based scheduler);
+//   - AIOLI: per-file offset-ordered service with a byte quantum and
+//     contiguous aggregation, after the aIOLi scheduler;
+//   - TWINS: time-windowed service per storage target, coordinating access
+//     to data servers to avoid contention (Bez et al., PDP 2017).
+//
+// Schedulers are deliberately not safe for concurrent use; wrap them in a
+// Queue for the daemon's producer/consumer pattern.
+package agios
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OpType distinguishes reads from writes.
+type OpType int
+
+// Request operations.
+const (
+	OpWrite OpType = iota
+	OpRead
+)
+
+func (o OpType) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one forwarded I/O request awaiting dispatch.
+type Request struct {
+	Path   string
+	Offset int64
+	Size   int64
+	Op     OpType
+	// Data is the write payload (nil for reads).
+	Data []byte
+	// Arrival is stamped by the queue when the request is pushed.
+	Arrival time.Time
+	// Seq is a monotonically increasing tie-breaker set by the queue.
+	Seq uint64
+	// Children holds the original requests when this request is an
+	// aggregate produced by a merging scheduler.
+	Children []*Request
+	// OnComplete, if set, is invoked by the dispatcher with the
+	// execution outcome. Aggregates fan completion out to children.
+	OnComplete func(error)
+}
+
+// End returns the request's exclusive end offset.
+func (r *Request) End() int64 { return r.Offset + r.Size }
+
+// Complete invokes OnComplete on the request, or on every child of an
+// aggregate that has no own handler.
+func (r *Request) Complete(err error) {
+	if r.OnComplete != nil {
+		r.OnComplete(err)
+		return
+	}
+	for _, c := range r.Children {
+		c.Complete(err)
+	}
+}
+
+// Scheduler orders requests. Implementations are single-goroutine; use
+// Queue to share one across goroutines.
+type Scheduler interface {
+	// Name identifies the scheduler ("FIFO", "SJF", "AIOLI", "TWINS").
+	Name() string
+	// Push enqueues a request.
+	Push(r *Request)
+	// Pop removes and returns the next request to dispatch. ok is false
+	// when the scheduler is empty. The returned request may be an
+	// aggregate with Children.
+	Pop() (r *Request, ok bool)
+	// Len reports the number of pending (non-aggregated) requests.
+	Len() int
+}
+
+// --- FIFO -----------------------------------------------------------------
+
+// FIFO dispatches requests in arrival order.
+type FIFO struct {
+	q []*Request
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Push implements Scheduler.
+func (f *FIFO) Push(r *Request) { f.q = append(f.q, r) }
+
+// Pop implements Scheduler.
+func (f *FIFO) Pop() (*Request, bool) {
+	if len(f.q) == 0 {
+		return nil, false
+	}
+	r := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	return r, true
+}
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// --- SJF ------------------------------------------------------------------
+
+// SJF dispatches the smallest request first (ties by arrival sequence).
+type SJF struct {
+	h sjfHeap
+}
+
+// NewSJF returns an empty shortest-job-first scheduler.
+func NewSJF() *SJF { return &SJF{} }
+
+// Name implements Scheduler.
+func (s *SJF) Name() string { return "SJF" }
+
+// Push implements Scheduler.
+func (s *SJF) Push(r *Request) { heap.Push(&s.h, r) }
+
+// Pop implements Scheduler.
+func (s *SJF) Pop() (*Request, bool) {
+	if s.h.Len() == 0 {
+		return nil, false
+	}
+	return heap.Pop(&s.h).(*Request), true
+}
+
+// Len implements Scheduler.
+func (s *SJF) Len() int { return s.h.Len() }
+
+type sjfHeap []*Request
+
+func (h sjfHeap) Len() int { return len(h) }
+func (h sjfHeap) Less(i, j int) bool {
+	if h[i].Size != h[j].Size {
+		return h[i].Size < h[j].Size
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h sjfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sjfHeap) Push(x any)   { *h = append(*h, x.(*Request)) }
+func (h *sjfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// --- AIOLI ----------------------------------------------------------------
+
+// AIOLI serves each file's requests in offset order, aggregating contiguous
+// same-operation requests into one dispatch, and switches files after a
+// quantum of bytes so no file starves the rest.
+type AIOLI struct {
+	// Quantum is the byte budget served from one file before moving on;
+	// ≤0 selects 8 MiB.
+	Quantum int64
+	// MaxAggregate bounds the size of a merged dispatch; ≤0 selects the
+	// quantum.
+	MaxAggregate int64
+
+	files map[string]*fileQueue
+	order []string // round-robin order of files with pending work
+	cur   int      // index into order
+	spent int64    // bytes served from the current file
+	count int
+}
+
+type fileQueue struct {
+	reqs []*Request // kept offset-sorted
+}
+
+// NewAIOLI returns an aIOLi-style scheduler with the given quantum.
+func NewAIOLI(quantum int64) *AIOLI {
+	if quantum <= 0 {
+		quantum = 8 << 20
+	}
+	return &AIOLI{Quantum: quantum, files: make(map[string]*fileQueue)}
+}
+
+// Name implements Scheduler.
+func (a *AIOLI) Name() string { return "AIOLI" }
+
+// Push implements Scheduler.
+func (a *AIOLI) Push(r *Request) {
+	fq, ok := a.files[r.Path]
+	if !ok {
+		fq = &fileQueue{}
+		a.files[r.Path] = fq
+		a.order = append(a.order, r.Path)
+	}
+	fq.insert(r) // keeps offset order, stable for equal offsets
+	a.count++
+}
+
+// Pop implements Scheduler: it returns the lowest-offset pending request of
+// the current file, merged with every contiguous successor of the same
+// operation up to MaxAggregate.
+func (a *AIOLI) Pop() (*Request, bool) {
+	if a.count == 0 {
+		return nil, false
+	}
+	// Advance to a file with pending work, honoring the quantum.
+	for n := 0; n < len(a.order); n++ {
+		path := a.order[a.cur]
+		fq := a.files[path]
+		if len(fq.reqs) == 0 || a.spent >= a.Quantum {
+			a.advance()
+			continue
+		}
+		maxAgg := a.MaxAggregate
+		if maxAgg <= 0 {
+			maxAgg = a.Quantum
+		}
+		merged, taken := mergeHead(fq.reqs, maxAgg)
+		fq.reqs = fq.reqs[taken:]
+		a.count -= len(merged.Children)
+		if len(merged.Children) == 0 {
+			a.count--
+		}
+		a.spent += merged.Size
+		if len(fq.reqs) == 0 {
+			a.advance()
+		}
+		return merged, true
+	}
+	// All quanta exhausted: reset and retry once.
+	a.spent = 0
+	for n := 0; n < len(a.order); n++ {
+		if len(a.files[a.order[a.cur]].reqs) > 0 {
+			return a.Pop()
+		}
+		a.cur = (a.cur + 1) % len(a.order)
+	}
+	return nil, false
+}
+
+func (a *AIOLI) advance() {
+	a.spent = 0
+	if len(a.order) > 0 {
+		a.cur = (a.cur + 1) % len(a.order)
+	}
+}
+
+// Len implements Scheduler.
+func (a *AIOLI) Len() int { return a.count }
+
+// mergeHead merges the head request of an offset-sorted slice with every
+// directly contiguous successor, up to maxBytes total, returning the merged
+// request and how many inputs were consumed. Only writes are merged — a
+// merged read would need its result scattered back to the children, which
+// the dispatcher does not do. A single request is returned unwrapped.
+func mergeHead(reqs []*Request, maxBytes int64) (*Request, int) {
+	head := reqs[0]
+	if head.Op != OpWrite {
+		return head, 1
+	}
+	taken := 1
+	total := head.Size
+	for taken < len(reqs) {
+		next := reqs[taken]
+		if next.Op != head.Op || next.Offset != reqs[taken-1].End() || total+next.Size > maxBytes {
+			break
+		}
+		total += next.Size
+		taken++
+	}
+	if taken == 1 {
+		return head, 1
+	}
+	merged := &Request{
+		Path:    head.Path,
+		Offset:  head.Offset,
+		Size:    total,
+		Op:      head.Op,
+		Arrival: head.Arrival,
+		Seq:     head.Seq,
+	}
+	merged.Children = append(merged.Children, reqs[:taken]...)
+	if head.Op == OpWrite {
+		merged.Data = make([]byte, 0, total)
+		for _, r := range reqs[:taken] {
+			merged.Data = append(merged.Data, r.Data...)
+		}
+	}
+	return merged, taken
+}
+
+// --- TWINS ----------------------------------------------------------------
+
+// TWINS serves requests in time windows per storage target: during one
+// window only requests destined to the current target are dispatched, so
+// the I/O nodes' accesses to each data server are coordinated instead of
+// interleaved. Requests for other targets wait for their window.
+type TWINS struct {
+	// Window is the per-target service window; ≤0 selects 1 ms.
+	Window time.Duration
+	// Targets is the number of storage targets; ≤0 selects 2.
+	Targets int
+	// TargetOf maps a request to a target; nil selects offset/stripe
+	// modulo Targets with a 1 MiB stripe.
+	TargetOf func(*Request) int
+	// now is the clock (overridable in tests).
+	now func() time.Time
+
+	queues      [][]*Request
+	cur         int
+	windowStart time.Time
+	count       int
+}
+
+// NewTWINS returns a TWINS scheduler with the given window and target
+// count.
+func NewTWINS(window time.Duration, targets int) *TWINS {
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	if targets <= 0 {
+		targets = 2
+	}
+	t := &TWINS{Window: window, Targets: targets, now: time.Now}
+	t.queues = make([][]*Request, targets)
+	return t
+}
+
+// Name implements Scheduler.
+func (t *TWINS) Name() string { return "TWINS" }
+
+func (t *TWINS) target(r *Request) int {
+	if t.TargetOf != nil {
+		tg := t.TargetOf(r)
+		if tg < 0 || tg >= t.Targets {
+			tg = 0
+		}
+		return tg
+	}
+	const stripe = 1 << 20
+	return int((r.Offset / stripe) % int64(t.Targets))
+}
+
+// Push implements Scheduler.
+func (t *TWINS) Push(r *Request) {
+	tg := t.target(r)
+	t.queues[tg] = append(t.queues[tg], r)
+	t.count++
+}
+
+// Pop implements Scheduler. Within a window only the current target's
+// queue is served; when the window expires (or the queue is empty) the
+// scheduler rotates to the next target.
+func (t *TWINS) Pop() (*Request, bool) {
+	if t.count == 0 {
+		return nil, false
+	}
+	now := t.now()
+	if t.windowStart.IsZero() {
+		t.windowStart = now
+	}
+	if now.Sub(t.windowStart) >= t.Window {
+		t.rotate(now)
+	}
+	// If the current target has nothing pending, rotate until one does.
+	for n := 0; n < t.Targets && len(t.queues[t.cur]) == 0; n++ {
+		t.rotate(now)
+	}
+	q := t.queues[t.cur]
+	if len(q) == 0 {
+		return nil, false
+	}
+	r := q[0]
+	q[0] = nil
+	t.queues[t.cur] = q[1:]
+	t.count--
+	return r, true
+}
+
+func (t *TWINS) rotate(now time.Time) {
+	t.cur = (t.cur + 1) % t.Targets
+	t.windowStart = now
+}
+
+// Len implements Scheduler.
+func (t *TWINS) Len() int { return t.count }
+
+// --- Queue ----------------------------------------------------------------
+
+// Queue makes a Scheduler safe for the daemon's producer/consumer use:
+// producers Push, dispatcher goroutines PopWait. Closing wakes all waiters.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sched  Scheduler
+	seq    uint64
+	closed bool
+}
+
+// NewQueue wraps sched.
+func NewQueue(sched Scheduler) *Queue {
+	q := &Queue{sched: sched}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// SchedulerName reports the wrapped scheduler's name.
+func (q *Queue) SchedulerName() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.Name()
+}
+
+// Push enqueues r, stamping arrival time and sequence. It fails after
+// Close.
+func (q *Queue) Push(r *Request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("agios: queue closed")
+	}
+	q.seq++
+	r.Seq = q.seq
+	if r.Arrival.IsZero() {
+		r.Arrival = time.Now()
+	}
+	q.sched.Push(r)
+	q.cond.Signal()
+	return nil
+}
+
+// PopWait blocks until a request is available or the queue is closed; ok
+// is false only when closed and drained.
+func (q *Queue) PopWait() (*Request, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if r, ok := q.sched.Pop(); ok {
+			return r, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryPop returns immediately.
+func (q *Queue) TryPop() (*Request, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.Pop()
+}
+
+// Len reports pending requests.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.Len()
+}
+
+// Close marks the queue closed and wakes all waiters. Pending requests can
+// still be drained with PopWait/TryPop.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// NewByName constructs a scheduler from its AGIOS-style name. Supported:
+// "FIFO", "SJF", "AIOLI", "TWINS", "HBRR".
+func NewByName(name string) (Scheduler, error) {
+	switch name {
+	case "FIFO", "fifo", "":
+		return NewFIFO(), nil
+	case "SJF", "sjf":
+		return NewSJF(), nil
+	case "AIOLI", "aioli":
+		return NewAIOLI(0), nil
+	case "TWINS", "twins":
+		return NewTWINS(0, 0), nil
+	case "HBRR", "hbrr":
+		return NewHBRR(0), nil
+	default:
+		return nil, fmt.Errorf("agios: unknown scheduler %q", name)
+	}
+}

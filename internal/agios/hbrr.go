@@ -1,0 +1,105 @@
+package agios
+
+// HBRR is the handle-based round-robin scheduler of Ohta et al. (the
+// quantum-based scheduler the paper's related work cites for the IOFSL
+// forwarding layer): requests are grouped per file handle, handles are
+// served round-robin, and each handle may dispatch up to Quantum requests
+// per turn — reordered within the turn to be contiguous (ascending
+// offsets) and merged when adjacent, which is HBRR's aggregation benefit.
+type HBRR struct {
+	// Quantum is the number of requests a handle may dispatch per turn;
+	// ≤0 selects 8.
+	Quantum int
+	// MaxAggregate bounds a merged dispatch in bytes; ≤0 selects 8 MiB.
+	MaxAggregate int64
+
+	files map[string]*fileQueue
+	order []string
+	cur   int
+	spent int // requests served from the current handle this turn
+	count int
+}
+
+// NewHBRR returns an HBRR scheduler with the given per-handle quantum.
+func NewHBRR(quantum int) *HBRR {
+	if quantum <= 0 {
+		quantum = 8
+	}
+	return &HBRR{Quantum: quantum, files: make(map[string]*fileQueue)}
+}
+
+// Name implements Scheduler.
+func (h *HBRR) Name() string { return "HBRR" }
+
+// Push implements Scheduler. Requests are kept offset-sorted per handle so
+// each turn dispatches contiguously.
+func (h *HBRR) Push(r *Request) {
+	fq, ok := h.files[r.Path]
+	if !ok {
+		fq = &fileQueue{}
+		h.files[r.Path] = fq
+		h.order = append(h.order, r.Path)
+	}
+	fq.insert(r)
+	h.count++
+}
+
+// Pop implements Scheduler.
+func (h *HBRR) Pop() (*Request, bool) {
+	if h.count == 0 {
+		return nil, false
+	}
+	for n := 0; n < len(h.order)+1; n++ {
+		path := h.order[h.cur]
+		fq := h.files[path]
+		if len(fq.reqs) == 0 || h.spent >= h.Quantum {
+			h.advance()
+			continue
+		}
+		maxAgg := h.MaxAggregate
+		if maxAgg <= 0 {
+			maxAgg = 8 << 20
+		}
+		merged, taken := mergeHead(fq.reqs, maxAgg)
+		fq.reqs = fq.reqs[taken:]
+		if k := len(merged.Children); k > 0 {
+			h.count -= k
+			h.spent += k
+		} else {
+			h.count--
+			h.spent++
+		}
+		if len(fq.reqs) == 0 {
+			h.advance()
+		}
+		return merged, true
+	}
+	return nil, false
+}
+
+func (h *HBRR) advance() {
+	h.spent = 0
+	if len(h.order) > 0 {
+		h.cur = (h.cur + 1) % len(h.order)
+	}
+}
+
+// Len implements Scheduler.
+func (h *HBRR) Len() int { return h.count }
+
+// insert keeps the per-file queue offset-sorted (stable on ties).
+func (fq *fileQueue) insert(r *Request) {
+	lo, hi := 0, len(fq.reqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fq.reqs[mid].Offset < r.Offset ||
+			(fq.reqs[mid].Offset == r.Offset && fq.reqs[mid].Seq <= r.Seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	fq.reqs = append(fq.reqs, nil)
+	copy(fq.reqs[lo+1:], fq.reqs[lo:])
+	fq.reqs[lo] = r
+}

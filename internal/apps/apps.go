@@ -1,0 +1,140 @@
+// Package apps reimplements the I/O phases of the application kernels the
+// paper evaluates (Table 3): IOR (MPI-IO and POSIX modes), NAS BT-IO,
+// HACC-IO, S3D-IO, MADBench2, and S3aSim. Only the I/O behaviour matters to
+// the forwarding layer, so compute phases are omitted and volumes are
+// scaled down (DefaultScale) so live runs finish in seconds; each kernel
+// preserves its file approach, spatiality, request sizing, and phase
+// structure.
+//
+// Every kernel issues its I/O through a pfs.FileSystem, so the same code
+// runs against the PFS directly, through the forwarding client, or under
+// the darshan tracer. Ranks are goroutines.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/units"
+)
+
+// DefaultScale divides the paper's Table 3 volumes for live runs.
+const DefaultScale = 64
+
+// Report summarizes one kernel execution.
+type Report struct {
+	Kernel     string
+	Ranks      int
+	WriteBytes int64
+	ReadBytes  int64
+	Elapsed    time.Duration
+	// Bandwidth is (WriteBytes+ReadBytes)/Elapsed, the paper's
+	// client-side makespan bandwidth.
+	Bandwidth units.Bandwidth
+}
+
+// Kernel is one application's I/O phase.
+type Kernel interface {
+	// Name returns the kernel's Table 3 label.
+	Name() string
+	// Run executes the kernel against fs, placing files under dir.
+	Run(fs pfs.FileSystem, dir string) (Report, error)
+}
+
+// Registry returns the evaluation kernels keyed by Table 3 label, at the
+// default scaled-down geometry.
+func Registry() map[string]Kernel {
+	return map[string]Kernel{
+		"BT-C":    DefaultBTIO(),
+		"HACC":    DefaultHACC(),
+		"IOR-MPI": DefaultIORMPI(),
+		"POSIX-S": DefaultIORPOSIXShared(),
+		"POSIX-L": DefaultIORPOSIXFPP(),
+		"MAD":     DefaultMADBench(),
+		"SIM":     DefaultS3aSim(),
+		"S3D":     DefaultS3D(),
+	}
+}
+
+// TinyRegistry returns every evaluation kernel shrunk to kilobyte-scale
+// volumes and few ranks — the same code paths at a size suitable for unit
+// and fault-injection tests.
+func TinyRegistry() map[string]Kernel {
+	return map[string]Kernel{
+		"BT-C":    BTIO{Label: "BT-C", Ranks: 16, DumpBytes: 16 << 10, Dumps: 3, RequestSize: 4 << 10, Verify: true},
+		"HACC":    HACC{Ranks: 4, Particles: 500, HeaderBytes: 256},
+		"IOR-MPI": IOR{Label: "IOR-MPI", Ranks: 8, BlockSize: 32 << 10, TransferSize: 8 << 10, Collective: true, ReadBack: true},
+		"POSIX-S": IOR{Label: "POSIX-S", Ranks: 8, BlockSize: 32 << 10, TransferSize: 8 << 10, ReadBack: true},
+		"POSIX-L": IOR{Label: "POSIX-L", Ranks: 8, BlockSize: 32 << 10, TransferSize: 8 << 10, FilePerProcess: true, ReadBack: true},
+		"MAD":     MADBench{Ranks: 8, Bins: 4, SliceBytes: 2 << 10},
+		"SIM":     S3aSim{Ranks: 4, Queries: 10, MinResult: 1 << 10, MaxResult: 4 << 10, WriteSize: 512, Seed: 1},
+		"S3D":     S3D{Ranks: 8, Checkpoints: 2, CellsPerRank: 128},
+	}
+}
+
+// runRanks runs fn for each rank concurrently and returns the first error.
+func runRanks(ranks int, fn func(rank int) error) error {
+	if ranks <= 0 {
+		return errors.New("apps: ranks must be positive")
+	}
+	errs := make(chan error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs <- fn(r)
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// report assembles a Report from measured totals.
+func report(name string, ranks int, wrote, read int64, elapsed time.Duration) Report {
+	return Report{
+		Kernel:     name,
+		Ranks:      ranks,
+		WriteBytes: wrote,
+		ReadBytes:  read,
+		Elapsed:    elapsed,
+		Bandwidth:  units.Over(wrote+read, elapsed),
+	}
+}
+
+// fill deterministically patterns a buffer so data integrity is checkable.
+func fill(buf []byte, seed byte) {
+	for i := range buf {
+		buf[i] = seed + byte(i%97)
+	}
+}
+
+// pathFor joins dir and name without importing path/filepath (paths here
+// are flat namespace keys, not OS paths).
+func pathFor(dir, name string) string {
+	if dir == "" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// verifyShort converts a trailing short read into a hard error: kernels
+// always read back data they wrote, so a short read is a correctness bug.
+func verifyShort(n int, want int64, err error) error {
+	if err != nil && !errors.Is(err, pfs.ErrShortRead) {
+		return err
+	}
+	if int64(n) != want {
+		return fmt.Errorf("apps: short read: %d of %d bytes", n, want)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/units"
+)
+
+// smallStore returns a functional PFS for kernel tests.
+func smallStore() *pfs.Store { return pfs.NewStore(pfs.Config{}) }
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"BT-C", "HACC", "IOR-MPI", "POSIX-S", "POSIX-L", "MAD", "SIM", "S3D"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d kernels, want %d", len(reg), len(want))
+	}
+	for _, label := range want {
+		k, ok := reg[label]
+		if !ok {
+			t.Fatalf("kernel %s missing", label)
+		}
+		if k.Name() != label {
+			t.Fatalf("kernel %s reports name %s", label, k.Name())
+		}
+	}
+}
+
+// shrink reduces a kernel's volume so unit tests stay fast; each helper
+// returns the expected write/read volumes alongside the kernel.
+func tinyIOR(shared bool, collective bool) IOR {
+	k := IOR{
+		Label: "IOR-T", Ranks: 8,
+		BlockSize:    64 * units.KiB,
+		TransferSize: 16 * units.KiB,
+		ReadBack:     true,
+		Collective:   collective,
+	}
+	k.FilePerProcess = !shared
+	return k
+}
+
+func TestIORSharedPOSIX(t *testing.T) {
+	store := smallStore()
+	k := tinyIOR(true, false)
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.BlockSize * int64(k.Ranks)
+	if rep.WriteBytes != want || rep.ReadBytes != want {
+		t.Fatalf("volumes: %+v, want %d", rep, want)
+	}
+	// One shared file of exactly the right size.
+	files := store.List()
+	if len(files) != 1 {
+		t.Fatalf("files: %v", files)
+	}
+	info, _ := store.Stat(files[0])
+	if info.Size != want {
+		t.Fatalf("file size %d, want %d", info.Size, want)
+	}
+	if rep.Bandwidth <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+}
+
+func TestIORFilePerProcess(t *testing.T) {
+	store := smallStore()
+	k := tinyIOR(false, false)
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := store.List()
+	if len(files) != k.Ranks {
+		t.Fatalf("want %d files, got %d", k.Ranks, len(files))
+	}
+	if rep.WriteBytes != k.BlockSize*int64(k.Ranks) {
+		t.Fatalf("write bytes %d", rep.WriteBytes)
+	}
+}
+
+func TestIORCollectiveAggregates(t *testing.T) {
+	store := smallStore()
+	k := tinyIOR(true, true)
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.BlockSize * int64(k.Ranks)
+	if rep.WriteBytes != want {
+		t.Fatalf("write bytes %d, want %d", rep.WriteBytes, want)
+	}
+	// Collective buffering issues fewer, larger requests than
+	// independent I/O would (64 requests of 16 KiB → at most 8·span).
+	m := store.Metrics()
+	independentReqs := want / k.TransferSize * 2 // write+read
+	if m.WriteOps+m.ReadOps >= independentReqs {
+		t.Fatalf("collective mode did not aggregate: %d ops", m.WriteOps+m.ReadOps)
+	}
+}
+
+func TestIORInvalidConfig(t *testing.T) {
+	if _, err := (IOR{}).Run(smallStore(), "/t"); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestHACCVolumesAndLayout(t *testing.T) {
+	store := smallStore()
+	k := HACC{Ranks: 4, Particles: 1000, HeaderBytes: 512}
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := int64(512 + 1000*38)
+	if rep.WriteBytes != perRank*4 {
+		t.Fatalf("write bytes %d, want %d", rep.WriteBytes, perRank*4)
+	}
+	files := store.List()
+	if len(files) != 4 {
+		t.Fatalf("HACC is file-per-process: %v", files)
+	}
+	for _, f := range files {
+		info, _ := store.Stat(f)
+		if info.Size != perRank {
+			t.Fatalf("file %s size %d, want %d", f, info.Size, perRank)
+		}
+	}
+	if rep.ReadBytes != 0 {
+		t.Fatal("HACC-IO is write-only")
+	}
+}
+
+func TestHACCParticleRecordIs38Bytes(t *testing.T) {
+	var total int64
+	for _, v := range haccVarBytes {
+		total += v
+	}
+	if total != 38 {
+		t.Fatalf("particle record = %d bytes, paper says 38", total)
+	}
+}
+
+func TestS3DCheckpoints(t *testing.T) {
+	store := smallStore()
+	k := S3D{Ranks: 8, Checkpoints: 3, CellsPerRank: 64}
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := store.List()
+	if len(files) != 3 {
+		t.Fatalf("want one shared file per checkpoint, got %v", files)
+	}
+	perCp := int64(64*8) * 8 * s3dVariables
+	if rep.WriteBytes != perCp*3 {
+		t.Fatalf("write bytes %d, want %d", rep.WriteBytes, perCp*3)
+	}
+	for _, f := range files {
+		info, _ := store.Stat(f)
+		if info.Size != perCp {
+			t.Fatalf("checkpoint %s size %d, want %d", f, info.Size, perCp)
+		}
+	}
+}
+
+func TestMADBenchPhases(t *testing.T) {
+	store := smallStore()
+	k := MADBench{Ranks: 8, Bins: 4, SliceBytes: 1024}
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S: 4 writers × 4 bins × 1 KiB; W rewrite: 2 writers; reads: S-size
+	// + W-size.
+	wantWrite := int64(4*4*1024 + 2*4*1024)
+	wantRead := int64(4*4*1024 + 2*4*1024)
+	if rep.WriteBytes != wantWrite || rep.ReadBytes != wantRead {
+		t.Fatalf("volumes: write %d (want %d) read %d (want %d)",
+			rep.WriteBytes, wantWrite, rep.ReadBytes, wantRead)
+	}
+	if len(store.List()) != 1 {
+		t.Fatal("MADBench uses a single shared file")
+	}
+}
+
+func TestS3aSimSequentialMasterWrites(t *testing.T) {
+	store := smallStore()
+	k := S3aSim{Ranks: 4, Queries: 20, MinResult: 1024, MaxResult: 8192, WriteSize: 512, Seed: 7}
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WriteBytes < 20*1024 || rep.WriteBytes > 20*8192 {
+		t.Fatalf("total volume %d outside query-size bounds", rep.WriteBytes)
+	}
+	info, _ := store.Stat("/t/s3asim.results")
+	if info.Size != rep.WriteBytes {
+		t.Fatalf("file size %d != volume %d (writes must be sequential appends)", info.Size, rep.WriteBytes)
+	}
+	// Sequential appends never reposition the single OST stream.
+	if m := store.Metrics(); m.Seeks > int64(store.Config().OSTs) {
+		t.Fatalf("master stream should be sequential, got %d seeks", m.Seeks)
+	}
+}
+
+func TestS3aSimDeterministicSizes(t *testing.T) {
+	k := S3aSim{Ranks: 4, Queries: 10, MinResult: 100, MaxResult: 1000, WriteSize: 64, Seed: 3}
+	r1, err := k.Run(smallStore(), "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := k.Run(smallStore(), "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WriteBytes != r2.WriteBytes {
+		t.Fatal("query sizes not reproducible")
+	}
+}
+
+func TestBTIODumpsAndVerify(t *testing.T) {
+	store := smallStore()
+	k := BTIO{Label: "BT-T", Ranks: 16, DumpBytes: 32 * units.KiB, Dumps: 4, RequestSize: 8 * units.KiB, Verify: true}
+	rep, err := k.Run(store, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4) * 32 * units.KiB
+	if rep.WriteBytes != want || rep.ReadBytes != want {
+		t.Fatalf("volumes: %+v", rep)
+	}
+	info, _ := store.Stat("/t/BT-T.btio")
+	if info.Size != want {
+		t.Fatalf("solution file size %d, want %d", info.Size, want)
+	}
+}
+
+func TestKernelsRunThroughTinyRegistry(t *testing.T) {
+	// Smoke test: every kernel, at tiny scale, runs clean through a
+	// fresh store and accounts its volume exactly.
+	for label, k := range TinyRegistry() {
+		store := smallStore()
+		rep, err := k.Run(store, "/"+strings.ToLower(label))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if rep.WriteBytes <= 0 || rep.Elapsed <= 0 || rep.Bandwidth <= 0 {
+			t.Fatalf("%s: empty report %+v", label, rep)
+		}
+		m := store.Metrics()
+		if m.BytesWritten != rep.WriteBytes {
+			t.Fatalf("%s: store saw %d bytes, report says %d", label, m.BytesWritten, rep.WriteBytes)
+		}
+	}
+}
+
+func TestTinyRegistryMatchesRegistryLabels(t *testing.T) {
+	full, tiny := Registry(), TinyRegistry()
+	if len(full) != len(tiny) {
+		t.Fatalf("registries differ in size: %d vs %d", len(full), len(tiny))
+	}
+	for label := range full {
+		k, ok := tiny[label]
+		if !ok {
+			t.Fatalf("tiny registry missing %s", label)
+		}
+		if k.Name() != label {
+			t.Fatalf("tiny %s reports name %s", label, k.Name())
+		}
+	}
+}

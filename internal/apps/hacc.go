@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// HACC reproduces HACC-IO, the I/O kernel of the HACC cosmology code: each
+// rank writes a header and its particle payload to its own file through
+// POSIX. A particle carries 38 bytes across nine variables (xx, yy, zz,
+// vx, vy, vz, phi, pid, mask), written one variable array at a time.
+type HACC struct {
+	// Ranks is the client process count.
+	Ranks int
+	// Particles per rank (the paper uses 100k).
+	Particles int64
+	// HeaderBytes is the per-file header (24 MB in the paper, scaled).
+	HeaderBytes int64
+}
+
+// Per-particle variable sizes (xx..phi are 4-byte floats, pid is 8 bytes,
+// mask 2) totalling 38 bytes.
+var haccVarBytes = []int64{4, 4, 4, 4, 4, 4, 4, 8, 2}
+
+// Name implements Kernel.
+func (k HACC) Name() string { return "HACC" }
+
+// Run implements Kernel.
+func (k HACC) Run(fs pfs.FileSystem, dir string) (Report, error) {
+	if k.Ranks <= 0 || k.Particles <= 0 {
+		return Report{}, fmt.Errorf("apps: invalid HACC config %+v", k)
+	}
+	start := time.Now()
+	perRank := k.HeaderBytes
+	for _, v := range haccVarBytes {
+		perRank += v * k.Particles
+	}
+	err := runRanks(k.Ranks, func(r int) error {
+		path := pathFor(dir, fmt.Sprintf("hacc.rank%04d", r))
+		off := int64(0)
+		if k.HeaderBytes > 0 {
+			hdr := make([]byte, k.HeaderBytes)
+			fill(hdr, 'H')
+			if _, err := fs.Write(path, 0, hdr); err != nil {
+				return err
+			}
+			off = k.HeaderBytes
+		}
+		for vi, v := range haccVarBytes {
+			buf := make([]byte, v*k.Particles)
+			fill(buf, byte(vi))
+			if _, err := fs.Write(path, off, buf); err != nil {
+				return err
+			}
+			off += int64(len(buf))
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	wrote := perRank * int64(k.Ranks)
+	return report("HACC", k.Ranks, wrote, 0, time.Since(start)), nil
+}
+
+// DefaultHACC is the paper's HACC-IO setup (8 nodes, 64 processes, 100k
+// particles) with the header scaled by DefaultScale.
+func DefaultHACC() HACC {
+	return HACC{Ranks: 64, Particles: 100_000 / DefaultScale * 8, HeaderBytes: 24 << 20 / DefaultScale}
+}

@@ -1,0 +1,200 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/units"
+)
+
+// IOR reproduces the IOR micro-benchmark's I/O phase. Three of the paper's
+// workloads are IOR configurations (Table 3):
+//
+//   - IOR-MPI: MPI-IO API, single shared file, write + read. Collective
+//     buffering gathers the ranks' transfers on a subset of aggregator
+//     ranks that issue larger, contiguous requests.
+//   - POSIX-S: POSIX API, single shared file, write + read; every rank
+//     issues its own requests, segmented layout.
+//   - POSIX-L: POSIX API, file per process, write + read.
+type IOR struct {
+	Label string
+	// Ranks is the client process count.
+	Ranks int
+	// BlockSize is each rank's contiguous region.
+	BlockSize int64
+	// TransferSize is the request size.
+	TransferSize int64
+	// FilePerProcess selects one file per rank instead of a shared file.
+	FilePerProcess bool
+	// Collective simulates MPI-IO collective buffering: transfers are
+	// gathered on Aggregators ranks, which write whole blocks at once.
+	Collective bool
+	// Aggregators is the collective-buffering writer count (≤0: one per
+	// eight ranks, minimum one).
+	Aggregators int
+	// ReadBack re-reads the written data (IOR's -r phase).
+	ReadBack bool
+}
+
+// Name implements Kernel.
+func (k IOR) Name() string { return k.Label }
+
+// Run implements Kernel.
+func (k IOR) Run(fs pfs.FileSystem, dir string) (Report, error) {
+	if k.Ranks <= 0 || k.BlockSize <= 0 || k.TransferSize <= 0 {
+		return Report{}, fmt.Errorf("apps: invalid IOR config %+v", k)
+	}
+	start := time.Now()
+	var wrote, read int64
+
+	if k.Collective && !k.FilePerProcess {
+		aggs := k.Aggregators
+		if aggs <= 0 {
+			aggs = k.Ranks / 8
+			if aggs < 1 {
+				aggs = 1
+			}
+		}
+		// Collective buffering: each aggregator owns a contiguous span of
+		// the file domain (ranks' blocks are gathered before writing).
+		path := pathFor(dir, k.Label+".data")
+		total := k.BlockSize * int64(k.Ranks)
+		span := total / int64(aggs)
+		chunk := k.TransferSize * 8 // gathered transfers
+		err := runRanks(aggs, func(a int) error {
+			base := int64(a) * span
+			end := base + span
+			if a == aggs-1 {
+				end = total
+			}
+			buf := make([]byte, chunk)
+			fill(buf, byte(a))
+			for off := base; off < end; off += chunk {
+				n := chunk
+				if off+n > end {
+					n = end - off
+				}
+				if _, err := fs.Write(path, off, buf[:n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		wrote = total
+		if k.ReadBack {
+			err := runRanks(aggs, func(a int) error {
+				base := int64(a) * span
+				end := base + span
+				if a == aggs-1 {
+					end = total
+				}
+				buf := make([]byte, chunk)
+				for off := base; off < end; off += chunk {
+					n := chunk
+					if off+n > end {
+						n = end - off
+					}
+					got, err := fs.Read(path, off, buf[:n])
+					if err := verifyShort(got, n, err); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return Report{}, err
+			}
+			read = total
+		}
+		return report(k.Label, k.Ranks, wrote, read, time.Since(start)), nil
+	}
+
+	// Independent I/O (POSIX, or MPI-IO without collective buffering).
+	err := runRanks(k.Ranks, func(r int) error {
+		path := pathFor(dir, fmt.Sprintf("%s.data", k.Label))
+		base := int64(r) * k.BlockSize
+		if k.FilePerProcess {
+			path = pathFor(dir, fmt.Sprintf("%s.rank%04d", k.Label, r))
+			base = 0
+		}
+		buf := make([]byte, k.TransferSize)
+		fill(buf, byte(r))
+		for off := int64(0); off < k.BlockSize; off += k.TransferSize {
+			n := k.TransferSize
+			if off+n > k.BlockSize {
+				n = k.BlockSize - off
+			}
+			if _, err := fs.Write(path, base+off, buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	wrote = k.BlockSize * int64(k.Ranks)
+
+	if k.ReadBack {
+		err := runRanks(k.Ranks, func(r int) error {
+			path := pathFor(dir, fmt.Sprintf("%s.data", k.Label))
+			base := int64(r) * k.BlockSize
+			if k.FilePerProcess {
+				path = pathFor(dir, fmt.Sprintf("%s.rank%04d", k.Label, r))
+				base = 0
+			}
+			buf := make([]byte, k.TransferSize)
+			for off := int64(0); off < k.BlockSize; off += k.TransferSize {
+				n := k.TransferSize
+				if off+n > k.BlockSize {
+					n = k.BlockSize - off
+				}
+				got, err := fs.Read(path, base+off, buf[:n])
+				if err := verifyShort(got, n, err); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		read = wrote
+	}
+	return report(k.Label, k.Ranks, wrote, read, time.Since(start)), nil
+}
+
+// DefaultIORMPI is the paper's IOR-MPI workload (16 nodes, 128 processes,
+// 32 GB total) at 1/DefaultScale volume.
+func DefaultIORMPI() IOR {
+	return IOR{
+		Label: "IOR-MPI", Ranks: 128,
+		BlockSize:    16 * units.GB / 128 / DefaultScale,
+		TransferSize: 1 * units.MiB,
+		Collective:   true, ReadBack: true,
+	}
+}
+
+// DefaultIORPOSIXShared is POSIX-S: shared file, independent POSIX I/O.
+func DefaultIORPOSIXShared() IOR {
+	return IOR{
+		Label: "POSIX-S", Ranks: 128,
+		BlockSize:    16 * units.GB / 128 / DefaultScale,
+		TransferSize: 1 * units.MiB,
+		ReadBack:     true,
+	}
+}
+
+// DefaultIORPOSIXFPP is POSIX-L: file per process.
+func DefaultIORPOSIXFPP() IOR {
+	return IOR{
+		Label: "POSIX-L", Ranks: 512,
+		BlockSize:      32 * units.GB / 512 / DefaultScale,
+		TransferSize:   1 * units.MiB,
+		FilePerProcess: true, ReadBack: true,
+	}
+}

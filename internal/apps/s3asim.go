@@ -1,0 +1,79 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// S3aSim reproduces the mpiBLAST-style master/worker sequence-search
+// pattern: workers search query fragments (no I/O), send results to the
+// master, and the master sorts and appends each query's result block to a
+// single shared file. Result sizes vary widely per query; the paper's runs
+// write between ≈4 MB and 328 MB per query (≈100 MB average), issued as
+// individual operations without per-query synchronization.
+type S3aSim struct {
+	// Ranks is the worker count (the master is rank 0).
+	Ranks int
+	// Queries is the number of queries (the paper uses 100).
+	Queries int
+	// MinResult/MaxResult bound the per-query result block.
+	MinResult, MaxResult int64
+	// WriteSize is the master's request size when streaming a block.
+	WriteSize int64
+	// Seed makes the query-size sequence reproducible.
+	Seed int64
+}
+
+// Name implements Kernel.
+func (k S3aSim) Name() string { return "SIM" }
+
+// Run implements Kernel.
+func (k S3aSim) Run(fs pfs.FileSystem, dir string) (Report, error) {
+	if k.Ranks <= 0 || k.Queries <= 0 || k.MinResult <= 0 || k.MaxResult < k.MinResult || k.WriteSize <= 0 {
+		return Report{}, fmt.Errorf("apps: invalid S3aSim config %+v", k)
+	}
+	start := time.Now()
+	path := pathFor(dir, "s3asim.results")
+	if err := fs.Create(path); err != nil {
+		return Report{}, err
+	}
+	rng := rand.New(rand.NewSource(k.Seed))
+	var wrote int64
+	off := int64(0)
+	buf := make([]byte, k.WriteSize)
+	for q := 0; q < k.Queries; q++ {
+		// Workers' search phase produces a variable-size result block;
+		// the master appends it sequentially.
+		size := k.MinResult + rng.Int63n(k.MaxResult-k.MinResult+1)
+		fill(buf, byte(q))
+		for rem := size; rem > 0; {
+			n := k.WriteSize
+			if n > rem {
+				n = rem
+			}
+			if _, err := fs.Write(path, off, buf[:n]); err != nil {
+				return Report{}, err
+			}
+			off += n
+			rem -= n
+		}
+		wrote += size
+	}
+	return report("SIM", k.Ranks, wrote, 0, time.Since(start)), nil
+}
+
+// DefaultS3aSim is the paper's S3aSim setup (16 processes, 100 queries,
+// ≈19.6 GB total) at 1/DefaultScale volume.
+func DefaultS3aSim() S3aSim {
+	return S3aSim{
+		Ranks:     16,
+		Queries:   100,
+		MinResult: 4 << 20 / DefaultScale,
+		MaxResult: 328 << 20 / DefaultScale,
+		WriteSize: 1 << 20 / 4, // 256 KiB master writes
+		Seed:      1,
+	}
+}

@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// S3D reproduces the S3D-IO checkpoint kernel: at regular intervals the
+// solver writes its three- and four-dimensional double-precision arrays to
+// a newly created file (one shared file per checkpoint — the paper's
+// "multiple shared files" approach). The 3D arrays are partitioned among
+// the ranks; each checkpoint issues four write calls per rank (the
+// PnetCDF nonblocking batch) followed by a flush.
+type S3D struct {
+	// Ranks is the client process count.
+	Ranks int
+	// Checkpoints is the number of checkpoint files (the paper uses 5).
+	Checkpoints int
+	// CellsPerRank is each rank's grid partition (cells of 8-byte
+	// doubles per variable).
+	CellsPerRank int64
+}
+
+// s3dVariables is the number of partitioned arrays per checkpoint (the
+// kernel batches four nonblocking writes).
+const s3dVariables = 4
+
+// Name implements Kernel.
+func (k S3D) Name() string { return "S3D" }
+
+// Run implements Kernel.
+func (k S3D) Run(fs pfs.FileSystem, dir string) (Report, error) {
+	if k.Ranks <= 0 || k.Checkpoints <= 0 || k.CellsPerRank <= 0 {
+		return Report{}, fmt.Errorf("apps: invalid S3D config %+v", k)
+	}
+	start := time.Now()
+	slab := k.CellsPerRank * 8 // doubles
+	var wrote int64
+	for cp := 0; cp < k.Checkpoints; cp++ {
+		path := pathFor(dir, fmt.Sprintf("s3d.checkpoint%02d", cp))
+		if err := fs.Create(path); err != nil {
+			return Report{}, err
+		}
+		err := runRanks(k.Ranks, func(r int) error {
+			buf := make([]byte, slab)
+			fill(buf, byte(r+cp))
+			for v := 0; v < s3dVariables; v++ {
+				// Variable v occupies a contiguous region of the file;
+				// each rank owns a slab within it.
+				base := int64(v)*slab*int64(k.Ranks) + int64(r)*slab
+				if _, err := fs.Write(path, base, buf); err != nil {
+					return err
+				}
+			}
+			return fs.Fsync(path)
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		wrote += slab * int64(k.Ranks) * s3dVariables
+	}
+	return report("S3D", k.Ranks, wrote, 0, time.Since(start)), nil
+}
+
+// DefaultS3D is the paper's S3D-IO setup (64 nodes, 512 processes,
+// 33.7 GB over five checkpoints) at 1/DefaultScale volume.
+func DefaultS3D() S3D {
+	total := int64(33.7e9) / DefaultScale
+	perCp := total / 5
+	cells := perCp / 512 / s3dVariables / 8
+	return S3D{Ranks: 512, Checkpoints: 5, CellsPerRank: cells}
+}

@@ -1,0 +1,174 @@
+// Package arbiter is the live policy-solver service of the reproduction:
+// the component that, on every change of the running-job set, re-runs the
+// arbitration policy and publishes a new application → I/O-node mapping for
+// the forwarding clients (the paper's solver that "runs on a separate node,
+// possibly the same used by a job manager").
+//
+// Allocation decisions are counts; the arbiter turns them into concrete
+// I/O-node addresses, keeping an application's existing nodes when its
+// count shrinks or is unchanged so remaps disturb as little routing as
+// possible, and never sharing one I/O node between applications.
+package arbiter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/policy"
+)
+
+// Arbiter owns a pool of I/O-node addresses and a mapping bus.
+type Arbiter struct {
+	pol  policy.Policy
+	bus  *mapping.Bus
+	pool []string
+
+	mu      sync.Mutex
+	running map[string]policy.Application
+	assign  map[string][]string // app → addresses
+	// SolveTime records the duration of the last policy invocation (the
+	// paper reports 399 µs for its live case).
+	lastSolve time.Duration
+}
+
+// New creates an arbiter over the given policy, I/O-node addresses, and
+// mapping bus.
+func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, error) {
+	if pol == nil {
+		return nil, errors.New("arbiter: policy is required")
+	}
+	if bus == nil {
+		return nil, errors.New("arbiter: mapping bus is required")
+	}
+	uniq := map[string]bool{}
+	for _, a := range ionAddrs {
+		if uniq[a] {
+			return nil, fmt.Errorf("arbiter: duplicate I/O node %s", a)
+		}
+		uniq[a] = true
+	}
+	return &Arbiter{
+		pol:     pol,
+		bus:     bus,
+		pool:    append([]string(nil), ionAddrs...),
+		running: map[string]policy.Application{},
+		assign:  map[string][]string{},
+	}, nil
+}
+
+// PolicyName reports the active policy.
+func (a *Arbiter) PolicyName() string { return a.pol.Name() }
+
+// LastSolveTime reports how long the most recent policy invocation took.
+func (a *Arbiter) LastSolveTime() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSolve
+}
+
+// JobStarted registers a new running application, re-arbitrates, and
+// publishes the updated mapping. It returns the addresses assigned to the
+// new application.
+func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.running[app.ID]; dup {
+		return nil, fmt.Errorf("arbiter: job %s already running", app.ID)
+	}
+	a.running[app.ID] = app
+	if err := a.rearbitrate(); err != nil {
+		delete(a.running, app.ID)
+		return nil, err
+	}
+	return append([]string(nil), a.assign[app.ID]...), nil
+}
+
+// JobFinished removes an application and re-arbitrates for the remainder.
+func (a *Arbiter) JobFinished(id string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.running[id]; !ok {
+		return fmt.Errorf("arbiter: job %s not running", id)
+	}
+	delete(a.running, id)
+	delete(a.assign, id)
+	if len(a.running) == 0 {
+		a.assign = map[string][]string{}
+		a.publish()
+		return nil
+	}
+	return a.rearbitrate()
+}
+
+// Current returns the present address assignment.
+func (a *Arbiter) Current() map[string][]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string][]string, len(a.assign))
+	for app, addrs := range a.assign {
+		out[app] = append([]string(nil), addrs...)
+	}
+	return out
+}
+
+// rearbitrate recomputes counts with the policy and maps them to concrete
+// addresses. Caller holds the lock.
+func (a *Arbiter) rearbitrate() error {
+	apps := make([]policy.Application, 0, len(a.running))
+	for _, app := range a.running {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
+
+	start := time.Now()
+	alloc, err := a.pol.Allocate(apps, len(a.pool))
+	a.lastSolve = time.Since(start)
+	if err != nil {
+		return fmt.Errorf("arbiter: %s: %w", a.pol.Name(), err)
+	}
+
+	// Phase 1: shrink or keep — retain a stable prefix of each app's
+	// current addresses.
+	next := make(map[string][]string, len(alloc))
+	used := map[string]bool{}
+	for _, app := range apps {
+		want := alloc[app.ID]
+		cur := a.assign[app.ID]
+		if want < len(cur) {
+			cur = cur[:want]
+		}
+		next[app.ID] = append([]string(nil), cur...)
+		for _, addr := range cur {
+			used[addr] = true
+		}
+	}
+	// Phase 2: grow from the free pool, in stable pool order.
+	free := make([]string, 0, len(a.pool))
+	for _, addr := range a.pool {
+		if !used[addr] {
+			free = append(free, addr)
+		}
+	}
+	for _, app := range apps {
+		want := alloc[app.ID]
+		for len(next[app.ID]) < want {
+			if len(free) == 0 {
+				return fmt.Errorf("arbiter: pool exhausted assigning %s (policy overcommitted)", app.ID)
+			}
+			next[app.ID] = append(next[app.ID], free[0])
+			free = free[1:]
+		}
+	}
+	a.assign = next
+	a.publish()
+	return nil
+}
+
+// publish pushes the current assignment to the bus. Caller holds the lock.
+func (a *Arbiter) publish() {
+	a.bus.Publish(a.assign)
+}

@@ -1,0 +1,180 @@
+package arbiter
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("ion%d:900%d", i, i)
+	}
+	return out
+}
+
+func app(t *testing.T, label, id string) policy.Application {
+	t.Helper()
+	spec, err := perfmodel.AppByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy.FromAppSpec(id, spec)
+}
+
+func TestNewValidation(t *testing.T) {
+	bus := mapping.NewBus()
+	if _, err := New(nil, addrs(2), bus); err == nil {
+		t.Fatal("nil policy should fail")
+	}
+	if _, err := New(policy.MCKP{}, addrs(2), nil); err == nil {
+		t.Fatal("nil bus should fail")
+	}
+	if _, err := New(policy.MCKP{}, []string{"a", "a"}, bus); err == nil {
+		t.Fatal("duplicate addresses should fail")
+	}
+}
+
+func TestSingleJobGetsItsBestAllocation(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, err := New(policy.MCKP{}, addrs(12), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := arb.JobStarted(app(t, "IOR-MPI", "ior1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("IOR-MPI alone should get 8 IONs, got %d", len(got))
+	}
+	m := bus.Current()
+	if len(m.For("ior1")) != 8 {
+		t.Fatalf("bus mapping: %v", m.For("ior1"))
+	}
+	if arb.LastSolveTime() <= 0 {
+		t.Fatal("solve time not recorded")
+	}
+}
+
+func TestNoSharingBetweenApps(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, _ := New(policy.MCKP{}, addrs(12), bus)
+	ids := []string{"a", "b", "c"}
+	for i, label := range []string{"IOR-MPI", "POSIX-L", "HACC"} {
+		if _, err := arb.JobStarted(app(t, label, ids[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]string{}
+	for appID, list := range arb.Current() {
+		for _, addr := range list {
+			if other, dup := seen[addr]; dup {
+				t.Fatalf("ION %s shared between %s and %s", addr, other, appID)
+			}
+			seen[addr] = appID
+		}
+	}
+}
+
+func TestRemapKeepsStablePrefix(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, _ := New(policy.MCKP{}, addrs(12), bus)
+	if _, err := arb.JobStarted(app(t, "HACC", "hacc1")); err != nil {
+		t.Fatal(err)
+	}
+	before := arb.Current()["hacc1"] // HACC alone: 8 IONs
+	if len(before) != 8 {
+		t.Fatalf("HACC alone should get 8, got %d", len(before))
+	}
+	// IOR-MPI arrives; HACC shrinks but keeps a prefix of its nodes.
+	if _, err := arb.JobStarted(app(t, "IOR-MPI", "ior1")); err != nil {
+		t.Fatal(err)
+	}
+	after := arb.Current()["hacc1"]
+	if len(after) >= len(before) {
+		t.Fatalf("HACC should shrink when IOR-MPI arrives: %d → %d", len(before), len(after))
+	}
+	for i, addr := range after {
+		if addr != before[i] {
+			t.Fatalf("shrink should keep a stable prefix: %v → %v", before, after)
+		}
+	}
+}
+
+func TestJobFinishedTriggersRegrow(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, _ := New(policy.MCKP{}, addrs(12), bus)
+	arb.JobStarted(app(t, "HACC", "hacc1"))
+	arb.JobStarted(app(t, "IOR-MPI", "ior1"))
+	shrunk := len(arb.Current()["hacc1"])
+	if err := arb.JobFinished("ior1"); err != nil {
+		t.Fatal(err)
+	}
+	regrown := len(arb.Current()["hacc1"])
+	if regrown <= shrunk {
+		t.Fatalf("HACC should regrow after IOR-MPI finishes: %d → %d", shrunk, regrown)
+	}
+	if _, ok := arb.Current()["ior1"]; ok {
+		t.Fatal("finished job still mapped")
+	}
+}
+
+func TestLastJobFinishedClearsMapping(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, _ := New(policy.MCKP{}, addrs(4), bus)
+	arb.JobStarted(app(t, "HACC", "h"))
+	v := bus.Current().Version
+	if err := arb.JobFinished("h"); err != nil {
+		t.Fatal(err)
+	}
+	m := bus.Current()
+	if len(m.IONs) != 0 || m.Version <= v {
+		t.Fatalf("final mapping: %+v", m)
+	}
+}
+
+func TestDuplicateAndUnknownJobs(t *testing.T) {
+	bus := mapping.NewBus()
+	arb, _ := New(policy.MCKP{}, addrs(4), bus)
+	if _, err := arb.JobStarted(app(t, "HACC", "h")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.JobStarted(app(t, "HACC", "h")); err == nil {
+		t.Fatal("duplicate start should fail")
+	}
+	if err := arb.JobFinished("nope"); err == nil {
+		t.Fatal("finishing unknown job should fail")
+	}
+}
+
+func TestFailedArbitrationRollsBack(t *testing.T) {
+	bus := mapping.NewBus()
+	// ZERO policy fails when an app lacks a 0-ION option.
+	arb, _ := New(policy.Zero{}, addrs(4), bus)
+	noZero := policy.Application{ID: "x", Nodes: 8, Processes: 8,
+		Curve: perfmodel.NewCurve(perfmodel.Point{IONs: 1, Bandwidth: 1})}
+	if _, err := arb.JobStarted(noZero); err == nil {
+		t.Fatal("expected policy failure")
+	}
+	// The failed job must not linger.
+	withZero := policy.Application{ID: "y", Nodes: 8, Processes: 8,
+		Curve: perfmodel.NewCurve(perfmodel.Point{IONs: 0, Bandwidth: 1})}
+	if _, err := arb.JobStarted(withZero); err != nil {
+		t.Fatalf("arbiter wedged after failure: %v", err)
+	}
+	if _, ok := arb.Current()["x"]; ok {
+		t.Fatal("failed job leaked into assignment")
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	arb, _ := New(policy.MCKP{}, addrs(1), mapping.NewBus())
+	if arb.PolicyName() != "MCKP" {
+		t.Fatal("policy name wrong")
+	}
+}

@@ -1,0 +1,34 @@
+package arbiter
+
+import (
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+)
+
+// CurveSource supplies bandwidth curves for applications from accumulated
+// characterization data (implemented by darshan.DB).
+type CurveSource interface {
+	// Curve returns the stored curve for an application ID, if known.
+	Curve(appID string) (perfmodel.Curve, bool)
+}
+
+// WithHistory wraps the arbiter so that applications registered without a
+// bandwidth curve are completed from the characterization history before
+// arbitration — the paper's §3.1 flow where Darshan-derived data replaces
+// profiling runs. Applications unknown to the history still fall back to
+// the policy's first-run default.
+type WithHistory struct {
+	*Arbiter
+	Source CurveSource
+}
+
+// JobStarted completes the application from history when possible, then
+// delegates.
+func (h WithHistory) JobStarted(app policy.Application) ([]string, error) {
+	if app.Curve.Len() == 0 && h.Source != nil {
+		if curve, ok := h.Source.Curve(app.ID); ok {
+			app.Curve = curve
+		}
+	}
+	return h.Arbiter.JobStarted(app)
+}

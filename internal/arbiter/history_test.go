@@ -1,0 +1,87 @@
+package arbiter
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/darshan"
+	"repro/internal/mapping"
+	"repro/internal/perfmodel"
+	"repro/internal/pfs"
+	"repro/internal/policy"
+)
+
+// TestWithHistoryInformsArbitration: an application whose curve lives only
+// in the characterization DB is arbitrated with that curve, not the
+// first-run fallback.
+func TestWithHistoryInformsArbitration(t *testing.T) {
+	// Characterize a shared-file app in a "previous session".
+	db := darshan.NewDB()
+	tr := darshan.NewTracer(pfs.NewStore(pfs.Config{}))
+	kernel := apps.IOR{Label: "k", Ranks: 16, BlockSize: 64 << 10, TransferSize: 16 << 10}
+	if _, err := kernel.Run(tr, "/hist"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Record("learned", tr.Report(), 4, 16, nil, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	wantCurve, _ := db.Curve("learned")
+	want := wantCurve.Best().IONs
+
+	bus := mapping.NewBus()
+	inner, err := New(policy.MCKP{}, addrs(8), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := WithHistory{Arbiter: inner, Source: db}
+
+	// Register WITHOUT a curve: the history fills it in.
+	got, err := arb.JobStarted(policy.Application{ID: "learned", Nodes: 4, Processes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("history-informed arbitration gave %d IONs, curve optimum is %d", len(got), want)
+	}
+}
+
+// TestWithHistoryUnknownAppFallsBack: no history → the MCKP fallback
+// (machine default) applies, exactly as without the wrapper.
+func TestWithHistoryUnknownAppFallsBack(t *testing.T) {
+	bus := mapping.NewBus()
+	inner, err := New(policy.MCKP{}, addrs(8), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := WithHistory{Arbiter: inner, Source: darshan.NewDB()}
+	got, err := arb.JobStarted(policy.Application{ID: "stranger", Nodes: 8, Processes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("fallback should still assign the machine default")
+	}
+}
+
+// TestWithHistoryExplicitCurveWins: a caller-provided curve is never
+// overridden by history.
+func TestWithHistoryExplicitCurveWins(t *testing.T) {
+	db := darshan.NewDB()
+	bus := mapping.NewBus()
+	inner, err := New(policy.MCKP{}, addrs(8), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := WithHistory{Arbiter: inner, Source: db}
+	spec, err := perfmodel.AppByLabel("S3D") // best at 0 IONs
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := arb.JobStarted(policy.FromAppSpec("s3d", spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("explicit S3D curve should yield direct access, got %d IONs", len(got))
+	}
+}

@@ -1,0 +1,194 @@
+package darshan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/pattern"
+	"repro/internal/pfs"
+	"repro/internal/units"
+)
+
+func tracer() (*Tracer, *pfs.Store) {
+	store := pfs.NewStore(pfs.Config{})
+	return NewTracer(store), store
+}
+
+func TestCountersBasic(t *testing.T) {
+	tr, _ := tracer()
+	tr.Create("/f")
+	tr.Write("/f", 0, make([]byte, 100))
+	tr.Write("/f", 100, make([]byte, 100)) // consecutive
+	tr.Write("/f", 500, make([]byte, 50))  // seek
+	tr.Read("/f", 0, make([]byte, 64))
+	r := tr.Report()
+	if r.Files != 1 || r.WriteOps != 3 || r.ReadOps != 1 {
+		t.Fatalf("report: %+v", r)
+	}
+	if r.BytesWritten != 250 || r.BytesRead != 64 {
+		t.Fatalf("bytes: %+v", r)
+	}
+	if r.ConsecWrites != 1 {
+		t.Fatalf("consec = %d, want 1", r.ConsecWrites)
+	}
+}
+
+func TestInterleavedStreamsStillConsecutive(t *testing.T) {
+	tr, _ := tracer()
+	// Two logical streams interleaved (rank A at 0.., rank B at 1000..):
+	// all four continuation writes are consecutive to their own stream.
+	tr.Write("/s", 0, make([]byte, 10))
+	tr.Write("/s", 1000, make([]byte, 10))
+	tr.Write("/s", 10, make([]byte, 10))
+	tr.Write("/s", 1010, make([]byte, 10))
+	tr.Write("/s", 20, make([]byte, 10))
+	tr.Write("/s", 1020, make([]byte, 10))
+	r := tr.Report()
+	if r.ConsecWrites != 4 {
+		t.Fatalf("consec = %d, want 4 (per-stream detection)", r.ConsecWrites)
+	}
+}
+
+func TestMedianRequestSize(t *testing.T) {
+	tr, _ := tracer()
+	for i := 0; i < 10; i++ {
+		tr.Write("/f", int64(i)*units.MiB, make([]byte, units.MiB))
+	}
+	r := tr.Report()
+	if r.MedianReqSize != units.MiB {
+		t.Fatalf("median = %d, want %d", r.MedianReqSize, units.MiB)
+	}
+}
+
+func TestExtractPatternFilePerProcess(t *testing.T) {
+	tr, _ := tracer()
+	const procs = 16
+	for p := 0; p < procs; p++ {
+		path := fmt.Sprintf("/rank%d", p)
+		for i := int64(0); i < 4; i++ {
+			tr.Write(path, i*4096, make([]byte, 4096))
+		}
+	}
+	got := tr.Report().ExtractPattern(4, procs)
+	if got.Layout != pattern.FilePerProcess {
+		t.Fatalf("layout = %v", got.Layout)
+	}
+	if got.Spatiality != pattern.Contiguous {
+		t.Fatalf("spatiality = %v", got.Spatiality)
+	}
+	if got.Nodes != 4 || got.ProcsPerNod != 4 {
+		t.Fatalf("geometry: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractPatternSharedContiguous(t *testing.T) {
+	tr, _ := tracer()
+	const procs = 8
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := int64(p) * 64 * 1024
+			for i := int64(0); i < 16; i++ {
+				tr.Write("/shared", base+i*4096, make([]byte, 4096))
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := tr.Report().ExtractPattern(2, procs)
+	if got.Layout != pattern.SharedFile || got.Spatiality != pattern.Contiguous {
+		t.Fatalf("pattern: %+v", got)
+	}
+}
+
+func TestExtractPatternSharedStrided(t *testing.T) {
+	tr, _ := tracer()
+	const procs = 8
+	const req = 4096
+	// 1D-strided: process p writes blocks p, p+P, p+2P, ...
+	for round := int64(0); round < 16; round++ {
+		for p := int64(0); p < procs; p++ {
+			off := (round*procs + p) * req * 3 // gaps → never consecutive
+			tr.Write("/strided", off, make([]byte, req))
+		}
+	}
+	got := tr.Report().ExtractPattern(2, procs)
+	if got.Layout != pattern.SharedFile || got.Spatiality != pattern.Strided1D {
+		t.Fatalf("pattern: %+v", got)
+	}
+}
+
+// TestClassifyRealKernels runs actual application kernels under the tracer
+// and checks the extracted layouts match the paper's Table 3.
+func TestClassifyRealKernels(t *testing.T) {
+	cases := []struct {
+		kernel apps.Kernel
+		procs  int
+		layout pattern.Layout
+	}{
+		{apps.HACC{Ranks: 8, Particles: 500, HeaderBytes: 128}, 8, pattern.FilePerProcess},
+		{apps.IOR{Label: "ior", Ranks: 8, BlockSize: 32 * 1024, TransferSize: 8 * 1024}, 8, pattern.SharedFile},
+		{apps.MADBench{Ranks: 8, Bins: 2, SliceBytes: 4096}, 8, pattern.SharedFile},
+	}
+	for _, c := range cases {
+		tr, _ := tracer()
+		if _, err := c.kernel.Run(tr, "/k"); err != nil {
+			t.Fatalf("%s: %v", c.kernel.Name(), err)
+		}
+		got := tr.Report().ExtractPattern(2, c.procs)
+		if got.Layout != c.layout {
+			t.Errorf("%s: layout %v, want %v", c.kernel.Name(), got.Layout, c.layout)
+		}
+	}
+}
+
+func TestEstimateCurve(t *testing.T) {
+	p := pattern.Pattern{Nodes: 16, ProcsPerNod: 24, Layout: pattern.SharedFile,
+		Spatiality: pattern.Contiguous, RequestSize: 128 * units.KiB, Operation: pattern.Write}
+	c := EstimateCurve(p, nil, 8, true)
+	if c.Len() != 5 {
+		t.Fatalf("curve: %v", c)
+	}
+	best := c.Best()
+	if best.IONs == 0 {
+		t.Fatalf("medium shared workload should benefit from forwarding: %v", c)
+	}
+}
+
+func TestTracerPassesThroughData(t *testing.T) {
+	tr, store := tracer()
+	tr.Write("/f", 0, []byte("payload"))
+	buf := make([]byte, 7)
+	if _, err := store.Read("/f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("data: %q", buf)
+	}
+	// Metadata ops pass through too.
+	if _, err := tr.Stat("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Fsync("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerFileSorted(t *testing.T) {
+	tr, _ := tracer()
+	tr.Write("/b", 0, []byte("x"))
+	tr.Write("/a", 0, []byte("x"))
+	pf := tr.Report().PerFile()
+	if len(pf) != 2 || pf[0].Path != "/a" || pf[1].Path != "/b" {
+		t.Fatalf("per-file order: %+v", pf)
+	}
+}

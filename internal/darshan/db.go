@@ -1,0 +1,176 @@
+package darshan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// DB is the characterization history the paper's workflow accumulates:
+// per-application extracted patterns and estimated bandwidth curves,
+// persisted as JSON so future job submissions are arbitrated with
+// knowledge from earlier runs ("future runs could make better decisions
+// based on the collected data", §3.1).
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// Entry is one application's stored characterization.
+type Entry struct {
+	AppID string `json:"app_id"`
+	// Pattern is the extracted base access pattern.
+	Nodes       int    `json:"nodes"`
+	ProcsPerNod int    `json:"procs_per_node"`
+	Layout      string `json:"layout"`
+	Spatiality  string `json:"spatiality"`
+	RequestSize int64  `json:"request_size"`
+	// Curve is the estimated bandwidth per ION count (MB/s).
+	Curve map[int]float64 `json:"curve_mbps"`
+	// Runs counts how many executions contributed.
+	Runs int `json:"runs"`
+}
+
+// NewDB returns an empty in-memory database.
+func NewDB() *DB { return &DB{entries: map[string]Entry{}} }
+
+// Record stores (or refreshes) an application's characterization from a
+// trace report and geometry, estimating the curve with the model.
+func (db *DB) Record(appID string, rep Report, nodes, processes int, m *perfmodel.Model, maxIONs int, allowZero bool) (Entry, error) {
+	if appID == "" {
+		return Entry{}, fmt.Errorf("darshan: empty application ID")
+	}
+	pat := rep.ExtractPattern(nodes, processes)
+	if err := pat.Validate(); err != nil {
+		return Entry{}, fmt.Errorf("darshan: extracted pattern invalid: %w", err)
+	}
+	curve := EstimateCurve(pat, m, maxIONs, allowZero)
+	e := Entry{
+		AppID:       appID,
+		Nodes:       pat.Nodes,
+		ProcsPerNod: pat.ProcsPerNod,
+		Layout:      pat.Layout.String(),
+		Spatiality:  pat.Spatiality.String(),
+		RequestSize: pat.RequestSize,
+		Curve:       map[int]float64{},
+	}
+	for _, pt := range curve.Points() {
+		e.Curve[pt.IONs] = pt.Bandwidth.MBps()
+	}
+	db.mu.Lock()
+	if old, ok := db.entries[appID]; ok {
+		e.Runs = old.Runs
+	}
+	e.Runs++
+	db.entries[appID] = e
+	db.mu.Unlock()
+	return e, nil
+}
+
+// Curve returns the stored curve for an application, if known.
+func (db *DB) Curve(appID string) (perfmodel.Curve, bool) {
+	db.mu.RLock()
+	e, ok := db.entries[appID]
+	db.mu.RUnlock()
+	if !ok {
+		return perfmodel.Curve{}, false
+	}
+	pts := make([]perfmodel.Point, 0, len(e.Curve))
+	for k, mbps := range e.Curve {
+		pts = append(pts, perfmodel.Point{IONs: k, Bandwidth: units.BandwidthFromMBps(mbps)})
+	}
+	return perfmodel.NewCurve(pts...), true
+}
+
+// Pattern returns the stored pattern for an application, if known.
+func (db *DB) Pattern(appID string) (pattern.Pattern, bool) {
+	db.mu.RLock()
+	e, ok := db.entries[appID]
+	db.mu.RUnlock()
+	if !ok {
+		return pattern.Pattern{}, false
+	}
+	p := pattern.Pattern{
+		Nodes:       e.Nodes,
+		ProcsPerNod: e.ProcsPerNod,
+		RequestSize: e.RequestSize,
+		Operation:   pattern.Write,
+	}
+	if e.Layout == pattern.SharedFile.String() {
+		p.Layout = pattern.SharedFile
+	}
+	if e.Spatiality == pattern.Strided1D.String() {
+		p.Spatiality = pattern.Strided1D
+	}
+	return p, true
+}
+
+// Apps lists the known application IDs in lexical order.
+func (db *DB) Apps() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.entries))
+	for id := range db.entries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the database as JSON (atomic rename).
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	list := make([]Entry, 0, len(db.entries))
+	for _, e := range db.entries {
+		list = append(list, e)
+	}
+	db.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].AppID < list[j].AppID })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("darshan: encode db: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".darshan-db-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// LoadDB reads a database written by Save. A missing file yields an empty
+// database (first boot).
+func LoadDB(path string) (*DB, error) {
+	db := NewDB()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return db, nil
+		}
+		return nil, fmt.Errorf("darshan: read db: %w", err)
+	}
+	var list []Entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("darshan: decode db: %w", err)
+	}
+	for _, e := range list {
+		db.entries[e.AppID] = e
+	}
+	return db, nil
+}

@@ -1,0 +1,126 @@
+package darshan
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/pattern"
+	"repro/internal/pfs"
+)
+
+func traceKernel(t *testing.T, k apps.Kernel) Report {
+	t.Helper()
+	tr := NewTracer(pfs.NewStore(pfs.Config{}))
+	if _, err := k.Run(tr, "/run"); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Report()
+}
+
+func TestDBRecordAndLookup(t *testing.T) {
+	db := NewDB()
+	rep := traceKernel(t, apps.IOR{Label: "x", Ranks: 16, BlockSize: 64 << 10, TransferSize: 16 << 10})
+	e, err := db.Record("myapp", rep, 4, 16, nil, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Runs != 1 || e.Layout != "shared" {
+		t.Fatalf("entry: %+v", e)
+	}
+	curve, ok := db.Curve("myapp")
+	if !ok || curve.Len() == 0 {
+		t.Fatal("curve missing")
+	}
+	pat, ok := db.Pattern("myapp")
+	if !ok || pat.Layout != pattern.SharedFile {
+		t.Fatalf("pattern: %+v %v", pat, ok)
+	}
+	if _, ok := db.Curve("unknown"); ok {
+		t.Fatal("unknown app should miss")
+	}
+	// Re-recording bumps the run counter.
+	e2, err := db.Record("myapp", rep, 4, 16, nil, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Runs != 2 {
+		t.Fatalf("runs = %d", e2.Runs)
+	}
+}
+
+func TestDBRecordValidation(t *testing.T) {
+	db := NewDB()
+	rep := traceKernel(t, apps.HACC{Ranks: 4, Particles: 100, HeaderBytes: 64})
+	if _, err := db.Record("", rep, 4, 4, nil, 8, true); err == nil {
+		t.Fatal("empty app ID should fail")
+	}
+}
+
+func TestDBPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	db := NewDB()
+	repShared := traceKernel(t, apps.IOR{Label: "s", Ranks: 16, BlockSize: 64 << 10, TransferSize: 16 << 10})
+	repFPP := traceKernel(t, apps.HACC{Ranks: 8, Particles: 200, HeaderBytes: 128})
+	if _, err := db.Record("shared-app", repShared, 4, 16, nil, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Record("fpp-app", repFPP, 2, 8, nil, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Apps(); len(got) != 2 || got[0] != "fpp-app" {
+		t.Fatalf("apps: %v", got)
+	}
+	origCurve, _ := db.Curve("shared-app")
+	loadedCurve, ok := loaded.Curve("shared-app")
+	if !ok {
+		t.Fatal("curve lost in round trip")
+	}
+	for _, pt := range origCurve.Points() {
+		lv, ok := loadedCurve.At(pt.IONs)
+		if !ok {
+			t.Fatalf("point %d lost", pt.IONs)
+		}
+		diff := float64(lv - pt.Bandwidth)
+		if diff > 1 || diff < -1 {
+			t.Fatalf("curve value drifted at %d: %v vs %v", pt.IONs, lv, pt.Bandwidth)
+		}
+	}
+	fpat, ok := loaded.Pattern("fpp-app")
+	if !ok || fpat.Layout != pattern.FilePerProcess {
+		t.Fatalf("fpp pattern lost: %+v", fpat)
+	}
+}
+
+func TestLoadDBMissingFile(t *testing.T) {
+	db, err := LoadDB(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Apps()) != 0 {
+		t.Fatal("missing file should yield empty DB")
+	}
+}
+
+func TestLoadDBCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(path); err == nil {
+		t.Fatal("corrupt DB should fail to load")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestExpAblationDynamic(t *testing.T) {
+	r, err := ExpAblationDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Advantage < 1.0 {
+		t.Fatalf("dynamic MCKP should not lose to fixed-at-start: %.2f", r.Advantage)
+	}
+	if r.DynamicReallocs == 0 {
+		t.Fatal("dynamic run performed no reallocations; ablation is vacuous")
+	}
+	if r.RecruitedMBps <= r.NoForwardingMBps {
+		t.Fatalf("recruiting should beat the no-forwarding baseline: %.0f vs %.0f",
+			r.RecruitedMBps, r.NoForwardingMBps)
+	}
+	t.Logf("dynamic %.0f vs fixed %.0f MB/s (%.2fx, %d reallocs); no-fwd %.0f → recruited %.0f MB/s",
+		r.DynamicMBps, r.FixedMBps, r.Advantage, r.DynamicReallocs,
+		r.NoForwardingMBps, r.RecruitedMBps)
+	r.Table()
+}

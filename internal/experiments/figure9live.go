@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/livestack"
+)
+
+// Figure9LiveResult is the live execution of the §5.3 queue: fourteen real
+// kernels at tiny scale through twelve TCP I/O-node daemons, MCKP
+// re-arbitrating on every start/finish. It complements the simulated
+// ExpFigure9 with an end-to-end run of the actual stack.
+type Figure9LiveResult struct {
+	JobIDs []string
+	// PerJobMBps/StartMS/EndMS index by job ID.
+	PerJobMBps map[string]float64
+	StartMS    map[string]float64
+	EndMS      map[string]float64
+	ElapsedMS  float64
+	TotalBytes int64
+}
+
+// ExpFigure9Live runs the live queue on a fresh stack.
+func ExpFigure9Live() (Figure9LiveResult, error) {
+	st, err := livestack.Start(livestack.Config{IONs: 12})
+	if err != nil {
+		return Figure9LiveResult{}, err
+	}
+	defer st.Close()
+	queue, err := livestack.PaperLiveQueue()
+	if err != nil {
+		return Figure9LiveResult{}, err
+	}
+	res, err := livestack.RunQueue(st, queue, 96)
+	if err != nil {
+		return Figure9LiveResult{}, fmt.Errorf("experiments: live queue: %w", err)
+	}
+	out := Figure9LiveResult{
+		PerJobMBps: map[string]float64{},
+		StartMS:    map[string]float64{},
+		EndMS:      map[string]float64{},
+		ElapsedMS:  float64(res.Elapsed.Milliseconds()),
+	}
+	for id, rep := range res.Reports {
+		out.JobIDs = append(out.JobIDs, id)
+		out.PerJobMBps[id] = rep.Bandwidth.MBps()
+		out.StartMS[id] = float64(res.Start[id].Microseconds()) / 1000
+		out.EndMS[id] = float64(res.End[id].Microseconds()) / 1000
+		out.TotalBytes += rep.WriteBytes + rep.ReadBytes
+	}
+	sort.Slice(out.JobIDs, func(i, j int) bool { return out.StartMS[out.JobIDs[i]] < out.StartMS[out.JobIDs[j]] })
+	return out, nil
+}
+
+// Table renders the result.
+func (r Figure9LiveResult) Table() Table {
+	t := Table{
+		Title:  "Figure 9 (live) — the §5.3 queue executed on the TCP stack (tiny-scale kernels)",
+		Header: []string{"Job", "Start ms", "End ms", "MB/s"},
+	}
+	for _, id := range r.JobIDs {
+		t.Rows = append(t.Rows, []string{id, f1(r.StartMS[id]), f1(r.EndMS[id]), f1(r.PerJobMBps[id])})
+	}
+	t.Rows = append(t.Rows, []string{"TOTAL", "", f1(r.ElapsedMS), ""})
+	return t
+}

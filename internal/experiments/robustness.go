@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// QueueRobustnessResult extends the paper's single selected queue (§5.3)
+// to a population: the distribution of the dynamic-MCKP-over-STATIC
+// aggregate ratio across many random queues from the paper's generator
+// recipe.
+type QueueRobustnessResult struct {
+	Queues  int
+	Ratios  []float64
+	Summary stats.Summary
+	// WorstQueueSeed identifies the least favourable queue.
+	WorstQueueSeed int64
+}
+
+// ExpQueueRobustness simulates n random queues (n ≤ 0 selects 50) under
+// dynamic MCKP and sticky STATIC on the §5.3 machine (96 compute nodes,
+// 12 I/O nodes, no direct access).
+func ExpQueueRobustness(n int) (QueueRobustnessResult, error) {
+	if n <= 0 {
+		n = 50
+	}
+	res := QueueRobustnessResult{Queues: n}
+	worst := -1.0
+	for seed := int64(0); seed < int64(n); seed++ {
+		queue, err := jobs.RandomQueue(seed, 14, 8)
+		if err != nil {
+			return res, err
+		}
+		base := jobs.SimConfig{
+			Jobs: queue, ComputeNodes: 96, IONs: 12, AllowDirect: false,
+		}
+		mckpCfg := base
+		mckpCfg.Policy = policy.MCKP{}
+		mckp, err := jobs.SimulateQueue(mckpCfg)
+		if err != nil {
+			return res, fmt.Errorf("experiments: queue %d MCKP: %w", seed, err)
+		}
+		staticCfg := base
+		staticCfg.Policy = policy.Static{SystemCompute: 96, SystemIONs: 12}
+		staticCfg.Sticky = true
+		static, err := jobs.SimulateQueue(staticCfg)
+		if err != nil {
+			return res, fmt.Errorf("experiments: queue %d STATIC: %w", seed, err)
+		}
+		ratio := float64(mckp.Aggregate) / float64(static.Aggregate)
+		res.Ratios = append(res.Ratios, ratio)
+		if worst < 0 || ratio < worst {
+			worst = ratio
+			res.WorstQueueSeed = seed
+		}
+	}
+	summary, err := stats.Summarize(res.Ratios)
+	if err != nil {
+		return res, err
+	}
+	res.Summary = summary
+	return res, nil
+}
+
+// Table renders the result.
+func (r QueueRobustnessResult) Table() Table {
+	return Table{
+		Title:  fmt.Sprintf("Queue robustness — dynamic MCKP ÷ sticky STATIC over %d random queues", r.Queues),
+		Header: []string{"Min", "P25", "Median", "P75", "Max", "Mean"},
+		Rows: [][]string{{
+			f2(r.Summary.Min), f2(r.Summary.P25), f2(r.Summary.Median),
+			f2(r.Summary.P75), f2(r.Summary.Max), f2(r.Summary.Mean),
+		}},
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import "testing"
+
+func TestExpQueueRobustness(t *testing.T) {
+	r, err := ExpQueueRobustness(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ratios) != 20 {
+		t.Fatalf("ratios: %d", len(r.Ratios))
+	}
+	if r.Summary.Min < 1.0 {
+		t.Fatalf("dynamic MCKP lost to STATIC on queue seed %d: %.3f (paper claims it never does)",
+			r.WorstQueueSeed, r.Summary.Min)
+	}
+	if r.Summary.Median < 1.2 {
+		t.Fatalf("median improvement %.2f implausibly low (paper's selected queue: 1.9)", r.Summary.Median)
+	}
+	t.Logf("MCKP/STATIC across %d random queues: min %.2f median %.2f max %.2f (paper's queue: 1.9)",
+		r.Queues, r.Summary.Min, r.Summary.Median, r.Summary.Max)
+	r.Table()
+}
+
+func TestExpFigure1Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live replay experiment")
+	}
+	r, err := ExpFigure1Live(8, 1<<20) // small for unit tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 8 {
+		t.Fatalf("labels: %v", r.Labels)
+	}
+	for _, label := range r.Labels {
+		if len(r.MBps[label]) == 0 {
+			t.Fatalf("%s: no measurements", label)
+		}
+		for k, v := range r.MBps[label] {
+			if v <= 0 {
+				t.Fatalf("%s at %d IONs: %v", label, k, v)
+			}
+		}
+	}
+	r.Table()
+}
+
+// TestFigure9Golden pins the §5.3 simulation's aggregates (deterministic
+// inputs, deterministic engine) so regressions in the policies, the
+// curves, or the event loop are caught immediately. EXPERIMENTS.md quotes
+// these numbers.
+func TestFigure9Golden(t *testing.T) {
+	r, err := ExpFigure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"ONE":    5997.5,
+		"STATIC": 10318.8,
+		"SIZE":   17220.7,
+		"MCKP":   29840.3,
+	}
+	for pol, agg := range want {
+		got := r.AggregateMBps[pol]
+		if got < agg-0.5 || got > agg+0.5 {
+			t.Errorf("%s aggregate %.1f MB/s, golden %.1f (update EXPERIMENTS.md if intentional)", pol, got, agg)
+		}
+	}
+}
+
+func TestExpFigure9Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live queue experiment")
+	}
+	r, err := ExpFigure9Live()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.JobIDs) != 14 {
+		t.Fatalf("jobs: %d", len(r.JobIDs))
+	}
+	if r.TotalBytes <= 0 || r.ElapsedMS <= 0 {
+		t.Fatalf("result incomplete: %+v", r)
+	}
+	r.Table()
+}

@@ -1,0 +1,142 @@
+// Package faultfs wraps a pfs.FileSystem with deterministic fault
+// injection, used to exercise the error paths of the forwarding stack and
+// the application kernels: every n-th operation (optionally filtered by
+// operation kind or path prefix) fails with a configurable error.
+package faultfs
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/pfs"
+)
+
+// ErrInjected is the default injected failure.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// OpKind selects which operations are eligible for injection.
+type OpKind int
+
+// Operation kinds.
+const (
+	KindAny OpKind = iota
+	KindWrite
+	KindRead
+	KindMeta
+)
+
+// Config controls injection.
+type Config struct {
+	// FailEvery injects a fault on every n-th eligible operation
+	// (1 = every operation). ≤0 disables injection.
+	FailEvery int64
+	// Kind restricts injection to one operation class.
+	Kind OpKind
+	// PathPrefix, when non-empty, restricts injection to paths with the
+	// prefix.
+	PathPrefix string
+	// Err is the injected error; nil selects ErrInjected.
+	Err error
+}
+
+// FS is the fault-injecting wrapper.
+type FS struct {
+	inner pfs.FileSystem
+	cfg   Config
+	n     atomic.Int64
+	hits  atomic.Int64
+}
+
+var _ pfs.FileSystem = (*FS)(nil)
+
+// Wrap returns a fault-injecting view of inner.
+func Wrap(inner pfs.FileSystem, cfg Config) *FS {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &FS{inner: inner, cfg: cfg}
+}
+
+// Injected reports how many faults have fired.
+func (f *FS) Injected() int64 { return f.hits.Load() }
+
+func (f *FS) should(kind OpKind, path string) bool {
+	if f.cfg.FailEvery <= 0 {
+		return false
+	}
+	if f.cfg.Kind != KindAny && f.cfg.Kind != kind {
+		return false
+	}
+	if f.cfg.PathPrefix != "" && !strings.HasPrefix(path, f.cfg.PathPrefix) {
+		return false
+	}
+	if f.n.Add(1)%f.cfg.FailEvery == 0 {
+		f.hits.Add(1)
+		return true
+	}
+	return false
+}
+
+// Create implements pfs.FileSystem.
+func (f *FS) Create(path string) error {
+	if f.should(KindMeta, path) {
+		return f.cfg.Err
+	}
+	return f.inner.Create(path)
+}
+
+// Write implements pfs.FileSystem.
+func (f *FS) Write(path string, off int64, p []byte) (int, error) {
+	if f.should(KindWrite, path) {
+		return 0, f.cfg.Err
+	}
+	return f.inner.Write(path, off, p)
+}
+
+// Read implements pfs.FileSystem.
+func (f *FS) Read(path string, off int64, p []byte) (int, error) {
+	if f.should(KindRead, path) {
+		return 0, f.cfg.Err
+	}
+	return f.inner.Read(path, off, p)
+}
+
+// Stat implements pfs.FileSystem.
+func (f *FS) Stat(path string) (pfs.FileInfo, error) {
+	if f.should(KindMeta, path) {
+		return pfs.FileInfo{}, f.cfg.Err
+	}
+	return f.inner.Stat(path)
+}
+
+// Remove implements pfs.FileSystem.
+func (f *FS) Remove(path string) error {
+	if f.should(KindMeta, path) {
+		return f.cfg.Err
+	}
+	return f.inner.Remove(path)
+}
+
+// Fsync implements pfs.FileSystem.
+func (f *FS) Fsync(path string) error {
+	if f.should(KindMeta, path) {
+		return f.cfg.Err
+	}
+	return f.inner.Fsync(path)
+}
+
+// WriteAs implements the I/O-node backend contract: attribution passes
+// through when the inner file system supports it.
+func (f *FS) WriteAs(writer, path string, off int64, p []byte) (int, error) {
+	if f.should(KindWrite, path) {
+		return 0, f.cfg.Err
+	}
+	type writerAs interface {
+		WriteAs(writer, path string, off int64, p []byte) (int, error)
+	}
+	if wa, ok := f.inner.(writerAs); ok {
+		return wa.WriteAs(writer, path, off, p)
+	}
+	return f.inner.Write(path, off, p)
+}

@@ -1,0 +1,135 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/pfs"
+)
+
+func TestInjectionCadence(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 3, Kind: KindWrite})
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if _, err := f.Write("/x", int64(i), []byte("a")); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fails = %d, want 3", fails)
+	}
+	if f.Injected() != 3 {
+		t.Fatalf("Injected = %d", f.Injected())
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 1, Kind: KindRead})
+	if _, err := f.Write("/x", 0, []byte("a")); err != nil {
+		t.Fatal("writes should pass with a read-only fault")
+	}
+	if _, err := f.Read("/x", 0, make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read should fail: %v", err)
+	}
+	if err := f.Create("/y"); err != nil {
+		t.Fatal("meta should pass with a read-only fault")
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 1, PathPrefix: "/bad"})
+	if _, err := f.Write("/good/x", 0, []byte("a")); err != nil {
+		t.Fatal("non-matching path should pass")
+	}
+	if _, err := f.Write("/bad/x", 0, []byte("a")); err == nil {
+		t.Fatal("matching path should fail")
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 1, Err: boom})
+	if err := f.Create("/x"); !errors.Is(err, boom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{})
+	for i := 0; i < 100; i++ {
+		if _, err := f.Write("/x", int64(i), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Injected() != 0 {
+		t.Fatal("disabled injector fired")
+	}
+}
+
+func TestAllOpsInjectable(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 1})
+	if err := f.Create("/x"); err == nil {
+		t.Fatal("create")
+	}
+	if _, err := f.Write("/x", 0, []byte("a")); err == nil {
+		t.Fatal("write")
+	}
+	if _, err := f.Read("/x", 0, make([]byte, 1)); err == nil {
+		t.Fatal("read")
+	}
+	if _, err := f.Stat("/x"); err == nil {
+		t.Fatal("stat")
+	}
+	if err := f.Remove("/x"); err == nil {
+		t.Fatal("remove")
+	}
+	if err := f.Fsync("/x"); err == nil {
+		t.Fatal("fsync")
+	}
+}
+
+// TestKernelsSurfaceBackendFaults: every application kernel must propagate
+// (not swallow) backend failures.
+func TestKernelsSurfaceBackendFaults(t *testing.T) {
+	for label, k := range apps.TinyRegistry() {
+		store := pfs.NewStore(pfs.Config{})
+		faulty := Wrap(store, Config{FailEvery: 5})
+		if _, err := k.Run(faulty, "/f"); err == nil {
+			t.Errorf("%s swallowed injected backend faults", label)
+		}
+	}
+}
+
+// plainFS is a FileSystem without WriteAs, to exercise the fallback.
+type plainFS struct{ inner *pfs.Store }
+
+func (p *plainFS) Create(path string) error { return p.inner.Create(path) }
+func (p *plainFS) Write(path string, off int64, b []byte) (int, error) {
+	return p.inner.Write(path, off, b)
+}
+func (p *plainFS) Read(path string, off int64, b []byte) (int, error) {
+	return p.inner.Read(path, off, b)
+}
+func (p *plainFS) Stat(path string) (pfs.FileInfo, error) { return p.inner.Stat(path) }
+func (p *plainFS) Remove(path string) error               { return p.inner.Remove(path) }
+func (p *plainFS) Fsync(path string) error                { return p.inner.Fsync(path) }
+
+func TestWriteAsPassthroughAndFallback(t *testing.T) {
+	// Inner supports WriteAs: identity reaches the store's lock model.
+	store := pfs.NewStore(pfs.Config{})
+	f := Wrap(store, Config{})
+	if _, err := f.WriteAs("w1", "/a", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Inner lacks WriteAs: falls back to Write.
+	f2 := Wrap(&plainFS{inner: pfs.NewStore(pfs.Config{})}, Config{})
+	if _, err := f2.WriteAs("w1", "/a", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Injection applies to WriteAs too.
+	f3 := Wrap(store, Config{FailEvery: 1, Kind: KindWrite})
+	if _, err := f3.WriteAs("w1", "/a", 0, []byte("x")); err == nil {
+		t.Fatal("WriteAs should be injectable")
+	}
+}

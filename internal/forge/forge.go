@@ -1,0 +1,244 @@
+// Package forge is the reproduction of the paper's FORGE-based policy
+// simulation (§3.2): it samples sets of applications from the 189-scenario
+// MareNostrum 4 survey, lets every arbitration policy allocate a pool of
+// I/O nodes to each set, and aggregates the resulting bandwidth, producing
+// the data behind Figures 2 and 3 and the §3.2 headline statistics.
+//
+// Like the paper, an "application" here is one of the surveyed access
+// patterns, ready to run; its bandwidth curve comes from the performance
+// model standing in for the MN4 measurements.
+package forge
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// Config controls a simulation campaign.
+type Config struct {
+	// Sets is the number of random application sets (the paper uses
+	// 10,000).
+	Sets int
+	// AppsPerSet is the number of applications drawn per set (paper: 16).
+	AppsPerSet int
+	// PoolSizes are the available-I/O-node counts to sweep (the paper
+	// sweeps 0..128 in steps of 8).
+	PoolSizes []int
+	// Seed makes the sampling reproducible.
+	Seed int64
+	// Model predicts scenario bandwidth; nil means the calibrated default.
+	Model *perfmodel.Model
+}
+
+// DefaultConfig returns the paper's §3.2 campaign parameters.
+func DefaultConfig() Config {
+	sizes := make([]int, 0, 17)
+	for n := 0; n <= 128; n += 8 {
+		sizes = append(sizes, n)
+	}
+	return Config{Sets: 10000, AppsPerSet: 16, PoolSizes: sizes, Seed: 42}
+}
+
+// SetResult is one application set's aggregate bandwidth (MB/s) per policy
+// per pool size. A NaN-free representation: missing entries mean the policy
+// was not applicable at that pool size (e.g. STATIC with zero I/O nodes).
+type SetResult map[string]map[int]float64
+
+// Campaign is the outcome of a full simulation run.
+type Campaign struct {
+	Config  Config
+	Results []SetResult
+	// Policies records the policy names in presentation order.
+	Policies []string
+}
+
+// scenarios converts the survey into arbitration applications.
+func scenarios(m *perfmodel.Model) []policy.Application {
+	pats := pattern.MN4Survey()
+	curves := m.SurveyCurves()
+	apps := make([]policy.Application, len(pats))
+	for i, p := range pats {
+		apps[i] = policy.Application{
+			ID:        fmt.Sprintf("s%03d", i),
+			Nodes:     p.Nodes,
+			Processes: p.Processes(),
+			Curve:     curves[i],
+		}
+	}
+	return apps
+}
+
+// Policies returns the §3.2 policy roster in the paper's presentation
+// order.
+func Policies() []policy.Policy {
+	return []policy.Policy{
+		policy.Zero{},
+		policy.One{},
+		policy.Static{},
+		policy.Proportional{},
+		policy.Proportional{ByProcesses: true},
+		policy.MCKP{},
+		policy.Oracle{},
+	}
+}
+
+// Run executes the campaign: cfg.Sets random draws of cfg.AppsPerSet
+// scenarios, each evaluated under every policy and pool size.
+func Run(cfg Config) (*Campaign, error) {
+	if cfg.Sets <= 0 || cfg.AppsPerSet <= 0 || len(cfg.PoolSizes) == 0 {
+		return nil, fmt.Errorf("forge: invalid config %+v", cfg)
+	}
+	m := cfg.Model
+	if m == nil {
+		m = perfmodel.Default()
+	}
+	all := scenarios(m)
+	if cfg.AppsPerSet > len(all) {
+		return nil, fmt.Errorf("forge: set size %d exceeds %d scenarios", cfg.AppsPerSet, len(all))
+	}
+	pols := Policies()
+	camp := &Campaign{Config: cfg, Results: make([]SetResult, 0, cfg.Sets)}
+	for _, p := range pols {
+		camp.Policies = append(camp.Policies, p.Name())
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for s := 0; s < cfg.Sets; s++ {
+		idx := rng.Perm(len(all))[:cfg.AppsPerSet]
+		apps := make([]policy.Application, 0, cfg.AppsPerSet)
+		for j, i := range idx {
+			a := all[i]
+			// Distinct IDs: the same scenario may repeat across sets,
+			// and IDs must be unique within a set.
+			a.ID = fmt.Sprintf("a%02d-%s", j, a.ID)
+			apps = append(apps, a)
+		}
+		res := make(SetResult, len(pols))
+		for _, p := range pols {
+			series := make(map[int]float64, len(cfg.PoolSizes))
+			for _, pool := range cfg.PoolSizes {
+				alloc, err := p.Allocate(apps, pool)
+				if err != nil {
+					continue // policy not applicable at this pool size
+				}
+				bw, err := policy.SumBandwidth(apps, alloc)
+				if err != nil {
+					return nil, fmt.Errorf("forge: %s at pool %d: %w", p.Name(), pool, err)
+				}
+				series[pool] = bw.GBps()
+			}
+			res[p.Name()] = series
+		}
+		camp.Results = append(camp.Results, res)
+	}
+	return camp, nil
+}
+
+// MedianSeries produces the Figure 2 data: for each policy, the median
+// across sets of the aggregate bandwidth (GB/s) at each pool size.
+// Pool sizes where a policy was never applicable are omitted.
+func (c *Campaign) MedianSeries() map[string]map[int]float64 {
+	out := make(map[string]map[int]float64, len(c.Policies))
+	for _, name := range c.Policies {
+		series := make(map[int]float64)
+		for _, pool := range c.Config.PoolSizes {
+			var vals []float64
+			for _, r := range c.Results {
+				if v, ok := r[name][pool]; ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) > 0 {
+				series[pool] = stats.Median(vals)
+			}
+		}
+		out[name] = series
+	}
+	return out
+}
+
+// RatioBand is a min/median/max band of per-set ratios at one pool size.
+type RatioBand struct {
+	Pool                 int
+	Min, Median, Max     float64
+	Mean                 float64
+	SetsBelowParityCount int // sets where the ratio dipped below 1.0
+}
+
+// RatioSeries produces the Figure 3 data: for each pool size, the
+// distribution of the per-set ratio between two policies' aggregates
+// (num ÷ den, the paper uses MCKP ÷ STATIC).
+func (c *Campaign) RatioSeries(num, den string) []RatioBand {
+	var out []RatioBand
+	for _, pool := range c.Config.PoolSizes {
+		var ratios []float64
+		below := 0
+		for _, r := range c.Results {
+			n, okN := r[num][pool]
+			d, okD := r[den][pool]
+			if !okN || !okD || d == 0 {
+				continue
+			}
+			rat := n / d
+			if rat < 1 {
+				below++
+			}
+			ratios = append(ratios, rat)
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		out = append(out, RatioBand{
+			Pool:                 pool,
+			Min:                  stats.Min(ratios),
+			Median:               stats.Median(ratios),
+			Max:                  stats.Max(ratios),
+			Mean:                 stats.Mean(ratios),
+			SetsBelowParityCount: below,
+		})
+	}
+	return out
+}
+
+// Headlines summarizes the §3.2 comparison statistics.
+type Headlines struct {
+	// OneVsZeroMedianSlowdownPct is the median per-set slowdown of the
+	// ONE policy relative to ZERO (paper: 82.11%).
+	OneVsZeroMedianSlowdownPct float64
+	// OracleVsZero{Min,Median,Max}BoostPct is the per-set improvement of
+	// ORACLE over ZERO (paper: 0.83% / 25.63% / 121.68%).
+	OracleVsZeroMinBoostPct    float64
+	OracleVsZeroMedianBoostPct float64
+	OracleVsZeroMaxBoostPct    float64
+}
+
+// ComputeHeadlines derives the §3.2 headline statistics from the campaign.
+// Ratios are computed at the largest pool size, where every policy is
+// applicable and unconstrained, matching the paper's framing of ZERO, ONE
+// and ORACLE as pool-independent diagnostics.
+func (c *Campaign) ComputeHeadlines() Headlines {
+	pool := c.Config.PoolSizes[len(c.Config.PoolSizes)-1]
+	var slowdowns, boosts []float64
+	for _, r := range c.Results {
+		zero, okZ := r["ZERO"][pool]
+		one, okO := r["ONE"][pool]
+		oracle, okR := r["ORACLE"][pool]
+		if okZ && okO && one > 0 {
+			slowdowns = append(slowdowns, (zero/one-1)*100)
+		}
+		if okZ && okR && zero > 0 {
+			boosts = append(boosts, (oracle/zero-1)*100)
+		}
+	}
+	return Headlines{
+		OneVsZeroMedianSlowdownPct: stats.Median(slowdowns),
+		OracleVsZeroMinBoostPct:    stats.Min(boosts),
+		OracleVsZeroMedianBoostPct: stats.Median(boosts),
+		OracleVsZeroMaxBoostPct:    stats.Max(boosts),
+	}
+}

@@ -1,0 +1,221 @@
+package forge
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// smallConfig keeps unit tests fast; the full 10,000-set campaign runs in
+// the benchmark harness.
+func smallConfig() Config {
+	return Config{
+		Sets:       200,
+		AppsPerSet: 16,
+		PoolSizes:  []int{0, 8, 16, 24, 32, 48, 64, 96, 128},
+		Seed:       42,
+	}
+}
+
+func runSmall(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Sets: 1, AppsPerSet: 0, PoolSizes: []int{8}},
+		{Sets: 1, AppsPerSet: 16},
+		{Sets: 1, AppsPerSet: 500, PoolSizes: []int{8}},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets = 20
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		for name, series := range a.Results[i] {
+			for pool, v := range series {
+				if b.Results[i][name][pool] != v {
+					t.Fatalf("set %d %s pool %d: %v != %v", i, name, pool, v, b.Results[i][name][pool])
+				}
+			}
+		}
+	}
+}
+
+func TestCampaignShape(t *testing.T) {
+	c := runSmall(t)
+	if len(c.Results) != 200 {
+		t.Fatalf("want 200 set results, got %d", len(c.Results))
+	}
+	if len(c.Policies) != 7 {
+		t.Fatalf("want 7 policies, got %v", c.Policies)
+	}
+	for _, name := range []string{"ZERO", "ONE", "STATIC", "SIZE", "PROCESS", "MCKP", "ORACLE"} {
+		found := false
+		for _, p := range c.Policies {
+			if p == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("policy %s missing from campaign", name)
+		}
+	}
+}
+
+// TestFigure2Shape: the qualitative Figure 2 findings. MCKP dominates every
+// capacity-respecting policy, converges to ORACLE as the pool grows, and
+// the size-proportional policies trail far behind at moderate pools.
+func TestFigure2Shape(t *testing.T) {
+	c := runSmall(t)
+	med := c.MedianSeries()
+
+	// MCKP ≥ STATIC, SIZE, PROCESS at every pool size where both exist.
+	for _, other := range []string{"STATIC", "SIZE", "PROCESS"} {
+		for pool, v := range med[other] {
+			if m, ok := med["MCKP"][pool]; ok && m < v-1e-9 {
+				t.Errorf("median MCKP (%v) below %s (%v) at pool %d", m, other, v, pool)
+			}
+		}
+	}
+	// MCKP matches ORACLE at the largest pool (128 = 8 × 16 apps).
+	if m, o := med["MCKP"][128], med["ORACLE"][128]; m < o*0.999 {
+		t.Errorf("MCKP at 128 (%v) should reach ORACLE (%v)", m, o)
+	}
+	// ...but not at the smallest nonzero pool.
+	if m, o := med["MCKP"][8], med["ORACLE"][8]; m >= o {
+		t.Errorf("MCKP at 8 (%v) should trail ORACLE (%v)", m, o)
+	}
+	// ONE is the worst forwarding policy in the median (the paper's
+	// "initial impact" finding).
+	if one, mckp := med["ONE"][64], med["MCKP"][64]; one >= mckp {
+		t.Errorf("ONE (%v) should trail MCKP (%v)", one, mckp)
+	}
+}
+
+// TestFigure2MCKPMatchesOracleMidPool: the paper reports the median MCKP
+// curve reaching ORACLE around 56 available I/O nodes. Allow a band.
+func TestFigure2MCKPMatchesOracleMidPool(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PoolSizes = []int{32, 40, 48, 56, 64, 72, 80, 128}
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := c.MedianSeries()
+	oracle := med["ORACLE"][128]
+	crossover := -1
+	for _, pool := range cfg.PoolSizes {
+		if med["MCKP"][pool] >= oracle*0.995 {
+			crossover = pool
+			break
+		}
+	}
+	if crossover < 0 {
+		t.Fatal("MCKP never reached ORACLE")
+	}
+	if crossover < 32 || crossover > 80 {
+		t.Errorf("MCKP/ORACLE crossover at %d IONs, paper reports ≈56 (accepting 32..80)", crossover)
+	}
+	t.Logf("median MCKP reaches ORACLE at %d available I/O nodes (paper: 56)", crossover)
+}
+
+// TestFigure3Band: MCKP never falls below STATIC (minimum ratio ≥ 1), the
+// median improvement peaks at a small-to-moderate pool, and improvements
+// shrink as the pool grows (the paper's Figure 3 shape).
+func TestFigure3Band(t *testing.T) {
+	c := runSmall(t)
+	bands := c.RatioSeries("MCKP", "STATIC")
+	if len(bands) == 0 {
+		t.Fatal("no ratio bands")
+	}
+	var peakPool int
+	peak := 0.0
+	for _, b := range bands {
+		if b.Min < 1-1e-9 {
+			t.Errorf("pool %d: MCKP/STATIC minimum %v below parity (%d sets)", b.Pool, b.Min, b.SetsBelowParityCount)
+		}
+		if b.Median > peak {
+			peak, peakPool = b.Median, b.Pool
+		}
+	}
+	if peak < 1.5 {
+		t.Errorf("peak median MCKP/STATIC ratio %v too small; paper reports ≈5.11", peak)
+	}
+	if peakPool > 48 {
+		t.Errorf("median ratio should peak at a scarce pool, peaked at %d", peakPool)
+	}
+	// Ratios at the largest pool are smaller than at the peak.
+	last := bands[len(bands)-1]
+	if last.Median >= peak {
+		t.Errorf("ratio should shrink as the pool grows: last median %v ≥ peak %v", last.Median, peak)
+	}
+	t.Logf("MCKP/STATIC median peaks at %.2f× with %d IONs; at 128 IONs %.2f× (paper: 5.11× at 24, 1.6–2.7× at 64–128)",
+		peak, peakPool, last.Median)
+}
+
+// TestHeadlines: §3.2's ZERO/ONE/ORACLE statistics have the right signs and
+// magnitudes — ONE is a large median slowdown versus ZERO, and ORACLE's
+// boost over ZERO is positive with a modest median.
+func TestHeadlines(t *testing.T) {
+	c := runSmall(t)
+	h := c.ComputeHeadlines()
+	if h.OneVsZeroMedianSlowdownPct < 20 {
+		t.Errorf("ONE-vs-ZERO median slowdown = %.1f%%, paper reports 82.11%% (want >20%%)",
+			h.OneVsZeroMedianSlowdownPct)
+	}
+	if h.OracleVsZeroMinBoostPct < 0 {
+		t.Errorf("ORACLE should never lose to ZERO, min boost %.2f%%", h.OracleVsZeroMinBoostPct)
+	}
+	if h.OracleVsZeroMedianBoostPct <= 0 || h.OracleVsZeroMedianBoostPct > 150 {
+		t.Errorf("ORACLE median boost %.1f%% out of plausible range (paper: 25.63%%)",
+			h.OracleVsZeroMedianBoostPct)
+	}
+	if h.OracleVsZeroMaxBoostPct < h.OracleVsZeroMedianBoostPct {
+		t.Error("max boost below median boost")
+	}
+	t.Logf("headlines: %+v", h)
+}
+
+func TestRatioSeriesUnknownPolicy(t *testing.T) {
+	c := runSmall(t)
+	if bands := c.RatioSeries("NOPE", "STATIC"); len(bands) != 0 {
+		t.Fatalf("unknown policy should produce no bands, got %d", len(bands))
+	}
+}
+
+func TestScenarioConversion(t *testing.T) {
+	apps := scenarios(perfmodel.Default())
+	if len(apps) != 189 {
+		t.Fatalf("want 189 scenario apps, got %d", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.ID] {
+			t.Fatalf("duplicate scenario ID %s", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Curve.Len() == 0 {
+			t.Fatalf("scenario %s has no curve", a.ID)
+		}
+	}
+}

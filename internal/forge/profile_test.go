@@ -1,0 +1,144 @@
+package forge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/darshan"
+	"repro/internal/pattern"
+	"repro/internal/pfs"
+	"repro/internal/units"
+)
+
+func tpat(nodes, ppn int, layout pattern.Layout, spat pattern.Spatiality, req int64) pattern.Pattern {
+	return pattern.Pattern{Nodes: nodes, ProcsPerNod: ppn, Layout: layout,
+		Spatiality: spat, RequestSize: req, Operation: pattern.Write}
+}
+
+func TestBuildProfileShapes(t *testing.T) {
+	// File-per-process: one file per rank, sequential offsets.
+	p := tpat(2, 4, pattern.FilePerProcess, pattern.Contiguous, 1024)
+	prof, err := BuildProfile(p, 64*1024, "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]bool{}
+	for _, q := range prof {
+		files[q.Path] = true
+	}
+	if len(files) != 8 {
+		t.Fatalf("fpp should produce 8 files, got %d", len(files))
+	}
+
+	// Shared strided: one file, interleaved offsets.
+	p = tpat(2, 4, pattern.SharedFile, pattern.Strided1D, 1024)
+	prof, err = BuildProfile(p, 64*1024, "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = map[string]bool{}
+	for _, q := range prof {
+		files[q.Path] = true
+		if !strings.HasSuffix(q.Path, "/shared") {
+			t.Fatalf("strided profile path: %s", q.Path)
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("shared profile should use one file, got %d", len(files))
+	}
+	// First round of requests: rank r at block r.
+	if prof[0].Offset != 0 {
+		t.Fatalf("rank 0 first offset %d", prof[0].Offset)
+	}
+}
+
+func TestBuildProfileInvalid(t *testing.T) {
+	if _, err := BuildProfile(pattern.Pattern{}, 1024, "/x"); err == nil {
+		t.Fatal("invalid pattern should fail")
+	}
+}
+
+func TestReplayWritesLand(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	p := tpat(2, 4, pattern.SharedFile, pattern.Contiguous, 512)
+	prof, err := BuildProfile(p, 32*1024, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(store, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != 32*1024 || rep.Requests != len(prof) || rep.Bandwidth <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	info, err := store.Stat("/r/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 32*1024 {
+		t.Fatalf("file size %d", info.Size)
+	}
+}
+
+func TestReplayEmptyProfile(t *testing.T) {
+	if _, err := Replay(pfs.NewStore(pfs.Config{}), nil); err == nil {
+		t.Fatal("empty profile should fail")
+	}
+}
+
+// TestProfileRoundTripThroughDarshan is the self-consistency loop: build a
+// profile from a pattern, replay it under the Darshan-style tracer, and
+// the extracted pattern must match the original — layout, spatiality, and
+// request size.
+func TestProfileRoundTripThroughDarshan(t *testing.T) {
+	cases := []pattern.Pattern{
+		tpat(2, 8, pattern.FilePerProcess, pattern.Contiguous, 4*units.KiB),
+		tpat(2, 8, pattern.SharedFile, pattern.Contiguous, 8*units.KiB),
+		tpat(2, 8, pattern.SharedFile, pattern.Strided1D, 4*units.KiB),
+	}
+	for _, want := range cases {
+		tr := darshan.NewTracer(pfs.NewStore(pfs.Config{}))
+		prof, err := BuildProfile(want, 512*units.KiB, "/rt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(tr, prof); err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Report().ExtractPattern(want.Nodes, want.Processes())
+		if got.Layout != want.Layout || got.Spatiality != want.Spatiality {
+			t.Errorf("%v: extracted %v/%v", want, got.Layout, got.Spatiality)
+		}
+		if got.RequestSize != want.RequestSize {
+			t.Errorf("%v: extracted request size %d", want, got.RequestSize)
+		}
+	}
+}
+
+// TestReplayReadAfterWrite: FORGE read phases replay against data written
+// by a prior write profile.
+func TestReplayReadAfterWrite(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	w := tpat(2, 4, pattern.SharedFile, pattern.Contiguous, 1024)
+	prof, err := BuildProfile(w, 16*1024, "/rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(store, prof); err != nil {
+		t.Fatal(err)
+	}
+	r := w
+	r.Operation = pattern.Read
+	rprof, err := BuildProfile(r, 16*1024, "/rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(store, rprof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != 16*1024 {
+		t.Fatalf("read bytes %d", rep.Bytes)
+	}
+}

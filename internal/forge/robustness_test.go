@@ -1,0 +1,52 @@
+package forge
+
+import (
+	"testing"
+)
+
+// TestMCKPDominanceAcrossSeeds: the Figure 3 invariant (MCKP never below
+// STATIC, and at least matching every other capacity-respecting policy's
+// median) must hold regardless of the sampling seed.
+func TestMCKPDominanceAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234, 99999} {
+		cfg := Config{
+			Sets:       60,
+			AppsPerSet: 16,
+			PoolSizes:  []int{8, 24, 64, 128},
+			Seed:       seed,
+		}
+		camp, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, r := range camp.Results {
+			for _, pool := range cfg.PoolSizes {
+				m, okM := r["MCKP"][pool]
+				for _, other := range []string{"STATIC", "SIZE", "PROCESS"} {
+					if v, ok := r[other][pool]; ok && okM && m < v-1e-9 {
+						t.Fatalf("seed %d pool %d: MCKP %v below %s %v", seed, pool, m, other, v)
+					}
+				}
+				if o, ok := r["ORACLE"][pool]; ok && okM && m > o+1e-9 {
+					t.Fatalf("seed %d pool %d: MCKP %v above ORACLE %v", seed, pool, m, o)
+				}
+			}
+		}
+	}
+}
+
+// TestSetSizeVariants: the campaign machinery works for set sizes other
+// than the paper's 16.
+func TestSetSizeVariants(t *testing.T) {
+	for _, appsPerSet := range []int{1, 4, 32} {
+		cfg := Config{Sets: 10, AppsPerSet: appsPerSet, PoolSizes: []int{16}, Seed: 5}
+		camp, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("apps=%d: %v", appsPerSet, err)
+		}
+		med := camp.MedianSeries()
+		if med["MCKP"][16] <= 0 {
+			t.Fatalf("apps=%d: empty MCKP median", appsPerSet)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package fwd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/agios"
+	"repro/internal/faultfs"
+	"repro/internal/ion"
+	"repro/internal/pfs"
+)
+
+// TestBackendFaultsSurfaceThroughStack injects failures at the PFS behind
+// the I/O-node daemons and checks the forwarding client surfaces them
+// instead of reporting phantom success.
+func TestBackendFaultsSurfaceThroughStack(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	faulty := faultfs.Wrap(store, faultfs.Config{FailEvery: 3, Kind: faultfs.KindWrite})
+	d := ion.New(ion.Config{ID: "flaky", Scheduler: agios.NewFIFO()}, faulty)
+	addr, err := d.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	c, err := NewClient(Config{AppID: "app", Direct: store, ChunkSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+
+	failures := 0
+	for i := 0; i < 30; i++ {
+		if _, err := c.Write("/f", int64(i)*256, make([]byte, 256)); err != nil {
+			failures++
+			if !strings.Contains(err.Error(), "injected fault") {
+				t.Fatalf("unexpected error text: %v", err)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("injected faults never reached the client")
+	}
+	if got := faulty.Injected(); got == 0 {
+		t.Fatal("injector never fired")
+	}
+}
+
+// TestDirectFaultsSurface checks the direct (0-ION) path too.
+func TestDirectFaultsSurface(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	faulty := faultfs.Wrap(store, faultfs.Config{FailEvery: 1, Kind: faultfs.KindRead})
+	c, err := NewClient(Config{AppID: "app", Direct: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write("/f", 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("/f", 0, make([]byte, 2)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("want injected error on direct read, got %v", err)
+	}
+}
+
+// TestPartialWriteFailureLeavesConsistentPrefix: when one chunk of a
+// multi-chunk write fails, the chunks already written are durable and the
+// client reports the failure (no silent data loss, no phantom bytes).
+func TestPartialWriteFailureLeavesConsistentPrefix(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	// Fail the 3rd eligible write that reaches the backend.
+	faulty := faultfs.Wrap(store, faultfs.Config{FailEvery: 3, Kind: faultfs.KindWrite})
+	d := ion.New(ion.Config{ID: "flaky", Scheduler: agios.NewFIFO(), Dispatchers: 1}, faulty)
+	addr, err := d.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	c, err := NewClient(Config{AppID: "app", Direct: store, ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+
+	// 5 chunks; the 3rd dispatched write fails.
+	n, err := c.Write("/p", 0, make([]byte, 5*128))
+	if err == nil {
+		t.Fatal("expected a chunk failure")
+	}
+	if n >= 5*128 {
+		t.Fatalf("write reported %d bytes despite failure", n)
+	}
+	// Whatever was reported written is really there.
+	info, statErr := store.Stat("/p")
+	if statErr != nil {
+		t.Fatal(statErr)
+	}
+	if info.Size < int64(n) {
+		t.Fatalf("client claims %d bytes, backend has %d", n, info.Size)
+	}
+}

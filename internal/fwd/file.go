@@ -1,0 +1,115 @@
+package fwd
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// File is a cursor-based convenience handle over any pfs.FileSystem,
+// giving application kernels the familiar open/write/read/seek/close
+// shape. It is safe for concurrent use; concurrent writers share one
+// cursor, so parallel workloads normally use WriteAt/ReadAt.
+type File struct {
+	fs   pfs.FileSystem
+	path string
+
+	mu  sync.Mutex
+	off int64
+}
+
+// Open returns a handle on path, creating the file if missing.
+func Open(fs pfs.FileSystem, path string) (*File, error) {
+	if _, err := fs.Stat(path); err != nil {
+		if !errors.Is(err, pfs.ErrNotExist) {
+			return nil, err
+		}
+		if err := fs.Create(path); err != nil {
+			return nil, err
+		}
+	}
+	return &File{fs: fs, path: path}, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Write appends p at the cursor.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.fs.Write(f.path, f.off, p)
+	f.off += int64(n)
+	return n, err
+}
+
+// WriteAt writes p at offset off without moving the cursor.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.fs.Write(f.path, off, p)
+}
+
+// Read fills p from the cursor.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.fs.Read(f.path, f.off, p)
+	f.off += int64(n)
+	if errors.Is(err, pfs.ErrShortRead) {
+		if n == 0 {
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	return n, err
+}
+
+// ReadAt fills p from offset off without moving the cursor.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.fs.Read(f.path, off, p)
+	if errors.Is(err, pfs.ErrShortRead) {
+		return n, io.EOF
+	}
+	return n, err
+}
+
+// Seek repositions the cursor following io.Seeker semantics.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		info, err := f.fs.Stat(f.path)
+		if err != nil {
+			return f.off, err
+		}
+		base = info.Size
+	default:
+		return f.off, errors.New("fwd: invalid whence")
+	}
+	pos := base + offset
+	if pos < 0 {
+		return f.off, errors.New("fwd: negative seek position")
+	}
+	f.off = pos
+	return pos, nil
+}
+
+// Size reports the file's current size.
+func (f *File) Size() (int64, error) {
+	info, err := f.fs.Stat(f.path)
+	return info.Size, err
+}
+
+// Sync flushes the file.
+func (f *File) Sync() error { return f.fs.Fsync(f.path) }
+
+// Close releases the handle (the underlying file systems are handle-free,
+// so this is a barrier only).
+func (f *File) Close() error { return f.fs.Fsync(f.path) }

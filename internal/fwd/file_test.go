@@ -1,0 +1,104 @@
+package fwd
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+func TestFileSequentialWriteRead(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	f, err := Open(store, "/seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sz, err := f.Size(); err != nil || sz != 9 {
+		t.Fatalf("size: %d %v", sz, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcabcabc" {
+		t.Fatalf("content: %q", buf)
+	}
+	// Cursor at end: next read is EOF.
+	if _, err := f.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileAtVariants(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	f, err := Open(store, "/at")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("world"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "helloworld" {
+		t.Fatalf("content: %q", buf)
+	}
+	// ReadAt past end: io.EOF with partial data.
+	n, err := f.ReadAt(make([]byte, 20), 5)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("past-end ReadAt: %d %v", n, err)
+	}
+}
+
+func TestFileSeekWhence(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	f, _ := Open(store, "/seek")
+	f.Write(bytes.Repeat([]byte{1}, 100))
+	if pos, err := f.Seek(-10, io.SeekEnd); err != nil || pos != 90 {
+		t.Fatalf("SeekEnd: %d %v", pos, err)
+	}
+	if pos, err := f.Seek(5, io.SeekCurrent); err != nil || pos != 95 {
+		t.Fatalf("SeekCurrent: %d %v", pos, err)
+	}
+	if _, err := f.Seek(-1000, io.SeekCurrent); err == nil {
+		t.Fatal("negative position should fail")
+	}
+	if _, err := f.Seek(0, 42); err == nil {
+		t.Fatal("bad whence should fail")
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	store.Write("/exists", 0, []byte("data"))
+	f, err := Open(store, "/exists")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 4 {
+		t.Fatalf("open must not truncate, size=%d", sz)
+	}
+	if f.Path() != "/exists" {
+		t.Fatalf("path: %s", f.Path())
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package fwd is the forwarding client: the GekkoFWD client role. It
+// exposes the same POSIX-like FileSystem interface as the PFS itself, so
+// application kernels are oblivious to whether their I/O goes directly to
+// the parallel file system or through I/O nodes.
+//
+// Where the real GekkoFWD intercepts system calls via the GekkoFS client
+// library, Go offers no LD_PRELOAD equivalent, so the interposition point
+// is this library boundary (see DESIGN.md §1). Everything downstream is
+// structurally faithful:
+//
+//   - requests are split into fixed-size chunks;
+//   - each chunk is routed to one of the application's allocated I/O nodes
+//     by hashing the file path and chunk index (GekkoFS's distribution,
+//     restricted to the allocation as in GekkoFWD);
+//   - the allocation can change at any time without disrupting the
+//     application: a background watcher applies mapping updates, and
+//     in-flight requests complete on the old routes;
+//   - an empty allocation means direct PFS access.
+package fwd
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+	"repro/internal/units"
+)
+
+// DefaultChunkSize is the GekkoFS chunking unit (512 KiB).
+const DefaultChunkSize = 512 * units.KiB
+
+// Config parameterizes a client.
+type Config struct {
+	// AppID is the application identity used to look up allocations in
+	// mapping updates.
+	AppID string
+	// Direct is the file system used when the application has no I/O
+	// nodes (and for deployments without forwarding).
+	Direct pfs.FileSystem
+	// ChunkSize is the request-splitting unit; ≤0 selects
+	// DefaultChunkSize.
+	ChunkSize int64
+	// PoolSize is the RPC connection pool per I/O node; ≤0 selects the
+	// transport default.
+	PoolSize int
+}
+
+// Stats counts client-side activity.
+type Stats struct {
+	ForwardedOps  int64
+	DirectOps     int64
+	BytesOut      int64
+	BytesIn       int64
+	RemapsApplied int64
+}
+
+// Client is the forwarding client. It implements pfs.FileSystem.
+type Client struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	addrs []string               // current allocation (empty = direct)
+	conns map[string]*rpc.Client // address → pooled connection, kept across remaps
+	ver   uint64
+
+	stats struct {
+		forwarded, direct, bytesOut, bytesIn, remaps atomic.Int64
+	}
+
+	watchStop func()
+	closed    atomic.Bool
+}
+
+var _ pfs.FileSystem = (*Client)(nil)
+
+// NewClient returns a client in direct mode; call SetIONs or Watch to
+// attach it to a forwarding allocation.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.AppID == "" {
+		return nil, errors.New("fwd: AppID is required")
+	}
+	if cfg.Direct == nil {
+		return nil, errors.New("fwd: a direct file system is required")
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	return &Client{cfg: cfg, conns: make(map[string]*rpc.Client)}, nil
+}
+
+// SetIONs installs a new allocation. Connections to previously used I/O
+// nodes are kept pooled so a later remap back is cheap and in-flight
+// requests are never disturbed.
+func (c *Client) SetIONs(addrs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs = append([]string(nil), addrs...)
+	for _, a := range addrs {
+		if _, ok := c.conns[a]; !ok {
+			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize)
+		}
+	}
+	c.stats.remaps.Add(1)
+}
+
+// IONs returns the current allocation.
+func (c *Client) IONs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// ApplyMap installs the allocation a mapping update assigns to this
+// application. Stale versions are ignored.
+func (c *Client) ApplyMap(m mapping.Map) {
+	c.mu.RLock()
+	stale := m.Version != 0 && m.Version <= c.ver
+	c.mu.RUnlock()
+	if stale {
+		return
+	}
+	c.SetIONs(m.For(c.cfg.AppID))
+	c.mu.Lock()
+	c.ver = m.Version
+	c.mu.Unlock()
+}
+
+// Watch consumes mapping updates from ch (a mapping.Bus subscription or a
+// mapping.Watcher) in a background goroutine until cancel is called or the
+// channel closes. This is GekkoFWD's client-side remapping thread.
+func (c *Client) Watch(ch <-chan mapping.Map) (cancel func()) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case m, ok := <-ch:
+				if !ok {
+					return
+				}
+				c.ApplyMap(m)
+			}
+		}
+	}()
+	return func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		<-done
+	}
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = map[string]*rpc.Client{}
+	c.addrs = nil
+	return nil
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		ForwardedOps:  c.stats.forwarded.Load(),
+		DirectOps:     c.stats.direct.Load(),
+		BytesOut:      c.stats.bytesOut.Load(),
+		BytesIn:       c.stats.bytesIn.Load(),
+		RemapsApplied: c.stats.remaps.Load(),
+	}
+}
+
+// route returns the connection for a chunk, or nil for direct mode.
+func (c *Client) route(path string, chunkIdx int64) *rpc.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.addrs) == 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	var idx [8]byte
+	for i := 0; i < 8; i++ {
+		idx[i] = byte(chunkIdx >> (8 * i))
+	}
+	h.Write(idx[:])
+	return c.conns[c.addrs[h.Sum64()%uint64(len(c.addrs))]]
+}
+
+// metaTarget returns the connection for metadata ops on path (nil for
+// direct mode). Metadata always routes by path hash alone, like GekkoFS.
+func (c *Client) metaTarget(path string) *rpc.Client {
+	return c.route(path, 0)
+}
+
+// chunkSpan iterates the chunk-aligned extents of [off, off+n).
+func (c *Client) chunkSpan(off, n int64, fn func(chunkIdx, off, n int64) error) error {
+	cs := c.cfg.ChunkSize
+	for n > 0 {
+		idx := off / cs
+		ext := cs - off%cs
+		if ext > n {
+			ext = n
+		}
+		if err := fn(idx, off, ext); err != nil {
+			return err
+		}
+		off += ext
+		n -= ext
+	}
+	return nil
+}
+
+// errIfClosed guards every file operation: a closed client must fail
+// loudly rather than silently fall back to the direct path.
+func (c *Client) errIfClosed() error {
+	if c.closed.Load() {
+		return rpc.ErrClosed
+	}
+	return nil
+}
+
+// Create implements pfs.FileSystem.
+func (c *Client) Create(path string) error {
+	if err := c.errIfClosed(); err != nil {
+		return err
+	}
+	if t := c.metaTarget(path); t != nil {
+		c.stats.forwarded.Add(1)
+		_, err := t.Call(&rpc.Message{Op: rpc.OpCreate, Path: path})
+		return err
+	}
+	c.stats.direct.Add(1)
+	return c.cfg.Direct.Create(path)
+}
+
+// maxParallelChunks bounds the per-request fan-out of chunk RPCs, like
+// GekkoFS's bounded in-flight chunk operations.
+const maxParallelChunks = 8
+
+// chunkExtent is one chunk-aligned piece of a request.
+type chunkExtent struct {
+	idx, off, n int64
+}
+
+// extents materializes the chunk extents of [off, off+n).
+func (c *Client) extents(off, n int64) []chunkExtent {
+	var out []chunkExtent
+	c.chunkSpan(off, n, func(idx, o, m int64) error {
+		out = append(out, chunkExtent{idx: idx, off: o, n: m})
+		return nil
+	})
+	return out
+}
+
+// Write implements pfs.FileSystem: the request is split into chunks, each
+// forwarded to its responsible I/O node (or written directly). Chunk RPCs
+// are issued concurrently, as the GekkoFS client does.
+func (c *Client) Write(path string, off int64, p []byte) (int, error) {
+	if err := c.errIfClosed(); err != nil {
+		return 0, err
+	}
+	exts := c.extents(off, int64(len(p)))
+	written := make([]int, len(exts))
+	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
+		rel := e.off - off
+		payload := p[rel : rel+e.n]
+		if t := c.route(path, e.idx); t != nil {
+			c.stats.forwarded.Add(1)
+			c.stats.bytesOut.Add(e.n)
+			resp, err := t.Call(&rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload})
+			if err != nil {
+				return err
+			}
+			written[i] = int(resp.Size)
+			return nil
+		}
+		c.stats.direct.Add(1)
+		c.stats.bytesOut.Add(e.n)
+		k, err := c.cfg.Direct.Write(path, e.off, payload)
+		written[i] = k
+		return err
+	})
+	total := 0
+	for _, w := range written {
+		total += w
+	}
+	return total, err
+}
+
+// forEachExtent runs fn over the extents, concurrently when there are
+// several, and returns the first error.
+func (c *Client) forEachExtent(exts []chunkExtent, fn func(i int, e chunkExtent) error) error {
+	if len(exts) <= 1 {
+		for i, e := range exts {
+			if err := fn(i, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, maxParallelChunks)
+	errs := make(chan error, len(exts))
+	var wg sync.WaitGroup
+	for i, e := range exts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, e chunkExtent) {
+			defer wg.Done()
+			errs <- fn(i, e)
+			<-sem
+		}(i, e)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements pfs.FileSystem. Chunk RPCs are issued concurrently, like
+// writes. Reads past the end of the file return pfs.ErrShortRead with the
+// bytes that were available, like the store; chunks beyond EOF simply read
+// zero bytes, so the total is the contiguous prefix length.
+func (c *Client) Read(path string, off int64, p []byte) (int, error) {
+	if err := c.errIfClosed(); err != nil {
+		return 0, err
+	}
+	exts := c.extents(off, int64(len(p)))
+	counts := make([]int, len(exts))
+	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
+		rel := e.off - off
+		if t := c.route(path, e.idx); t != nil {
+			c.stats.forwarded.Add(1)
+			resp, err := t.Call(&rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n})
+			if resp != nil {
+				counts[i] = copy(p[rel:rel+e.n], resp.Data)
+				c.stats.bytesIn.Add(int64(counts[i]))
+			}
+			if err != nil && !isShortRead(err) {
+				return err
+			}
+			return nil
+		}
+		c.stats.direct.Add(1)
+		k, err := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
+		counts[i] = k
+		c.stats.bytesIn.Add(int64(k))
+		if err != nil && !errors.Is(err, pfs.ErrShortRead) {
+			return err
+		}
+		return nil
+	})
+	total := 0
+	for _, k := range counts {
+		total += k
+	}
+	if err != nil {
+		return total, err
+	}
+	if total < len(p) {
+		return total, pfs.ErrShortRead
+	}
+	return total, nil
+}
+
+// isShortRead recognizes the store's EOF condition after it crossed the
+// wire as an error string.
+func isShortRead(err error) bool {
+	return err != nil && strings.Contains(err.Error(), pfs.ErrShortRead.Error())
+}
+
+// Stat implements pfs.FileSystem.
+func (c *Client) Stat(path string) (pfs.FileInfo, error) {
+	if err := c.errIfClosed(); err != nil {
+		return pfs.FileInfo{}, err
+	}
+	if t := c.metaTarget(path); t != nil {
+		c.stats.forwarded.Add(1)
+		resp, err := t.Call(&rpc.Message{Op: rpc.OpStat, Path: path})
+		if err != nil {
+			return pfs.FileInfo{}, remapError(err, path)
+		}
+		return pfs.FileInfo{Path: path, Size: resp.Size}, nil
+	}
+	c.stats.direct.Add(1)
+	return c.cfg.Direct.Stat(path)
+}
+
+// Remove implements pfs.FileSystem.
+func (c *Client) Remove(path string) error {
+	if err := c.errIfClosed(); err != nil {
+		return err
+	}
+	if t := c.metaTarget(path); t != nil {
+		c.stats.forwarded.Add(1)
+		_, err := t.Call(&rpc.Message{Op: rpc.OpRemove, Path: path})
+		return remapError(err, path)
+	}
+	c.stats.direct.Add(1)
+	return c.cfg.Direct.Remove(path)
+}
+
+// Fsync implements pfs.FileSystem.
+func (c *Client) Fsync(path string) error {
+	if err := c.errIfClosed(); err != nil {
+		return err
+	}
+	if t := c.metaTarget(path); t != nil {
+		c.stats.forwarded.Add(1)
+		_, err := t.Call(&rpc.Message{Op: rpc.OpFsync, Path: path})
+		return remapError(err, path)
+	}
+	c.stats.direct.Add(1)
+	return c.cfg.Direct.Fsync(path)
+}
+
+// remapError converts the wire form of ErrNotExist back into the sentinel
+// so callers can errors.Is it.
+func remapError(err error, path string) error {
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), pfs.ErrNotExist.Error()) {
+		return fmt.Errorf("%w: %s", pfs.ErrNotExist, path)
+	}
+	return err
+}

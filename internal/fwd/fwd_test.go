@@ -1,0 +1,359 @@
+package fwd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/agios"
+	"repro/internal/ion"
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+)
+
+// testStack spins up a PFS store and n I/O-node daemons, returning the
+// store and daemon addresses.
+func testStack(t *testing.T, n int) (*pfs.Store, []string, []*ion.Daemon) {
+	t.Helper()
+	store := pfs.NewStore(pfs.Config{})
+	addrs := make([]string, 0, n)
+	daemons := make([]*ion.Daemon, 0, n)
+	for i := 0; i < n; i++ {
+		d := ion.New(ion.Config{ID: fmt.Sprintf("ion%d", i), Scheduler: agios.NewFIFO()}, store)
+		addr, err := d.Start("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		addrs = append(addrs, addr)
+		daemons = append(daemons, d)
+	}
+	return store, addrs, daemons
+}
+
+func newTestClient(t *testing.T, direct pfs.FileSystem, chunk int64) *Client {
+	t.Helper()
+	c, err := NewClient(Config{AppID: "app", Direct: direct, ChunkSize: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(Config{Direct: pfs.NewStore(pfs.Config{})}); err == nil {
+		t.Fatal("missing AppID should fail")
+	}
+	if _, err := NewClient(Config{AppID: "a"}); err == nil {
+		t.Fatal("missing direct FS should fail")
+	}
+}
+
+func TestDirectMode(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	c := newTestClient(t, store, 0)
+	data := []byte("direct bytes")
+	if _, err := c.Write("/d", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.Read("/d", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("direct round trip: %q", got)
+	}
+	st := c.Stats()
+	if st.DirectOps == 0 || st.ForwardedOps != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestForwardedRoundTrip(t *testing.T) {
+	store, addrs, daemons := testStack(t, 4)
+	c := newTestClient(t, store, 1024)
+	c.SetIONs(addrs)
+
+	// A write spanning many chunks lands distributed across IONs.
+	data := make([]byte, 64*1024)
+	rand.New(rand.NewSource(3)).Read(data)
+	if n, err := c.Write("/fw", 0, data); err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.Read("/fw", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("forwarded round trip corrupted")
+	}
+	// Data truly went through the daemons, spread across several.
+	busy := 0
+	var totalIn int64
+	for _, d := range daemons {
+		st := d.Stats()
+		totalIn += st.BytesIn
+		if st.Writes > 0 {
+			busy++
+		}
+	}
+	if totalIn != int64(len(data)) {
+		t.Fatalf("daemon ingress %d, want %d", totalIn, len(data))
+	}
+	if busy < 2 {
+		t.Fatalf("chunk distribution degenerate: only %d/4 IONs used", busy)
+	}
+	if st := c.Stats(); st.DirectOps != 0 {
+		t.Fatalf("forwarded client used direct path: %+v", st)
+	}
+}
+
+func TestChunkRoutingDeterministic(t *testing.T) {
+	store, addrs, _ := testStack(t, 4)
+	c1 := newTestClient(t, store, 1024)
+	c1.SetIONs(addrs)
+	c2 := newTestClient(t, store, 1024)
+	c2.SetIONs(addrs)
+	for idx := int64(0); idx < 32; idx++ {
+		a := c1.route("/p", idx)
+		b := c2.route("/p", idx)
+		if a.Addr() != b.Addr() {
+			t.Fatalf("routing differs across clients for chunk %d", idx)
+		}
+	}
+}
+
+func TestUnalignedWritesAndReads(t *testing.T) {
+	store, addrs, _ := testStack(t, 3)
+	c := newTestClient(t, store, 512)
+	c.SetIONs(addrs)
+	ref := make([]byte, 8192)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		off := int64(rng.Intn(7000))
+		n := rng.Intn(900) + 1
+		payload := make([]byte, n)
+		rng.Read(payload)
+		if _, err := c.Write("/u", off, payload); err != nil {
+			t.Fatal(err)
+		}
+		copy(ref[off:off+int64(n)], payload)
+	}
+	info, err := c.Stat("/u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, info.Size)
+	if _, err := c.Read("/u", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref[:info.Size]) {
+		t.Fatal("unaligned I/O diverged from reference")
+	}
+}
+
+func TestShortReadThroughStack(t *testing.T) {
+	store, addrs, _ := testStack(t, 2)
+	c := newTestClient(t, store, 512)
+	c.SetIONs(addrs)
+	c.Write("/s", 0, []byte("hello"))
+	buf := make([]byte, 100)
+	n, err := c.Read("/s", 0, buf)
+	if n != 5 || !errors.Is(err, pfs.ErrShortRead) {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	if string(buf[:5]) != "hello" {
+		t.Fatalf("payload: %q", buf[:5])
+	}
+}
+
+func TestMetadataThroughStack(t *testing.T) {
+	store, addrs, _ := testStack(t, 2)
+	c := newTestClient(t, store, 512)
+	c.SetIONs(addrs)
+	if err := c.Create("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fsync("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/m"); !errors.Is(err, pfs.ErrNotExist) {
+		t.Fatalf("want ErrNotExist through the wire, got %v", err)
+	}
+	if _, err := store.Stat("/m"); !errors.Is(err, pfs.ErrNotExist) {
+		t.Fatal("remove did not reach the backend")
+	}
+}
+
+// TestDynamicRemapMidStream is the paper's key client property: the number
+// of I/O nodes assigned to an application changes during its execution
+// without disrupting it.
+func TestDynamicRemapMidStream(t *testing.T) {
+	store, addrs, _ := testStack(t, 4)
+	c := newTestClient(t, store, 256)
+	c.SetIONs(addrs[:1])
+
+	ref := make([]byte, 0, 40*256)
+	var off int64
+	writeSome := func(tag byte, n int) {
+		for i := 0; i < n; i++ {
+			payload := bytes.Repeat([]byte{tag}, 256)
+			if _, err := c.Write("/remap", off, payload); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, payload...)
+			off += 256
+		}
+	}
+	writeSome('a', 10)
+	c.SetIONs(addrs) // grow 1 → 4 mid-stream
+	writeSome('b', 10)
+	c.SetIONs(addrs[2:3]) // shrink to a different single ION
+	writeSome('c', 10)
+	c.SetIONs(nil) // drop to direct access
+	writeSome('d', 10)
+
+	got := make([]byte, len(ref))
+	if _, err := c.Read("/remap", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("remap corrupted the stream")
+	}
+	if st := c.Stats(); st.RemapsApplied != 4 || st.DirectOps == 0 {
+		t.Fatalf("stats after remaps: %+v", st)
+	}
+}
+
+func TestApplyMapVersioning(t *testing.T) {
+	store, addrs, _ := testStack(t, 2)
+	c := newTestClient(t, store, 512)
+	c.ApplyMap(mapping.Map{Version: 2, IONs: map[string][]string{"app": addrs}})
+	if len(c.IONs()) != 2 {
+		t.Fatal("map not applied")
+	}
+	// Stale map must be ignored.
+	c.ApplyMap(mapping.Map{Version: 1, IONs: map[string][]string{"app": nil}})
+	if len(c.IONs()) != 2 {
+		t.Fatal("stale map applied")
+	}
+	// Newer map wins.
+	c.ApplyMap(mapping.Map{Version: 3, IONs: map[string][]string{"app": addrs[:1]}})
+	if len(c.IONs()) != 1 {
+		t.Fatal("newer map not applied")
+	}
+}
+
+func TestWatchAppliesBusUpdates(t *testing.T) {
+	store, addrs, _ := testStack(t, 2)
+	c := newTestClient(t, store, 512)
+	bus := mapping.NewBus()
+	ch, cancelSub := bus.Subscribe()
+	defer cancelSub()
+	cancel := c.Watch(ch)
+	defer cancel()
+
+	bus.Publish(map[string][]string{"app": addrs})
+	deadline := time.After(2 * time.Second)
+	for len(c.IONs()) != 2 {
+		select {
+		case <-deadline:
+			t.Fatal("watch never applied the update")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	bus.Publish(map[string][]string{"app": nil})
+	for len(c.IONs()) != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watch never applied the second update")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestConcurrentWritersSharedFileThroughStack(t *testing.T) {
+	store, addrs, _ := testStack(t, 3)
+	const ranks = 8
+	const region = 2048
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := NewClient(Config{AppID: "app", Direct: store, ChunkSize: 512})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.SetIONs(addrs)
+			payload := bytes.Repeat([]byte{byte('A' + r)}, region)
+			if _, err := c.Write("/shared", int64(r)*region, payload); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	buf := make([]byte, ranks*region)
+	if _, err := store.Read("/shared", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < region; i += 97 {
+			if buf[r*region+i] != byte('A'+r) {
+				t.Fatalf("rank %d corrupted at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	store, addrs, _ := testStack(t, 1)
+	c := newTestClient(t, store, 512)
+	c.SetIONs(addrs)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkSpanCoversExactly: the chunk decomposition tiles [off, off+n)
+// with no gaps, overlaps, or boundary crossings.
+func TestChunkSpanCoversExactly(t *testing.T) {
+	c := newTestClient(t, pfs.NewStore(pfs.Config{}), 512)
+	f := func(offRaw uint16, nRaw uint16) bool {
+		off, n := int64(offRaw), int64(nRaw)+1
+		next := off
+		var total int64
+		err := c.chunkSpan(off, n, func(idx, o, m int64) error {
+			if o != next || m <= 0 {
+				return errors.New("gap or empty extent")
+			}
+			if o/512 != idx || (o+m-1)/512 != idx {
+				return errors.New("extent crosses a chunk boundary")
+			}
+			next = o + m
+			total += m
+			return nil
+		})
+		return err == nil && total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

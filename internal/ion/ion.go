@@ -1,0 +1,249 @@
+// Package ion implements the I/O-node daemon: the GekkoFWD server role.
+// A daemon accepts forwarded requests over the rpc transport, feeds data
+// operations through an AGIOS scheduler queue, and dispatches them to the
+// parallel file system with a fixed-width worker pool. Metadata operations
+// bypass the scheduler (as in GekkoFS, where they go straight to the
+// daemon's metadata backend).
+package ion
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agios"
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+)
+
+// Backend is the storage interface a daemon dispatches to: the PFS
+// contract plus writer attribution, so the shared-file contention model
+// can tell I/O-node streams apart. *pfs.Store implements it; test doubles
+// (e.g. fault injectors) may wrap one.
+type Backend interface {
+	pfs.FileSystem
+	WriteAs(writer, path string, off int64, p []byte) (int, error)
+}
+
+// Stats counts the daemon's activity.
+type Stats struct {
+	Writes       int64
+	Reads        int64
+	MetaOps      int64
+	BytesIn      int64
+	BytesOut     int64
+	Dispatches   int64 // PFS dispatches (aggregates count once)
+	Aggregated   int64 // client requests that were merged into aggregates
+	QueueRejects int64
+}
+
+// Config parameterizes a daemon.
+type Config struct {
+	// ID names the daemon; it is used as the writer identity at the PFS
+	// so the shared-file lock model sees per-I/O-node streams.
+	ID string
+	// Scheduler orders requests; nil selects FIFO.
+	Scheduler agios.Scheduler
+	// Dispatchers is the PFS worker-pool width; ≤0 selects 2 (matching
+	// the performance model's DispatchWidth).
+	Dispatchers int
+}
+
+// Daemon is one I/O node.
+type Daemon struct {
+	cfg     Config
+	backend Backend
+	queue   *agios.Queue
+	server  *rpc.Server
+	addr    string
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	stats struct {
+		writes, reads, meta, bytesIn, bytesOut, dispatches, aggregated, rejects atomic.Int64
+	}
+}
+
+// New creates a daemon over the given PFS backend.
+func New(cfg Config, backend Backend) *Daemon {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = agios.NewFIFO()
+	}
+	if cfg.Dispatchers <= 0 {
+		cfg.Dispatchers = 2
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		backend: backend,
+		queue:   agios.NewQueue(cfg.Scheduler),
+	}
+	d.server = rpc.NewServer(d.handle)
+	return d
+}
+
+// Start binds the daemon to addr (empty for an ephemeral localhost port),
+// launches the dispatcher pool, and returns the bound address.
+func (d *Daemon) Start(addr string) (string, error) {
+	bound, err := d.server.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	d.addr = bound
+	for i := 0; i < d.cfg.Dispatchers; i++ {
+		d.wg.Add(1)
+		go d.dispatchLoop()
+	}
+	return bound, nil
+}
+
+// Addr returns the daemon's bound address (empty before Start).
+func (d *Daemon) Addr() string { return d.addr }
+
+// ID returns the daemon's identity.
+func (d *Daemon) ID() string { return d.cfg.ID }
+
+// SchedulerName reports which AGIOS scheduler the daemon runs.
+func (d *Daemon) SchedulerName() string { return d.queue.SchedulerName() }
+
+// Close stops the RPC server, drains the queue, and waits for dispatchers.
+func (d *Daemon) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	err := d.server.Close()
+	d.queue.Close()
+	d.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Writes:       d.stats.writes.Load(),
+		Reads:        d.stats.reads.Load(),
+		MetaOps:      d.stats.meta.Load(),
+		BytesIn:      d.stats.bytesIn.Load(),
+		BytesOut:     d.stats.bytesOut.Load(),
+		Dispatches:   d.stats.dispatches.Load(),
+		Aggregated:   d.stats.aggregated.Load(),
+		QueueRejects: d.stats.rejects.Load(),
+	}
+}
+
+// handle is the RPC entry point.
+func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
+	resp := &rpc.Message{Op: m.Op, Path: m.Path}
+	switch m.Op {
+	case rpc.OpPing:
+		resp.Data = []byte(d.cfg.ID)
+
+	case rpc.OpWrite:
+		d.stats.writes.Add(1)
+		d.stats.bytesIn.Add(int64(len(m.Data)))
+		done := make(chan error, 1)
+		req := &agios.Request{
+			Path:   m.Path,
+			Offset: m.Offset,
+			Size:   int64(len(m.Data)),
+			Op:     agios.OpWrite,
+			Data:   m.Data,
+			OnComplete: func(err error) {
+				done <- err
+			},
+		}
+		if err := d.queue.Push(req); err != nil {
+			d.stats.rejects.Add(1)
+			resp.Err = err.Error()
+			return resp
+		}
+		if err := <-done; err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Size = int64(len(m.Data))
+
+	case rpc.OpRead:
+		d.stats.reads.Add(1)
+		done := make(chan error, 1)
+		req := &agios.Request{
+			Path:   m.Path,
+			Offset: m.Offset,
+			Size:   m.Size,
+			Op:     agios.OpRead,
+			OnComplete: func(err error) {
+				done <- err
+			},
+		}
+		if err := d.queue.Push(req); err != nil {
+			d.stats.rejects.Add(1)
+			resp.Err = err.Error()
+			return resp
+		}
+		err := <-done
+		resp.Data = req.Data // dispatcher stored the bytes read
+		resp.Size = int64(len(req.Data))
+		d.stats.bytesOut.Add(int64(len(req.Data)))
+		if err != nil {
+			resp.Err = err.Error()
+		}
+
+	case rpc.OpCreate:
+		d.stats.meta.Add(1)
+		if err := d.backend.Create(m.Path); err != nil {
+			resp.Err = err.Error()
+		}
+
+	case rpc.OpStat:
+		d.stats.meta.Add(1)
+		info, err := d.backend.Stat(m.Path)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Size = info.Size
+		}
+
+	case rpc.OpRemove:
+		d.stats.meta.Add(1)
+		if err := d.backend.Remove(m.Path); err != nil {
+			resp.Err = err.Error()
+		}
+
+	case rpc.OpFsync:
+		d.stats.meta.Add(1)
+		if err := d.backend.Fsync(m.Path); err != nil {
+			resp.Err = err.Error()
+		}
+
+	default:
+		resp.Err = fmt.Sprintf("ion: unsupported op %s", m.Op)
+	}
+	return resp
+}
+
+// dispatchLoop pops scheduled requests and executes them against the PFS.
+func (d *Daemon) dispatchLoop() {
+	defer d.wg.Done()
+	for {
+		req, ok := d.queue.PopWait()
+		if !ok {
+			return
+		}
+		d.stats.dispatches.Add(1)
+		if n := len(req.Children); n > 0 {
+			d.stats.aggregated.Add(int64(n))
+		}
+		switch req.Op {
+		case agios.OpWrite:
+			_, err := d.backend.WriteAs(d.cfg.ID, req.Path, req.Offset, req.Data)
+			req.Complete(err)
+		case agios.OpRead:
+			buf := make([]byte, req.Size)
+			n, err := d.backend.Read(req.Path, req.Offset, buf)
+			req.Data = buf[:n]
+			req.Complete(err)
+		default:
+			req.Complete(fmt.Errorf("ion: unknown scheduled op %v", req.Op))
+		}
+	}
+}

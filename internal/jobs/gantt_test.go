@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestGanttRendersAllJobs(t *testing.T) {
+	res := runPaperQueue(t, 0)
+	g := res.Gantt(60)
+	for id := range res.PerJob {
+		if !strings.Contains(g, id) {
+			t.Fatalf("gantt missing job %s:\n%s", id, g)
+		}
+	}
+	// HACC#1 starts with 8 IONs: its row must contain an '8'.
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "HACC#1") && !strings.Contains(line, "8") {
+			t.Fatalf("HACC#1 row should show its 8-ION phase:\n%s", g)
+		}
+	}
+}
+
+func TestGanttDegenerate(t *testing.T) {
+	empty := &SimResult{PerJob: map[string]*JobOutcome{}}
+	if g := empty.Gantt(40); g != "" {
+		t.Fatalf("empty result should render empty, got %q", g)
+	}
+}
+
+func TestGanttMinWidth(t *testing.T) {
+	queue, err := PaperQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateQueue(SimConfig{
+		Jobs: queue[:2], ComputeNodes: 96, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Gantt(1) // clamped to a sane minimum
+	if len(g) == 0 {
+		t.Fatal("gantt empty")
+	}
+}
+
+func TestIonChar(t *testing.T) {
+	if ionChar(0) != '0' || ionChar(8) != '8' || ionChar(12) != '+' || ionChar(-1) != '?' {
+		t.Fatal("ionChar mapping wrong")
+	}
+}

@@ -1,0 +1,287 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+	"repro/internal/units"
+)
+
+func mustSpec(t *testing.T, label string) perfmodel.AppSpec {
+	t.Helper()
+	s, err := perfmodel.AppByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func paperConfig(t *testing.T, p policy.Policy, sticky bool) SimConfig {
+	t.Helper()
+	queue, err := PaperQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimConfig{
+		Jobs:         queue,
+		ComputeNodes: 96,
+		IONs:         12,
+		Policy:       p,
+		Sticky:       sticky,
+		AllowDirect:  false, // the paper's §5.3 restriction
+	}
+}
+
+func TestPaperQueueComposition(t *testing.T) {
+	q, err := PaperQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 14 {
+		t.Fatalf("queue has %d jobs, want 14", len(q))
+	}
+	if q[0].ID != "HACC#1" || q[13].ID != "BT-D#1" {
+		t.Fatalf("queue order wrong: %s ... %s", q[0].ID, q[13].ID)
+	}
+	labels := map[string]int{}
+	for _, j := range q {
+		labels[j.Spec.Label]++
+	}
+	want := map[string]int{"HACC": 3, "IOR-MPI": 3, "SIM": 1, "POSIX-S": 1,
+		"POSIX-L": 1, "BT-C": 1, "MAD": 2, "S3D": 1, "BT-D": 1}
+	for l, n := range want {
+		if labels[l] != n {
+			t.Errorf("label %s: %d jobs, want %d", l, labels[l], n)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateQueue(SimConfig{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	spec := mustSpec(t, "HACC")
+	jobsList := []QueuedJob{{ID: "a", Spec: spec}, {ID: "a", Spec: spec}}
+	if _, err := SimulateQueue(SimConfig{Jobs: jobsList, ComputeNodes: 96, IONs: 12, Policy: policy.MCKP{}}); err == nil {
+		t.Fatal("duplicate IDs should fail")
+	}
+	big := spec
+	big.Nodes = 1000
+	if _, err := SimulateQueue(SimConfig{Jobs: []QueuedJob{{ID: "x", Spec: big}}, ComputeNodes: 96, IONs: 12, Policy: policy.MCKP{}}); err == nil {
+		t.Fatal("oversized job should fail")
+	}
+}
+
+func TestSingleJobRuntime(t *testing.T) {
+	spec := mustSpec(t, "HACC") // 1.8 GB write, 8 nodes
+	res, err := SimulateQueue(SimConfig{
+		Jobs:         []QueuedJob{{ID: "h", Spec: spec}},
+		ComputeNodes: 96, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.PerJob["h"]
+	if o == nil {
+		t.Fatal("job outcome missing")
+	}
+	// Alone with 12 IONs, MCKP gives HACC its best ≤8 option: 8 IONs at
+	// 3850.7 MB/s → 1.8e9/3850.7e6 ≈ 0.467 s.
+	want := 1.8e9 / 3850.7e6
+	if diff := o.End - o.Start - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("runtime = %v, want %v", o.End-o.Start, want)
+	}
+	if o.Bandwidth.MBps() < 3850 || o.Bandwidth.MBps() > 3851 {
+		t.Fatalf("bandwidth = %v", o.Bandwidth)
+	}
+	if len(o.Timeline) != 1 || o.Timeline[0].IONs != 8 {
+		t.Fatalf("timeline: %+v", o.Timeline)
+	}
+}
+
+func TestFIFOOrderRespected(t *testing.T) {
+	// Two 64-node jobs cannot overlap on 96 nodes; the second must wait.
+	spec := mustSpec(t, "BT-D")
+	res, err := SimulateQueue(SimConfig{
+		Jobs:         []QueuedJob{{ID: "j1", Spec: spec}, {ID: "j2", Spec: spec}},
+		ComputeNodes: 96, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerJob["j2"].Start < res.PerJob["j1"].End-1e-9 {
+		t.Fatalf("FIFO violated: j2 started at %v before j1 ended at %v",
+			res.PerJob["j2"].Start, res.PerJob["j1"].End)
+	}
+}
+
+func TestStrictFIFOHeadBlocks(t *testing.T) {
+	// Queue: wide job (64), then narrow (8). With 70 nodes, after the
+	// wide job starts the narrow one fits (64+8=72>70 does not fit; so
+	// narrow waits even though an even narrower job behind it would fit —
+	// covered implicitly by strict head blocking).
+	wide := mustSpec(t, "BT-D")   // 64 nodes
+	narrow := mustSpec(t, "HACC") // 8 nodes
+	res, err := SimulateQueue(SimConfig{
+		Jobs:         []QueuedJob{{ID: "wide", Spec: wide}, {ID: "n1", Spec: narrow}},
+		ComputeNodes: 70, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerJob["n1"].Start < res.PerJob["wide"].End-1e-9 {
+		t.Fatal("narrow job should wait for the wide head job")
+	}
+}
+
+func TestDynamicReallocationHappens(t *testing.T) {
+	res, err := SimulateQueue(paperConfig(t, policy.MCKP{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations == 0 {
+		t.Fatal("MCKP should reallocate running jobs as the mix changes (paper: HACC 8 → 4)")
+	}
+	// The first HACC job starts alone: MCKP gives it 8 I/O nodes, and
+	// reduces the allocation once IOR-MPI and SIM arrive (paper §5.3).
+	h := res.PerJob["HACC#1"]
+	if h == nil || len(h.Timeline) == 0 || h.Timeline[0].IONs != 8 {
+		t.Fatalf("HACC#1 should start with 8 IONs: %+v", h)
+	}
+}
+
+func TestStickyStaticNeverReallocates(t *testing.T) {
+	res, err := SimulateQueue(paperConfig(t, policy.Static{SystemCompute: 96, SystemIONs: 12}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations != 0 {
+		t.Fatalf("sticky STATIC reallocated %d times", res.Reallocations)
+	}
+	// HACC (8 nodes) gets 1 ION under the machine ratio R=8 (paper §5.3).
+	h := res.PerJob["HACC#1"]
+	if len(h.Timeline) != 1 || h.Timeline[0].IONs != 1 {
+		t.Fatalf("HACC#1 under STATIC: %+v", h.Timeline)
+	}
+}
+
+// TestFigure9MCKPBeatsStatic is the §5.3 headline: dynamic MCKP improves
+// the aggregate bandwidth over STATIC by ≈1.9× (we accept >1.3×).
+func TestFigure9MCKPBeatsStatic(t *testing.T) {
+	mckp, err := SimulateQueue(paperConfig(t, policy.MCKP{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := SimulateQueue(paperConfig(t, policy.Static{SystemCompute: 96, SystemIONs: 12}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(mckp.Aggregate) / float64(static.Aggregate)
+	if ratio < 1.3 {
+		t.Fatalf("MCKP/STATIC aggregate = %.2f, paper reports ≈1.9", ratio)
+	}
+	t.Logf("Fig 9: MCKP %.2f GB/s vs STATIC %.2f GB/s (%.2f×; paper: 16.02 vs 8.41, 1.9×)",
+		mckp.Aggregate.GBps(), static.Aggregate.GBps(), ratio)
+	// MCKP should also finish the queue no later than STATIC (same
+	// volumes at higher rates).
+	if mckp.Makespan > static.Makespan*1.05 {
+		t.Fatalf("MCKP makespan %v much worse than STATIC %v", mckp.Makespan, static.Makespan)
+	}
+}
+
+// TestFigure9AllPolicies runs the four §5.3 policies and checks ordering.
+func TestFigure9AllPolicies(t *testing.T) {
+	results := map[string]*SimResult{}
+	run := func(name string, p policy.Policy, sticky bool) {
+		res, err := SimulateQueue(paperConfig(t, p, sticky))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = res
+	}
+	run("ONE", policy.One{}, true)
+	run("STATIC", policy.Static{SystemCompute: 96, SystemIONs: 12}, true)
+	run("SIZE", policy.Proportional{}, false)
+	run("MCKP", policy.MCKP{}, false)
+
+	for name, res := range results {
+		if len(res.PerJob) != 14 {
+			t.Fatalf("%s: %d jobs completed", name, len(res.PerJob))
+		}
+		t.Logf("%-7s aggregate %8.2f MB/s makespan %6.1f s reallocs %d",
+			name, res.Aggregate.MBps(), res.Makespan, res.Reallocations)
+	}
+	if results["MCKP"].Aggregate <= results["ONE"].Aggregate {
+		t.Fatal("MCKP should beat ONE")
+	}
+	if results["MCKP"].Aggregate <= results["SIZE"].Aggregate {
+		t.Fatal("MCKP should beat SIZE")
+	}
+}
+
+func TestPerJobBandwidthConsistent(t *testing.T) {
+	res, err := SimulateQueue(paperConfig(t, policy.MCKP{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, o := range res.PerJob {
+		if o.End <= o.Start {
+			t.Fatalf("%s: non-positive runtime", id)
+		}
+		want := units.Bandwidth(float64(o.Bytes) / (o.End - o.Start))
+		if d := float64(o.Bandwidth - want); d > 1 || d < -1 {
+			t.Fatalf("%s: bandwidth %v inconsistent with %v", id, o.Bandwidth, want)
+		}
+		// Timeline covers [Start, End].
+		if len(o.Timeline) == 0 {
+			t.Fatalf("%s: empty timeline", id)
+		}
+		if o.Timeline[0].Start != o.Start || o.Timeline[len(o.Timeline)-1].End != o.End {
+			t.Fatalf("%s: timeline %+v does not span [%v,%v]", id, o.Timeline, o.Start, o.End)
+		}
+	}
+}
+
+func TestAllowDirectGivesS3DZero(t *testing.T) {
+	spec := mustSpec(t, "S3D")
+	res, err := SimulateQueue(SimConfig{
+		Jobs:         []QueuedJob{{ID: "s", Spec: spec}},
+		ComputeNodes: 96, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerJob["s"].Timeline[0].IONs != 0 {
+		t.Fatalf("S3D alone with direct access allowed should use 0 IONs: %+v", res.PerJob["s"].Timeline)
+	}
+}
+
+// TestIONUtilization: the utilization integral is a valid fraction, and
+// dynamic MCKP keeps the forwarding pool busier than sticky STATIC on the
+// paper queue (the "efficient use of available I/O nodes" contribution).
+func TestIONUtilization(t *testing.T) {
+	mckp, err := SimulateQueue(paperConfig(t, policy.MCKP{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := SimulateQueue(paperConfig(t, policy.Static{SystemCompute: 96, SystemIONs: 12}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, u := range map[string]float64{"MCKP": mckp.IONUtilization, "STATIC": static.IONUtilization} {
+		if u <= 0 || u > 1.000001 {
+			t.Fatalf("%s utilization out of range: %v", name, u)
+		}
+	}
+	if mckp.IONUtilization <= static.IONUtilization {
+		t.Fatalf("MCKP should use the pool more efficiently: %.3f vs %.3f",
+			mckp.IONUtilization, static.IONUtilization)
+	}
+	t.Logf("ION utilization: MCKP %.1f%%, STATIC %.1f%%",
+		mckp.IONUtilization*100, static.IONUtilization*100)
+}

@@ -1,0 +1,64 @@
+package jobs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/perfmodel"
+)
+
+// RecruitIdleOptions enables the paper's future-work extension: when the
+// machine has no (or few) dedicated forwarding nodes, idle compute nodes
+// are recruited as temporary I/O nodes. At each arbitration the effective
+// pool becomes IONs + min(free compute nodes, Cap); recruited nodes are
+// returned to the compute pool implicitly when the next arbitration sees a
+// smaller free set (the simulator arbitrates exactly when job membership
+// changes, so a recruited node is never both computing and forwarding).
+type RecruitIdleOptions struct {
+	// Enabled turns recruiting on.
+	Enabled bool
+	// Cap bounds how many idle compute nodes may be recruited at once;
+	// ≤0 means no bound.
+	Cap int
+}
+
+// effectivePool computes the arbitration pool under recruiting. Free
+// compute nodes counted here are idle by definition: admit() ran first, so
+// nothing in the queue fits in them.
+func (s *sim) effectivePool() int {
+	pool := s.cfg.IONs
+	if !s.cfg.Recruit.Enabled {
+		return pool
+	}
+	extra := s.free
+	if s.cfg.Recruit.Cap > 0 && extra > s.cfg.Recruit.Cap {
+		extra = s.cfg.Recruit.Cap
+	}
+	return pool + extra
+}
+
+// RandomQueue generates a reproducible random job queue from the Table 3
+// applications, the way the paper's queue generator builds the §5.3
+// workloads: n jobs drawn uniformly, submissions separated by exponential
+// gaps with the given mean (seconds).
+func RandomQueue(seed int64, n int, meanGap float64) ([]QueuedJob, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("jobs: queue length must be positive, got %d", n)
+	}
+	specs := perfmodel.EvaluationApps()
+	rng := rand.New(rand.NewSource(seed))
+	count := map[string]int{}
+	var out []QueuedJob
+	arrival := 0.0
+	for i := 0; i < n; i++ {
+		spec := specs[rng.Intn(len(specs))]
+		count[spec.Label]++
+		out = append(out, QueuedJob{
+			ID:      fmt.Sprintf("%s#%d", spec.Label, count[spec.Label]),
+			Spec:    spec,
+			Arrival: arrival,
+		})
+		arrival += rng.ExpFloat64() * meanGap
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func runPaperQueue(t *testing.T, delay float64) *SimResult {
+	t.Helper()
+	queue, err := PaperQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateQueue(SimConfig{
+		Jobs: queue, ComputeNodes: 96, IONs: 12,
+		Policy: policy.MCKP{}, AllowDirect: false,
+		RemapDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRemapDelayNearInstant: with the paper's 10-second mapping poll,
+// reallocations take effect late. The Equation-2 aggregate is NOT
+// monotone in how promptly decisions apply — delaying a downgrade lets
+// the downgraded job keep its high rate while the newcomer waits, which
+// can slightly raise the sum of per-job average bandwidths even though
+// the instantaneous system rate is lower — so we assert the two runs land
+// within a tight band of each other rather than an ordering.
+func TestRemapDelayNearInstant(t *testing.T) {
+	instant := runPaperQueue(t, 0)
+	delayed := runPaperQueue(t, 10)
+	lo, hi := float64(instant.Aggregate)*0.85, float64(instant.Aggregate)*1.15
+	if float64(delayed.Aggregate) < lo || float64(delayed.Aggregate) > hi {
+		t.Fatalf("10s-poll aggregate %v far from instantaneous %v",
+			delayed.Aggregate, instant.Aggregate)
+	}
+	// The makespan, however, is never improved by stale allocations.
+	if delayed.Makespan < instant.Makespan-1e-6 {
+		t.Fatalf("stale mappings shortened the makespan: %.1f vs %.1f",
+			delayed.Makespan, instant.Makespan)
+	}
+	t.Logf("aggregate with instant remaps %.2f GB/s; with 10 s mapping poll %.2f GB/s",
+		instant.Aggregate.GBps(), delayed.Aggregate.GBps())
+}
+
+// TestRemapDelayStillBeatsStatic: even paying the poll latency, dynamic
+// MCKP outperforms sticky STATIC (the paper's live result includes this
+// latency and still reports 1.9×).
+func TestRemapDelayStillBeatsStatic(t *testing.T) {
+	queue, err := PaperQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := SimulateQueue(SimConfig{
+		Jobs: queue, ComputeNodes: 96, IONs: 12,
+		Policy: policy.Static{SystemCompute: 96, SystemIONs: 12},
+		Sticky: true, AllowDirect: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed := runPaperQueue(t, 10)
+	ratio := float64(delayed.Aggregate) / float64(static.Aggregate)
+	if ratio < 1.3 {
+		t.Fatalf("MCKP with poll latency over STATIC = %.2f, want >1.3 (paper: 1.9)", ratio)
+	}
+	t.Logf("MCKP(10s poll)/STATIC = %.2f (paper's live setup: 1.9)", ratio)
+}
+
+// TestRemapDelayFirstAllocationImmediate: a job must never start without
+// an effective allocation (the client reads the mapping at mount time).
+func TestRemapDelayFirstAllocationImmediate(t *testing.T) {
+	res := runPaperQueue(t, 10)
+	for id, o := range res.PerJob {
+		if len(o.Timeline) == 0 {
+			t.Fatalf("%s has no allocation timeline", id)
+		}
+		if o.Timeline[0].Start != o.Start {
+			t.Fatalf("%s: first allocation at %v, job started at %v", id, o.Timeline[0].Start, o.Start)
+		}
+	}
+}
+
+// TestRemapDelayRevertedDecision: if the arbiter changes its mind again
+// before the poll fires, the job keeps running and ends with a consistent
+// timeline.
+func TestRemapDelayRevertedDecision(t *testing.T) {
+	res := runPaperQueue(t, 3)
+	for id, o := range res.PerJob {
+		for i := 1; i < len(o.Timeline); i++ {
+			if o.Timeline[i].Start < o.Timeline[i-1].End-1e-9 {
+				t.Fatalf("%s: overlapping timeline spans %+v", id, o.Timeline)
+			}
+			if o.Timeline[i].IONs == o.Timeline[i-1].IONs {
+				t.Fatalf("%s: zero-change span recorded %+v", id, o.Timeline)
+			}
+		}
+		if o.Timeline[len(o.Timeline)-1].End != o.End {
+			t.Fatalf("%s: timeline does not close at job end", id)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package livestack assembles the complete live forwarding system — PFS
+// store, I/O-node daemons over TCP, mapping bus, arbiter — into one
+// harness, used by the examples, the gkfwd command, and the end-to-end
+// integration tests. It is the "mini cluster in a box" counterpart of the
+// paper's Grid'5000 deployment.
+package livestack
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agios"
+	"repro/internal/arbiter"
+	"repro/internal/fwd"
+	"repro/internal/ion"
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+	"repro/internal/policy"
+)
+
+// Config parameterizes a stack.
+type Config struct {
+	// IONs is the number of I/O-node daemons (paper §5.3: 12).
+	IONs int
+	// Policy arbitrates; nil selects MCKP.
+	Policy policy.Policy
+	// Scheduler names the AGIOS scheduler for the daemons ("FIFO",
+	// "SJF", "AIOLI", "TWINS"); empty selects AIOLI, GekkoFWD's
+	// aggregating default in this reproduction.
+	Scheduler string
+	// PFS configures the backing store; zero value = functional store.
+	PFS pfs.Config
+	// Dispatchers per I/O node; ≤0 selects the daemon default.
+	Dispatchers int
+}
+
+// Stack is a running live system.
+type Stack struct {
+	Store   *pfs.Store
+	Bus     *mapping.Bus
+	Arbiter *arbiter.Arbiter
+	Daemons []*ion.Daemon
+	Addrs   []string
+
+	clients []*fwd.Client
+	cancels []func()
+}
+
+// Start builds and starts the stack.
+func Start(cfg Config) (*Stack, error) {
+	if cfg.IONs <= 0 {
+		return nil, fmt.Errorf("livestack: need at least one I/O node, got %d", cfg.IONs)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.MCKP{}
+	}
+	schedName := cfg.Scheduler
+	if schedName == "" {
+		schedName = "AIOLI"
+	}
+
+	st := &Stack{
+		Store: pfs.NewStore(cfg.PFS),
+		Bus:   mapping.NewBus(),
+	}
+	for i := 0; i < cfg.IONs; i++ {
+		sched, err := agios.NewByName(schedName)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		d := ion.New(ion.Config{
+			ID:          fmt.Sprintf("ion%02d", i),
+			Scheduler:   sched,
+			Dispatchers: cfg.Dispatchers,
+		}, st.Store)
+		addr, err := d.Start("")
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.Daemons = append(st.Daemons, d)
+		st.Addrs = append(st.Addrs, addr)
+	}
+	arb, err := arbiter.New(pol, st.Addrs, st.Bus)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.Arbiter = arb
+	return st, nil
+}
+
+// NewClient creates a forwarding client for an application, subscribed to
+// the stack's mapping bus. The client starts in direct mode until the
+// arbiter assigns it I/O nodes (via JobStarted).
+func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
+	c, err := fwd.NewClient(fwd.Config{AppID: appID, Direct: s.Store})
+	if err != nil {
+		return nil, err
+	}
+	ch, cancelSub := s.Bus.Subscribe()
+	cancelWatch := c.Watch(ch)
+	s.clients = append(s.clients, c)
+	s.cancels = append(s.cancels, func() {
+		cancelWatch()
+		cancelSub()
+	})
+	return c, nil
+}
+
+// WaitForAllocation blocks until the client observes the given mapping
+// version or the timeout elapses (mapping propagation is asynchronous,
+// like GekkoFWD's periodic check).
+func WaitForAllocation(c *fwd.Client, ions int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(c.IONs()) == ions {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livestack: client never observed %d I/O nodes (has %d)", ions, len(c.IONs()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitForSomeAllocation blocks until the client observes any nonzero
+// allocation, or the timeout elapses.
+func waitForSomeAllocation(c *fwd.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for len(c.IONs()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livestack: client never observed an allocation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Close stops watchers, clients, and daemons.
+func (s *Stack) Close() {
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+	for _, c := range s.clients {
+		c.Close()
+	}
+	for _, d := range s.Daemons {
+		d.Close()
+	}
+}

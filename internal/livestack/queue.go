@@ -1,0 +1,175 @@
+package livestack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+)
+
+// LiveJob is one entry of a live FIFO queue: the arbitration-facing
+// application description plus the kernel that actually performs the I/O.
+type LiveJob struct {
+	ID string
+	// App carries the job geometry and bandwidth curve for the arbiter.
+	App policy.Application
+	// Kernel is the I/O workload run through the forwarding client.
+	Kernel apps.Kernel
+}
+
+// LiveQueueResult is the outcome of RunQueue.
+type LiveQueueResult struct {
+	Reports map[string]apps.Report
+	// Start/End record each job's span relative to the queue start.
+	Start, End map[string]time.Duration
+	Elapsed    time.Duration
+}
+
+// RunQueue executes a strict-FIFO queue of live jobs on the stack: a job
+// starts when enough virtual compute nodes are free, registers with the
+// arbiter (triggering a re-arbitration exactly as in §5.3), runs its
+// kernel through a mapping-subscribed forwarding client, and releases its
+// resources on completion. It is the live counterpart of
+// jobs.SimulateQueue, at whatever scale the kernels are configured for.
+func RunQueue(st *Stack, queue []LiveJob, computeNodes int) (*LiveQueueResult, error) {
+	if len(queue) == 0 {
+		return nil, errors.New("livestack: empty queue")
+	}
+	for _, j := range queue {
+		if j.App.Nodes > computeNodes {
+			return nil, fmt.Errorf("livestack: %s needs %d nodes, cluster has %d", j.ID, j.App.Nodes, computeNodes)
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		cond   = sync.Cond{L: &mu}
+		free   = computeNodes
+		result = &LiveQueueResult{
+			Reports: map[string]apps.Report{},
+			Start:   map[string]time.Duration{},
+			End:     map[string]time.Duration{},
+		}
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	t0 := time.Now()
+
+	for _, job := range queue {
+		// Strict FIFO admission: wait for the head job's nodes.
+		mu.Lock()
+		for free < job.App.Nodes && firstErr == nil {
+			cond.Wait()
+		}
+		if firstErr != nil {
+			mu.Unlock()
+			break
+		}
+		free -= job.App.Nodes
+		result.Start[job.ID] = time.Since(t0)
+		mu.Unlock()
+
+		client, err := st.NewClient(job.ID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.Arbiter.JobStarted(job.App); err != nil {
+			return nil, fmt.Errorf("livestack: start %s: %w", job.ID, err)
+		}
+		// Concurrent starts/finishes re-arbitrate continuously, so the
+		// exact count may already have changed; the job only needs to
+		// observe *a* forwarding allocation before issuing I/O (the
+		// queue's curves have no direct-access option).
+		if err := waitForSomeAllocation(client, 5*time.Second); err != nil {
+			return nil, fmt.Errorf("livestack: %s: %w", job.ID, err)
+		}
+
+		wg.Add(1)
+		go func(job LiveJob) {
+			defer wg.Done()
+			rep, err := job.Kernel.Run(client, "/"+job.ID)
+			finErr := st.Arbiter.JobFinished(job.ID)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				err = finErr
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("livestack: job %s: %w", job.ID, err)
+			}
+			result.Reports[job.ID] = rep
+			result.End[job.ID] = time.Since(t0)
+			free += job.App.Nodes
+			cond.Broadcast()
+		}(job)
+	}
+
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	result.Elapsed = time.Since(t0)
+	return result, nil
+}
+
+// appSpecFor converts a Table 3 label into an arbitration application
+// with the paper's geometry and curve. The §5.3 setup disallows direct
+// access, so the curve's 0-ION point is dropped.
+func appSpecFor(label string) (policy.Application, error) {
+	spec, err := perfmodel.AppByLabel(label)
+	if err != nil {
+		return policy.Application{}, err
+	}
+	app := policy.FromAppSpec(label, spec)
+	var pts []perfmodel.Point
+	for _, pt := range app.Curve.Points() {
+		if pt.IONs > 0 {
+			pts = append(pts, pt)
+		}
+	}
+	app.Curve = perfmodel.NewCurve(pts...)
+	return app, nil
+}
+
+// PaperLiveQueue builds the §5.3 queue with tiny-scale kernels: the same
+// FIFO order and job geometries, with kilobyte-scale volumes so a live run
+// completes in seconds.
+func PaperLiveQueue() ([]LiveJob, error) {
+	order := []string{"HACC", "IOR-MPI", "SIM", "IOR-MPI", "IOR-MPI",
+		"POSIX-S", "POSIX-L", "BT-C", "MAD", "MAD", "S3D", "HACC", "HACC", "BT-D"}
+	tiny := apps.TinyRegistry()
+	specs := map[string]policy.Application{}
+	count := map[string]int{}
+	var out []LiveJob
+	for _, label := range order {
+		kernelLabel := label
+		if label == "BT-D" {
+			kernelLabel = "BT-C" // tiny registry has one BT-IO variant
+		}
+		k, ok := tiny[kernelLabel]
+		if !ok {
+			return nil, fmt.Errorf("livestack: no tiny kernel for %s", label)
+		}
+		spec, ok := specs[label]
+		if !ok {
+			s, err := appSpecFor(label)
+			if err != nil {
+				return nil, err
+			}
+			spec = s
+			specs[label] = spec
+		}
+		count[label]++
+		id := fmt.Sprintf("%s#%d", label, count[label])
+		app := spec
+		app.ID = id
+		out = append(out, LiveJob{ID: id, App: app, Kernel: k})
+	}
+	return out, nil
+}

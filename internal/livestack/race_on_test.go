@@ -1,0 +1,7 @@
+//go:build race
+
+package livestack
+
+// raceEnabled reports whether the race detector is active; timing-based
+// assertions are skipped under its instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,269 @@
+// Package mapping distributes I/O-node allocation decisions from the policy
+// solver to the forwarding clients. The solver publishes a versioned map of
+// application → I/O-node addresses; clients either subscribe in-process
+// (Bus) or poll a mapping file the way GekkoFWD clients re-read their
+// mapping every 10 seconds (FileStore + Watcher). An application mapped to
+// an empty address list accesses the PFS directly.
+package mapping
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Map is one allocation decision: which I/O nodes every application must
+// use. Version increases with every publication.
+type Map struct {
+	Version uint64 `json:"version"`
+	// IONs maps application IDs to the addresses of their assigned I/O
+	// nodes. An empty (or absent) list means direct PFS access.
+	IONs map[string][]string `json:"ions"`
+}
+
+// Clone deep-copies the map.
+func (m Map) Clone() Map {
+	out := Map{Version: m.Version, IONs: make(map[string][]string, len(m.IONs))}
+	for app, addrs := range m.IONs {
+		out.IONs[app] = append([]string(nil), addrs...)
+	}
+	return out
+}
+
+// For returns the addresses assigned to app (nil means direct access).
+func (m Map) For(app string) []string { return m.IONs[app] }
+
+// Apps returns the mapped application IDs in lexical order.
+func (m Map) Apps() []string {
+	out := make([]string, 0, len(m.IONs))
+	for app := range m.IONs {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bus is an in-process mapping distributor: the arbiter publishes, clients
+// subscribe. Subscribers receive the current map immediately and every
+// subsequent publication. Slow subscribers are skipped (they will catch up
+// on the next publication), never blocked on.
+type Bus struct {
+	mu      sync.Mutex
+	current Map
+	subs    map[int]chan Map
+	nextID  int
+}
+
+// NewBus returns a bus with an empty version-0 map.
+func NewBus() *Bus {
+	return &Bus{current: Map{IONs: map[string][]string{}}, subs: make(map[int]chan Map)}
+}
+
+// Current returns the latest published map.
+func (b *Bus) Current() Map {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.current.Clone()
+}
+
+// Publish installs entries as the new map, bumping the version, and
+// notifies subscribers. The entries are copied.
+func (b *Bus) Publish(ions map[string][]string) Map {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	next := Map{Version: b.current.Version + 1, IONs: make(map[string][]string, len(ions))}
+	for app, addrs := range ions {
+		next.IONs[app] = append([]string(nil), addrs...)
+	}
+	b.current = next
+	for _, ch := range b.subs {
+		select {
+		case ch <- next.Clone():
+		default: // subscriber lagging; it will see a later version
+		}
+	}
+	return next.Clone()
+}
+
+// Subscribe returns a channel carrying map updates (buffered with the
+// current map already queued) and a cancel function.
+func (b *Bus) Subscribe() (<-chan Map, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	ch := make(chan Map, 4)
+	ch <- b.current.Clone()
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if sub, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(sub)
+		}
+	}
+	return ch, cancel
+}
+
+// FileSink mirrors every map published on bus into the file at path, the
+// way the paper's policy solver hands decisions to GekkoFWD clients via a
+// mapping file. It returns a stop function that flushes nothing further.
+// Write errors are delivered to errs if non-nil (the production solver
+// would log them).
+func FileSink(bus *Bus, path string, errs chan<- error) (stop func()) {
+	ch, cancel := bus.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range ch {
+			if err := WriteFile(path, m); err != nil && errs != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// --- File-based distribution ----------------------------------------------
+
+// ErrNoMapping indicates the mapping file does not exist yet.
+var ErrNoMapping = errors.New("mapping: no mapping published")
+
+// WriteFile atomically publishes m to path (write-temp + rename), the
+// format GekkoFWD's solver uses to hand decisions to clients.
+func WriteFile(path string, m Map) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mapping: encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".mapping-*")
+	if err != nil {
+		return fmt.Errorf("mapping: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("mapping: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("mapping: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("mapping: rename: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads the mapping at path.
+func ReadFile(path string) (Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Map{}, ErrNoMapping
+		}
+		return Map{}, fmt.Errorf("mapping: read: %w", err)
+	}
+	var m Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Map{}, fmt.Errorf("mapping: decode: %w", err)
+	}
+	if m.IONs == nil {
+		m.IONs = map[string][]string{}
+	}
+	return m, nil
+}
+
+// Watcher polls a mapping file and delivers new versions, reproducing the
+// GekkoFWD client thread that checks for mapping updates periodically
+// (every 10 s by default in the paper; configurable here for tests).
+type Watcher struct {
+	path     string
+	interval time.Duration
+
+	mu      sync.Mutex
+	last    uint64
+	updates chan Map
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewWatcher starts polling path every interval (≤0 selects the paper's
+// 10 s default).
+func NewWatcher(path string, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	w := &Watcher{
+		path:     path,
+		interval: interval,
+		updates:  make(chan Map, 4),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Updates delivers each newly observed map version.
+func (w *Watcher) Updates() <-chan Map { return w.updates }
+
+// Stop terminates polling and closes Updates.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	defer close(w.updates)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	w.poll()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.poll()
+		}
+	}
+}
+
+func (w *Watcher) poll() {
+	m, err := ReadFile(w.path)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	stale := m.Version <= w.last && w.last != 0
+	if !stale {
+		w.last = m.Version
+	}
+	w.mu.Unlock()
+	if stale {
+		return
+	}
+	select {
+	case w.updates <- m:
+	case <-w.stop:
+	}
+}

@@ -1,0 +1,64 @@
+package mckp
+
+import "sort"
+
+// Reduce returns an equivalent problem with dominated items removed from
+// every class: an item is dominated when another item in its class has
+// weight ≤ it and value ≥ it (classic MCKP preprocessing). The optimum
+// value is unchanged; solving the reduced problem is faster because ΣNᵢ
+// shrinks. Reduced solutions can be mapped back with MapChoice.
+//
+// In the I/O-node instance this prunes allocations the policy could never
+// pick — e.g. a bandwidth curve's descending tail, where more I/O nodes
+// yield less bandwidth than a cheaper option.
+func Reduce(p Problem) (Problem, *Reduction) {
+	out := Problem{Capacity: p.Capacity, Classes: make([]Class, len(p.Classes))}
+	red := &Reduction{original: p, keep: make([][]int, len(p.Classes))}
+	for ci, c := range p.Classes {
+		idx := make([]int, len(c.Items))
+		for i := range idx {
+			idx[i] = i
+		}
+		// Sort by weight ascending, value descending for equal weights.
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := c.Items[idx[a]], c.Items[idx[b]]
+			if ia.Weight != ib.Weight {
+				return ia.Weight < ib.Weight
+			}
+			return ia.Value > ib.Value
+		})
+		var keep []int
+		bestValue := 0.0
+		for _, i := range idx {
+			it := c.Items[i]
+			if len(keep) > 0 && it.Value <= bestValue {
+				continue // dominated by a lighter-or-equal, better item
+			}
+			keep = append(keep, i)
+			bestValue = it.Value
+		}
+		items := make([]Item, len(keep))
+		for k, i := range keep {
+			items[k] = c.Items[i]
+		}
+		out.Classes[ci] = Class{Label: c.Label, Items: items}
+		red.keep[ci] = keep
+	}
+	return out, red
+}
+
+// Reduction maps solutions of a reduced problem back to the original.
+type Reduction struct {
+	original Problem
+	keep     [][]int
+}
+
+// MapChoice rewrites a reduced solution's choices into original item
+// indices. The value and weight are unchanged.
+func (r *Reduction) MapChoice(s Solution) Solution {
+	mapped := Solution{Value: s.Value, Weight: s.Weight, Choice: make([]int, len(s.Choice))}
+	for ci, j := range s.Choice {
+		mapped.Choice[ci] = r.keep[ci][j]
+	}
+	return mapped
+}

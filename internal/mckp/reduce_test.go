@@ -1,0 +1,90 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReduceRemovesDominated(t *testing.T) {
+	p := Problem{
+		Capacity: 10,
+		Classes: []Class{{
+			Label: "c",
+			Items: []Item{
+				{Weight: 0, Value: 100}, // dominates everything below
+				{Weight: 1, Value: 90},  // dominated (heavier, worse)
+				{Weight: 2, Value: 150},
+				{Weight: 4, Value: 150}, // dominated by the 2/150 item
+				{Weight: 8, Value: 200},
+			},
+		}},
+	}
+	r, _ := Reduce(p)
+	if got := len(r.Classes[0].Items); got != 3 {
+		t.Fatalf("want 3 surviving items, got %d: %+v", got, r.Classes[0].Items)
+	}
+}
+
+// TestReducePreservesOptimum: the reduced problem has the same optimal
+// value as the original, and the mapped choice is valid in the original.
+func TestReducePreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng, 6, 6, 8)
+		orig, errO := SolveDP(p)
+		r, red := Reduce(p)
+		got, errR := SolveDP(r)
+		if (errO == nil) != (errR == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errO, errR)
+		}
+		if errO != nil {
+			continue
+		}
+		if math.Abs(orig.Value-got.Value) > 1e-9 {
+			t.Fatalf("trial %d: reduction changed optimum %v → %v", trial, orig.Value, got.Value)
+		}
+		mapped := red.MapChoice(got)
+		if err := p.verify(mapped); err != nil {
+			t.Fatalf("trial %d: mapped solution invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestReduceNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 5, 8, 6)
+		r, _ := Reduce(p)
+		for ci := range p.Classes {
+			if len(r.Classes[ci].Items) > len(p.Classes[ci].Items) {
+				t.Fatal("reduction grew a class")
+			}
+			if len(r.Classes[ci].Items) == 0 {
+				t.Fatal("reduction emptied a class")
+			}
+		}
+	}
+}
+
+func TestReduceOnAppCurves(t *testing.T) {
+	// S3D's curve (best at 0 IONs, descending tail) should reduce to a
+	// single item: every forwarding option is dominated by direct access.
+	p := Problem{
+		Capacity: 8,
+		Classes: []Class{{
+			Label: "S3D",
+			Items: []Item{
+				{Weight: 0, Value: 241.3},
+				{Weight: 1, Value: 60.0},
+				{Weight: 2, Value: 48.1},
+				{Weight: 4, Value: 150.0},
+				{Weight: 8, Value: 200.0},
+			},
+		}},
+	}
+	r, _ := Reduce(p)
+	if len(r.Classes[0].Items) != 1 || r.Classes[0].Items[0].Weight != 0 {
+		t.Fatalf("S3D should reduce to the direct-access item: %+v", r.Classes[0].Items)
+	}
+}

@@ -1,0 +1,170 @@
+// Package pattern models application I/O access patterns the way the paper
+// characterizes them: file layout (file-per-process vs. shared file),
+// request spatiality (contiguous vs. 1D-strided), request size, and job
+// geometry (compute nodes and client processes). It also enumerates the
+// 189-scenario factorial surveyed with FORGE on MareNostrum 4 (§2) and the
+// eight highlighted patterns of Figure 1 / Table 2.
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Layout is the file approach of an access pattern.
+type Layout int
+
+const (
+	// FilePerProcess has each client process write to its own file.
+	FilePerProcess Layout = iota
+	// SharedFile has all client processes write to one shared file.
+	SharedFile
+)
+
+func (l Layout) String() string {
+	switch l {
+	case FilePerProcess:
+		return "file-per-process"
+	case SharedFile:
+		return "shared"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Spatiality describes how consecutive requests of one process relate.
+type Spatiality int
+
+const (
+	// Contiguous requests touch adjacent offsets.
+	Contiguous Spatiality = iota
+	// Strided1D requests are interleaved across processes with a fixed
+	// stride (each process owns every P-th block of the shared file).
+	Strided1D
+)
+
+func (s Spatiality) String() string {
+	switch s {
+	case Contiguous:
+		return "contiguous"
+	case Strided1D:
+		return "1d-strided"
+	default:
+		return fmt.Sprintf("Spatiality(%d)", int(s))
+	}
+}
+
+// Operation distinguishes reads from writes.
+type Operation int
+
+const (
+	Write Operation = iota
+	Read
+)
+
+func (o Operation) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Pattern is a fully specified access pattern, the unit of characterization
+// used by the performance model and the arbitration policies.
+type Pattern struct {
+	Nodes       int        // compute nodes used by the job
+	ProcsPerNod int        // client processes per compute node
+	Layout      Layout     // file approach
+	Spatiality  Spatiality // request spatiality
+	RequestSize int64      // bytes per request
+	Operation   Operation  // write or read
+}
+
+// Processes returns the total number of client processes.
+func (p Pattern) Processes() int { return p.Nodes * p.ProcsPerNod }
+
+// Validate reports whether the pattern is well formed.
+func (p Pattern) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("pattern: nodes must be positive, got %d", p.Nodes)
+	case p.ProcsPerNod <= 0:
+		return fmt.Errorf("pattern: processes per node must be positive, got %d", p.ProcsPerNod)
+	case p.RequestSize <= 0:
+		return fmt.Errorf("pattern: request size must be positive, got %d", p.RequestSize)
+	case p.Layout == FilePerProcess && p.Spatiality == Strided1D:
+		return fmt.Errorf("pattern: file-per-process implies contiguous access")
+	}
+	return nil
+}
+
+// String renders the pattern compactly, e.g.
+// "32n×48p shared 1d-strided 512KiB write".
+func (p Pattern) String() string {
+	return fmt.Sprintf("%dn×%dp %s %s %s %s",
+		p.Nodes, p.ProcsPerNod, p.Layout, p.Spatiality,
+		units.FormatBytes(p.RequestSize), p.Operation)
+}
+
+// MN4 survey factorial (§2): 8/16/32 nodes × 12/24/48 processes per node ×
+// {file-per-process contiguous, shared contiguous, shared 1D-strided} ×
+// 7 request sizes = 3·3·3·7 = 189 scenarios.
+var (
+	mn4Nodes    = []int{8, 16, 32}
+	mn4PPN      = []int{12, 24, 48}
+	mn4ReqSizes = []int64{
+		32 * units.KiB, 128 * units.KiB, 512 * units.KiB,
+		1 * units.MiB, 4 * units.MiB, 6 * units.MiB, 8 * units.MiB,
+	}
+)
+
+// MN4Survey returns the 189 write scenarios covered with FORGE on
+// MareNostrum 4 (paper §2), in a stable deterministic order.
+func MN4Survey() []Pattern {
+	out := make([]Pattern, 0, 189)
+	for _, n := range mn4Nodes {
+		for _, ppn := range mn4PPN {
+			for _, sz := range mn4ReqSizes {
+				out = append(out,
+					Pattern{Nodes: n, ProcsPerNod: ppn, Layout: FilePerProcess, Spatiality: Contiguous, RequestSize: sz, Operation: Write},
+					Pattern{Nodes: n, ProcsPerNod: ppn, Layout: SharedFile, Spatiality: Contiguous, RequestSize: sz, Operation: Write},
+					Pattern{Nodes: n, ProcsPerNod: ppn, Layout: SharedFile, Spatiality: Strided1D, RequestSize: sz, Operation: Write},
+				)
+			}
+		}
+	}
+	return out
+}
+
+// Figure1Patterns returns the eight patterns highlighted in Figure 1,
+// keyed by their Table 2 label.
+func Figure1Patterns() map[string]Pattern {
+	return map[string]Pattern{
+		"A": {Nodes: 32, ProcsPerNod: 48, Layout: FilePerProcess, Spatiality: Contiguous, RequestSize: 1024 * units.KiB, Operation: Write},
+		"B": {Nodes: 32, ProcsPerNod: 48, Layout: FilePerProcess, Spatiality: Contiguous, RequestSize: 128 * units.KiB, Operation: Write},
+		"C": {Nodes: 32, ProcsPerNod: 48, Layout: SharedFile, Spatiality: Contiguous, RequestSize: 1024 * units.KiB, Operation: Write},
+		"D": {Nodes: 16, ProcsPerNod: 12, Layout: SharedFile, Spatiality: Strided1D, RequestSize: 128 * units.KiB, Operation: Write},
+		"E": {Nodes: 8, ProcsPerNod: 24, Layout: SharedFile, Spatiality: Strided1D, RequestSize: 1024 * units.KiB, Operation: Write},
+		"F": {Nodes: 16, ProcsPerNod: 24, Layout: SharedFile, Spatiality: Contiguous, RequestSize: 128 * units.KiB, Operation: Write},
+		"G": {Nodes: 32, ProcsPerNod: 12, Layout: SharedFile, Spatiality: Strided1D, RequestSize: 512 * units.KiB, Operation: Write},
+		"H": {Nodes: 8, ProcsPerNod: 48, Layout: SharedFile, Spatiality: Contiguous, RequestSize: 4096 * units.KiB, Operation: Write},
+	}
+}
+
+// IONOptions returns the numbers of I/O nodes a job with the given compute
+// node count may choose from (paper §5.1): zero (direct PFS access, unless
+// disallowed) plus the powers of two that divide the node count, capped at
+// max. The returned slice is sorted ascending.
+func IONOptions(nodes, max int, allowZero bool) []int {
+	var out []int
+	if allowZero {
+		out = append(out, 0)
+	}
+	for w := 1; w <= max; w *= 2 {
+		if nodes%w == 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}

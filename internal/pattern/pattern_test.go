@@ -1,0 +1,162 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMN4SurveyCount(t *testing.T) {
+	ps := MN4Survey()
+	if len(ps) != 189 {
+		t.Fatalf("survey must have 189 scenarios (paper §2), got %d", len(ps))
+	}
+}
+
+func TestMN4SurveyAllValid(t *testing.T) {
+	for _, p := range MN4Survey() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid scenario %v: %v", p, err)
+		}
+		if p.Operation != Write {
+			t.Fatalf("survey covers writes only, got %v", p)
+		}
+	}
+}
+
+func TestMN4SurveyUnique(t *testing.T) {
+	seen := make(map[Pattern]bool)
+	for _, p := range MN4Survey() {
+		if seen[p] {
+			t.Fatalf("duplicate scenario %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMN4SurveyComposition(t *testing.T) {
+	var fpp, sharedContig, sharedStrided int
+	for _, p := range MN4Survey() {
+		switch {
+		case p.Layout == FilePerProcess:
+			fpp++
+		case p.Spatiality == Contiguous:
+			sharedContig++
+		default:
+			sharedStrided++
+		}
+	}
+	if fpp != 63 || sharedContig != 63 || sharedStrided != 63 {
+		t.Fatalf("composition: fpp=%d sharedContig=%d sharedStrided=%d, want 63 each",
+			fpp, sharedContig, sharedStrided)
+	}
+}
+
+func TestMN4SurveyDeterministic(t *testing.T) {
+	a, b := MN4Survey(), MN4Survey()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("survey order not deterministic at %d", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Pattern{
+		{Nodes: 0, ProcsPerNod: 1, RequestSize: 1},
+		{Nodes: 1, ProcsPerNod: 0, RequestSize: 1},
+		{Nodes: 1, ProcsPerNod: 1, RequestSize: 0},
+		{Nodes: 1, ProcsPerNod: 1, RequestSize: 1, Layout: FilePerProcess, Spatiality: Strided1D},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("pattern %v should be invalid", p)
+		}
+	}
+	good := Pattern{Nodes: 8, ProcsPerNod: 12, RequestSize: units.MiB, Layout: SharedFile, Spatiality: Strided1D}
+	if err := good.Validate(); err != nil {
+		t.Errorf("pattern %v should be valid: %v", good, err)
+	}
+}
+
+func TestFigure1PatternsMatchTable2(t *testing.T) {
+	ps := Figure1Patterns()
+	if len(ps) != 8 {
+		t.Fatalf("want 8 patterns, got %d", len(ps))
+	}
+	// Spot-check Table 2 rows.
+	a := ps["A"]
+	if a.Nodes != 32 || a.Processes() != 1536 || a.Layout != FilePerProcess || a.RequestSize != 1024*units.KiB {
+		t.Fatalf("pattern A mismatch: %+v", a)
+	}
+	d := ps["D"]
+	if d.Nodes != 16 || d.Processes() != 192 || d.Spatiality != Strided1D || d.RequestSize != 128*units.KiB {
+		t.Fatalf("pattern D mismatch: %+v", d)
+	}
+	h := ps["H"]
+	if h.Nodes != 8 || h.Processes() != 384 || h.RequestSize != 4096*units.KiB {
+		t.Fatalf("pattern H mismatch: %+v", h)
+	}
+	for label, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("pattern %s invalid: %v", label, err)
+		}
+	}
+}
+
+func TestIONOptions(t *testing.T) {
+	got := IONOptions(32, 8, true)
+	want := []int{0, 1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("IONOptions(32,8,true) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IONOptions(32,8,true) = %v, want %v", got, want)
+		}
+	}
+	// 12 nodes: divisible by 1, 2, 4 but not 8.
+	got = IONOptions(12, 8, false)
+	want = []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("IONOptions(12,8,false) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IONOptions(12,8,false) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIONOptionsSortedAndDivisible(t *testing.T) {
+	for nodes := 1; nodes <= 64; nodes++ {
+		opts := IONOptions(nodes, 16, true)
+		prev := -1
+		for _, w := range opts {
+			if w <= prev {
+				t.Fatalf("options not strictly ascending for %d nodes: %v", nodes, opts)
+			}
+			prev = w
+			if w > 0 && nodes%w != 0 {
+				t.Fatalf("option %d does not divide %d nodes", w, nodes)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := Pattern{Nodes: 32, ProcsPerNod: 48, Layout: SharedFile, Spatiality: Strided1D, RequestSize: 512 * units.KiB, Operation: Write}
+	s := p.String()
+	for _, frag := range []string{"32n", "48p", "shared", "1d-strided", "512.00 KiB", "write"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+	if FilePerProcess.String() != "file-per-process" || Contiguous.String() != "contiguous" || Read.String() != "read" {
+		t.Error("enum stringers wrong")
+	}
+	if !strings.Contains(Layout(9).String(), "Layout") || !strings.Contains(Spatiality(9).String(), "Spatiality") {
+		t.Error("unknown enum stringers should be explicit")
+	}
+}

@@ -1,0 +1,322 @@
+// Package perfmodel provides the analytic I/O performance model that stands
+// in for the MareNostrum 4 measurements of the paper's §2 survey. Given an
+// access pattern and a number of I/O forwarding nodes it predicts the
+// client-side bandwidth, reproducing the qualitative behaviour the paper
+// measured with FORGE:
+//
+//   - file-per-process workloads with large requests scale with I/O nodes;
+//   - shared-file workloads are dominated by file-level contention that
+//     grows with the number of client processes and is only partially
+//     relieved by forwarding (aggregation + fewer PFS writers), so they
+//     peak at a small number of I/O nodes;
+//   - 1D-strided workloads suffer an additional fragmentation penalty that
+//     request reordering at the I/O nodes only partly recovers;
+//   - small jobs with large contiguous requests are better off talking to
+//     the PFS directly (zero I/O nodes).
+//
+// The default parameters are calibrated (see calibrate_test.go) so that the
+// distribution of the optimal I/O-node count over the 189-scenario survey
+// matches the paper's §2 finding: best at 0 IONs for 33% of scenarios, 1 for
+// 6%, 2 for 44%, 4 for 8%, and 8 for 9%.
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/pattern"
+	"repro/internal/units"
+)
+
+// Params holds every tunable constant of the analytic model. The zero value
+// is not useful; start from DefaultParams.
+type Params struct {
+	// PFSAggregate is the peak aggregate backend bandwidth (all data
+	// servers together) for perfectly formed traffic.
+	PFSAggregate units.Bandwidth
+	// IONLink is the ingress bandwidth of one I/O node (network in +
+	// staging out overlap, hence a single figure).
+	IONLink units.Bandwidth
+	// ClientLink is the network bandwidth of one compute node.
+	ClientLink units.Bandwidth
+	// DispatchWidth is the number of parallel streams each I/O node keeps
+	// toward the PFS.
+	DispatchWidth int
+
+	// DirectStreams0 and DirectStreamExp control how quickly many
+	// concurrent client streams erode PFS efficiency on the direct path:
+	// eff = 1/(1+(streams/DirectStreams0)^DirectStreamExp). The sharp
+	// exponent reflects the MN4 observation that direct access holds up
+	// well until the client count approaches the servers' limit, then
+	// collapses — which is what makes forwarding a large win for the
+	// very largest jobs (Figure 1's pattern A) while small jobs prefer
+	// direct access.
+	DirectStreams0  float64
+	DirectStreamExp float64
+	// FwdStreams0 is the same constant for the forwarded path (I/O node
+	// dispatch streams are well formed, so this is much larger).
+	FwdStreams0 float64
+
+	// ReqOverheadDirect is the per-request positioning overhead on the
+	// direct path expressed as an equivalent byte count: the size
+	// efficiency is s/(s+ReqOverheadDirect).
+	ReqOverheadDirect float64
+	// ReqOverheadION is the per-request handling overhead at an I/O node.
+	ReqOverheadION float64
+
+	// AggFactorFPP, AggFactorShared, AggFactorStrided are the request
+	// aggregation factors the forwarding layer achieves for each shape
+	// (contiguous requests from many clients coalesce at the I/O node).
+	AggFactorFPP     float64
+	AggFactorShared  float64
+	AggFactorStrided float64
+	// AggCap bounds the effective aggregated request size in bytes.
+	AggCap float64
+
+	// SharedProcs0 scales the shared-file contention penalty with the
+	// number of client processes: P = 1/(1+procs/SharedProcs0).
+	SharedProcs0 float64
+	// StridedProcs0 is the equivalent for 1D-strided access.
+	StridedProcs0 float64
+	// SharedLargeReq0 penalizes large requests on shared files (stripe
+	// and lock-boundary conflicts): 1/(1+s/SharedLargeReq0).
+	SharedLargeReq0 float64
+	// StridedReqKnee is the knee of the strided size efficiency
+	// s/(s+StridedReqKnee).
+	StridedReqKnee float64
+	// StridedFwdFactor and StridedDirectFactor scale strided bandwidth on
+	// the forwarded and direct paths (reordering at the I/O node recovers
+	// part of the fragmentation penalty, the direct path none of it).
+	StridedFwdFactor    float64
+	StridedDirectFactor float64
+
+	// IONLockBeta scales the residual inter-I/O-node lock contention on
+	// shared files: L(k) = sqrt(k)/(1+β(k-1)²) with
+	// β = IONLockBeta·IONLockSmallJob/procs, a unimodal curve whose peak
+	// moves right as jobs get larger (small jobs have little to gain from
+	// extra forwarders, so their β is large).
+	IONLockBeta float64
+	// IONLockSmallJob is the client-process count at which β equals
+	// IONLockBeta.
+	IONLockSmallJob float64
+	// IONLockExp is the base exponent of the β power law and
+	// IONLockExpScale its growth with job size:
+	// β = IONLockBeta·(IONLockSmallJob/procs)^(IONLockExp+procs/IONLockExpScale).
+	// The super-exponential tail mirrors the MN4 observation that only
+	// the very largest shared-file jobs keep benefiting from extra
+	// forwarders.
+	IONLockExp      float64
+	IONLockExpScale float64
+	// PerStreamRate caps the PFS-side throughput of one I/O-node dispatch
+	// stream; with few I/O nodes the backend cannot be saturated.
+	PerStreamRate units.Bandwidth
+	// Jitter is the relative amplitude of the deterministic pseudo-noise
+	// applied to every prediction, emulating the run-to-run variance of
+	// the paper's measurements (each MN4 scenario was run at least five
+	// times across different days). A fixed hash of (pattern, k) keeps
+	// the model reproducible.
+	Jitter float64
+	// FwdOverhead is the store-and-forward multiplicative efficiency.
+	FwdOverhead float64
+	// FPPMetaPenalty models metadata pressure of file-per-process
+	// workloads: M = 1/(1+files/FPPMetaPenalty).
+	FPPMetaPenalty float64
+	// ReadPenaltyExp softens the shared-file contention penalty for read
+	// workloads (reads take no write locks): the penalty factor is raised
+	// to this exponent, so 1 means reads behave like writes and 0.5 means
+	// the penalty is square-rooted. Applies to both paths.
+	ReadPenaltyExp float64
+}
+
+// DefaultParams returns the calibrated MareNostrum-4-like parameter set.
+func DefaultParams() Params {
+	return Params{
+		PFSAggregate: units.BandwidthFromMBps(6000),
+		IONLink:      units.BandwidthFromMBps(1100),
+		ClientLink:   units.BandwidthFromMBps(1200),
+
+		DispatchWidth:   2,
+		DirectStreams0:  1400,
+		DirectStreamExp: 4,
+		FwdStreams0:     1e9, // effectively no decay; PerStreamRate models ramp-up
+
+		ReqOverheadDirect: 256 * 1024,
+		ReqOverheadION:    32 * 1024,
+
+		AggFactorFPP:     1, // forwarding cannot coalesce across files
+		AggFactorShared:  8,
+		AggFactorStrided: 2,
+		AggCap:           6 * 1024 * 1024, // chunking splits requests at I/O nodes
+
+		SharedProcs0:    30,
+		StridedProcs0:   50,
+		SharedLargeReq0: 4 * 1024 * 1024,
+		StridedReqKnee:  1024 * 1024,
+
+		StridedFwdFactor:    0.40,
+		StridedDirectFactor: 0.12,
+
+		IONLockBeta:     1.0,
+		IONLockSmallJob: 82,
+		IONLockExp:      1.0,
+		IONLockExpScale: 2695,
+		Jitter:          0.02,
+		PerStreamRate:   units.BandwidthFromMBps(450),
+		FwdOverhead:     0.87,
+		FPPMetaPenalty:  6000,
+		ReadPenaltyExp:  0.5,
+	}
+}
+
+// Model predicts bandwidth for access patterns under forwarding
+// configurations. The zero value is unusable; construct with New.
+type Model struct {
+	p Params
+}
+
+// New returns a model with the given parameters.
+func New(p Params) *Model { return &Model{p: p} }
+
+// Default returns a model with the calibrated default parameters.
+func Default() *Model { return New(DefaultParams()) }
+
+// Params returns the model's parameter set.
+func (m *Model) Params() Params { return m.p }
+
+// Bandwidth predicts the client-side bandwidth of pattern pat when the job
+// forwards through k I/O nodes (k == 0 means direct PFS access). Invalid
+// patterns and negative k yield zero.
+func (m *Model) Bandwidth(pat pattern.Pattern, k int) units.Bandwidth {
+	if pat.Validate() != nil || k < 0 {
+		return 0
+	}
+	j := m.jitterFactor(pat, k)
+	if k == 0 {
+		return units.Bandwidth(float64(m.direct(pat)) * j)
+	}
+	return units.Bandwidth(float64(m.forwarded(pat, k)) * j)
+}
+
+// direct models all client processes hitting the PFS servers concurrently.
+func (m *Model) direct(pat pattern.Pattern) units.Bandwidth {
+	p := &m.p
+	procs := float64(pat.Processes())
+	s := float64(pat.RequestSize)
+
+	sizeEff := s / (s + p.ReqOverheadDirect)
+	streamEff := 1 / (1 + math.Pow(procs/p.DirectStreams0, p.DirectStreamExp))
+
+	pfs := float64(p.PFSAggregate) * sizeEff * streamEff
+	switch {
+	case pat.Layout == pattern.FilePerProcess:
+		pfs *= 1 / (1 + procs/p.FPPMetaPenalty)
+	case pat.Spatiality == pattern.Strided1D:
+		pfs *= m.sharedPenalty(pat.Operation, procs, s, p.StridedProcs0) * p.StridedDirectFactor *
+			s / (s + p.StridedReqKnee) / sizeEff
+	default: // shared contiguous
+		pfs *= m.sharedPenalty(pat.Operation, procs, s, p.SharedProcs0)
+	}
+
+	clientNet := float64(pat.Nodes) * float64(p.ClientLink)
+	return units.Bandwidth(math.Min(pfs, clientNet))
+}
+
+// forwarded models the two-stage path: clients → k I/O nodes → PFS.
+func (m *Model) forwarded(pat pattern.Pattern, k int) units.Bandwidth {
+	p := &m.p
+	procs := float64(pat.Processes())
+	s := float64(pat.RequestSize)
+	kf := float64(k)
+
+	// Stage 1: ingress into the I/O nodes.
+	reqEff := s / (s + p.ReqOverheadION)
+	ingress := kf * float64(p.IONLink) * reqEff
+	clientNet := float64(pat.Nodes) * float64(p.ClientLink)
+	ingress = math.Min(ingress, clientNet)
+
+	// Stage 2: I/O nodes dispatch aggregated, well-formed requests.
+	agg := p.AggFactorShared
+	switch {
+	case pat.Layout == pattern.FilePerProcess:
+		agg = p.AggFactorFPP
+	case pat.Spatiality == pattern.Strided1D:
+		agg = p.AggFactorStrided
+	}
+	sAgg := math.Min(s*agg, p.AggCap)
+	sizeEff := sAgg / (sAgg + p.ReqOverheadDirect)
+
+	streams := kf * float64(p.DispatchWidth)
+	streamEff := 1 / (1 + streams/p.FwdStreams0)
+
+	pfs := float64(p.PFSAggregate) * sizeEff * streamEff
+	switch {
+	case pat.Layout == pattern.FilePerProcess:
+		pfs *= 1 / (1 + procs/p.FPPMetaPenalty)
+	case pat.Spatiality == pattern.Strided1D:
+		pfs *= m.sharedPenalty(pat.Operation, procs, s, p.StridedProcs0) *
+			m.ionLock(kf, procs) * p.StridedFwdFactor *
+			(s / (s + p.StridedReqKnee)) / sizeEff
+	default: // shared contiguous
+		pfs *= m.sharedPenalty(pat.Operation, procs, s, p.SharedProcs0) * m.ionLock(kf, procs)
+	}
+
+	// Few I/O nodes cannot saturate the backend: each dispatch stream has
+	// a finite rate, so the PFS-side value ramps with k until other
+	// limits take over.
+	pfs = math.Min(pfs, streams*float64(p.PerStreamRate))
+
+	return units.Bandwidth(math.Min(ingress, pfs) * p.FwdOverhead)
+}
+
+// sharedPenalty is the file-level contention factor for shared files: it
+// shrinks with the number of interleaved writers and with oversized
+// requests that span lock boundaries. Read workloads take no write locks,
+// so their penalty is softened by ReadPenaltyExp.
+func (m *Model) sharedPenalty(op pattern.Operation, procs, reqSize, procs0 float64) float64 {
+	pen := 1 / (1 + procs/procs0) / (1 + reqSize/m.p.SharedLargeReq0)
+	if op == pattern.Read && m.p.ReadPenaltyExp > 0 && m.p.ReadPenaltyExp != 1 {
+		pen = math.Pow(pen, m.p.ReadPenaltyExp)
+	}
+	return pen
+}
+
+// ionLock captures the interplay between dispatch parallelism (more I/O
+// nodes push more streams) and residual lock contention between I/O nodes
+// writing the same shared file. It is unimodal in k; its peak moves toward
+// larger k as the job's client count grows.
+func (m *Model) ionLock(k, procs float64) float64 {
+	exp := m.p.IONLockExp + procs/m.p.IONLockExpScale
+	beta := m.p.IONLockBeta * math.Pow(m.p.IONLockSmallJob/procs, exp)
+	return math.Sqrt(k) / (1 + beta*(k-1)*(k-1))
+}
+
+// jitterFactor derives a deterministic pseudo-noise multiplier in
+// [1-Jitter, 1+Jitter] from the pattern and ION count, using an FNV-1a
+// style mix. It stands in for the measurement dispersion of the paper's
+// repeated runs while keeping every prediction reproducible.
+func (m *Model) jitterFactor(pat pattern.Pattern, k int) float64 {
+	if m.p.Jitter == 0 {
+		return 1
+	}
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(pat.Nodes))
+	mix(uint64(pat.ProcsPerNod))
+	mix(uint64(pat.Layout) + 17)
+	mix(uint64(pat.Spatiality) + 31)
+	mix(uint64(pat.RequestSize))
+	mix(uint64(pat.Operation) + 7)
+	mix(uint64(k) + 101)
+	// splitmix64-style finalizer: FNV alone diffuses low-bit input
+	// differences (e.g. k=2 vs k=4) too weakly into the high bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	// Map the top 53 bits to [0,1), then to [-1,1].
+	u := float64(h>>11) / float64(1<<53)
+	return 1 + m.p.Jitter*(2*u-1)
+}

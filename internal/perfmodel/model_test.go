@@ -1,0 +1,262 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/units"
+)
+
+func pat(nodes, ppn int, layout pattern.Layout, spat pattern.Spatiality, req int64) pattern.Pattern {
+	return pattern.Pattern{
+		Nodes: nodes, ProcsPerNod: ppn, Layout: layout,
+		Spatiality: spat, RequestSize: req, Operation: pattern.Write,
+	}
+}
+
+func TestBandwidthPositiveOverSurvey(t *testing.T) {
+	m := Default()
+	for _, p := range pattern.MN4Survey() {
+		for _, k := range []int{0, 1, 2, 4, 8} {
+			if bw := m.Bandwidth(p, k); bw <= 0 {
+				t.Fatalf("non-positive bandwidth for %v at %d IONs: %v", p, k, bw)
+			}
+		}
+	}
+}
+
+func TestBandwidthInvalidInputs(t *testing.T) {
+	m := Default()
+	if bw := m.Bandwidth(pattern.Pattern{}, 1); bw != 0 {
+		t.Fatalf("invalid pattern must yield 0, got %v", bw)
+	}
+	p := pat(8, 12, pattern.SharedFile, pattern.Contiguous, units.MiB)
+	if bw := m.Bandwidth(p, -1); bw != 0 {
+		t.Fatalf("negative ION count must yield 0, got %v", bw)
+	}
+}
+
+func TestBandwidthDeterministic(t *testing.T) {
+	m := Default()
+	p := pat(32, 48, pattern.SharedFile, pattern.Strided1D, 512*units.KiB)
+	first := m.Bandwidth(p, 2)
+	for i := 0; i < 10; i++ {
+		if got := m.Bandwidth(p, 2); got != first {
+			t.Fatalf("prediction not deterministic: %v then %v", first, got)
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	params := DefaultParams()
+	noJitter := New(func() Params { q := params; q.Jitter = 0; return q }())
+	withJitter := New(params)
+	for _, p := range pattern.MN4Survey() {
+		for _, k := range []int{0, 1, 2, 4, 8} {
+			base := float64(noJitter.Bandwidth(p, k))
+			got := float64(withJitter.Bandwidth(p, k))
+			lo, hi := base*(1-params.Jitter)-1e-9, base*(1+params.Jitter)+1e-9
+			if got < lo || got > hi {
+				t.Fatalf("jittered value %v outside [%v,%v] for %v k=%d", got, lo, hi, p, k)
+			}
+		}
+	}
+}
+
+func TestJitterVariesWithK(t *testing.T) {
+	m := Default()
+	p := pat(16, 48, pattern.SharedFile, pattern.Contiguous, units.MiB)
+	// The k=2 and k=4 points of a 768-process shared job are an
+	// engineered near-tie; the jitter hash must separate them by more
+	// than the underlying 0.1% model difference.
+	a, _ := m.CurveFor(p, 8, true).At(2)
+	b, _ := m.CurveFor(p, 8, true).At(4)
+	rel := float64(a-b) / float64(a)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel < 0.002 {
+		t.Fatalf("jitter fails to separate adjacent ION counts: rel diff %v", rel)
+	}
+}
+
+// TestFilePerProcessShapes checks the qualitative Figure 1 behaviour of
+// file-per-process patterns: large jobs gain from forwarding, small jobs
+// prefer direct access.
+func TestFilePerProcessShapes(t *testing.T) {
+	m := Default()
+	big := pat(32, 48, pattern.FilePerProcess, pattern.Contiguous, units.MiB) // pattern A
+	c := m.CurveFor(big, 8, true)
+	if c.Best().IONs < 4 {
+		t.Fatalf("large fpp job should peak at >=4 IONs, curve %v", c)
+	}
+	small := pat(8, 12, pattern.FilePerProcess, pattern.Contiguous, 4*units.MiB)
+	if got := m.CurveFor(small, 8, true).Best().IONs; got != 0 {
+		t.Fatalf("small fpp job should prefer direct access, got %d IONs (%v)", got, m.CurveFor(small, 8, true))
+	}
+}
+
+// TestSharedFileShapes checks that shared-file patterns peak at a small
+// number of I/O nodes and that forwarding beats direct access for
+// medium/large shared jobs (the paper's central observation).
+func TestSharedFileShapes(t *testing.T) {
+	m := Default()
+	p := pat(16, 24, pattern.SharedFile, pattern.Contiguous, 128*units.KiB) // pattern F
+	c := m.CurveFor(p, 8, true)
+	best := c.Best()
+	if best.IONs == 0 || best.IONs > 4 {
+		t.Fatalf("medium shared job should peak at 1..4 IONs, curve %v", c)
+	}
+	direct, _ := c.At(0)
+	if best.Bandwidth < direct {
+		t.Fatalf("forwarding should beat direct access for %v: %v", p, c)
+	}
+}
+
+// TestStridedWorseThanContiguous: 1D-strided access never outperforms the
+// equivalent contiguous pattern (fragmentation only hurts).
+func TestStridedWorseThanContiguous(t *testing.T) {
+	m := Default()
+	for _, nodes := range []int{8, 16, 32} {
+		for _, ppn := range []int{12, 24, 48} {
+			for _, req := range []int64{32 * units.KiB, units.MiB, 8 * units.MiB} {
+				for _, k := range []int{0, 1, 2, 4, 8} {
+					contig := m.Bandwidth(pat(nodes, ppn, pattern.SharedFile, pattern.Contiguous, req), k)
+					strided := m.Bandwidth(pat(nodes, ppn, pattern.SharedFile, pattern.Strided1D, req), k)
+					// Allow the jitter amplitude as slack.
+					if float64(strided) > float64(contig)*(1+2*m.Params().Jitter) {
+						t.Fatalf("strided beats contiguous: %dn×%dp req=%d k=%d (%v > %v)",
+							nodes, ppn, req, k, strided, contig)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCalibratedOptimumDistribution is the calibration contract: the share
+// of survey scenarios whose optimum is k I/O nodes must be within 6
+// percentage points of the paper's §2 distribution.
+func TestCalibratedOptimumDistribution(t *testing.T) {
+	dist := OptimumDistribution(Default().SurveyCurves())
+	want := map[int]float64{0: 0.33, 1: 0.06, 2: 0.44, 4: 0.08, 8: 0.09}
+	const tol = 0.06
+	for k, w := range want {
+		if got := dist[k]; got < w-tol || got > w+tol {
+			t.Errorf("optimum share at %d IONs = %.3f, want %.2f±%.2f (full: %v)", k, got, w, tol, dist)
+		}
+	}
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("distribution does not sum to 1: %v", sum)
+	}
+}
+
+func TestClientLinkCap(t *testing.T) {
+	params := DefaultParams()
+	m := New(params)
+	// A 1-node job cannot exceed its NIC no matter the configuration.
+	p := pat(1, 48, pattern.FilePerProcess, pattern.Contiguous, 8*units.MiB)
+	for _, k := range []int{0, 1} {
+		if bw := m.Bandwidth(p, k); float64(bw) > float64(params.ClientLink)*(1+params.Jitter) {
+			t.Fatalf("1-node job exceeds client NIC at k=%d: %v", k, bw)
+		}
+	}
+}
+
+func TestBandwidthScalesWithReasonableBounds(t *testing.T) {
+	params := DefaultParams()
+	m := New(params)
+	f := func(nodesRaw, ppnRaw uint8, sizeRaw uint16, kRaw uint8) bool {
+		nodes := int(nodesRaw)%64 + 1
+		ppn := int(ppnRaw)%48 + 1
+		size := int64(sizeRaw)*units.KiB + 4*units.KiB
+		k := []int{0, 1, 2, 4, 8}[int(kRaw)%5]
+		p := pat(nodes, ppn, pattern.FilePerProcess, pattern.Contiguous, size)
+		bw := float64(m.Bandwidth(p, k))
+		if bw <= 0 {
+			return false
+		}
+		// Never above the PFS aggregate or the client network (plus jitter).
+		capVal := float64(params.PFSAggregate)
+		if c := float64(nodes) * float64(params.ClientLink); c < capVal {
+			capVal = c
+		}
+		return bw <= capVal*(1+params.Jitter)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadsSufferLessSharedContention: read workloads take no write locks,
+// so a shared-file read pattern achieves at least the bandwidth of the
+// equivalent write pattern, strictly more where contention dominates.
+func TestReadsSufferLessSharedContention(t *testing.T) {
+	m := Default()
+	for _, spat := range []pattern.Spatiality{pattern.Contiguous, pattern.Strided1D} {
+		for _, k := range []int{0, 1, 2, 4, 8} {
+			w := pat(32, 48, pattern.SharedFile, spat, 512*units.KiB)
+			r := w
+			r.Operation = pattern.Read
+			bwW := float64(m.Bandwidth(w, k))
+			bwR := float64(m.Bandwidth(r, k))
+			// Jitter differs per operation; allow its amplitude.
+			if bwR < bwW*(1-2*m.Params().Jitter) {
+				t.Fatalf("%v k=%d: read %v below write %v", spat, k, bwR, bwW)
+			}
+		}
+	}
+	// Strictly better for a heavily contended case (beyond jitter).
+	w := pat(32, 48, pattern.SharedFile, pattern.Contiguous, 128*units.KiB)
+	r := w
+	r.Operation = pattern.Read
+	if float64(m.Bandwidth(r, 2)) < float64(m.Bandwidth(w, 2))*1.5 {
+		t.Fatalf("contended shared read should be much faster than write: %v vs %v",
+			m.Bandwidth(r, 2), m.Bandwidth(w, 2))
+	}
+}
+
+// TestReadModelDoesNotChangeWriteSurvey: the §2 calibration is a
+// write-only survey; read modeling must not disturb it.
+func TestReadModelDoesNotChangeWriteSurvey(t *testing.T) {
+	params := DefaultParams()
+	params.ReadPenaltyExp = 1 // disable read relief
+	plain := New(params)
+	def := Default()
+	for _, p := range pattern.MN4Survey() {
+		for _, k := range []int{0, 2, 8} {
+			if plain.Bandwidth(p, k) != def.Bandwidth(p, k) {
+				t.Fatalf("write prediction changed for %v at k=%d", p, k)
+			}
+		}
+	}
+}
+
+// TestFigure1RelativeMagnitudes pins the cross-pattern ordering visible in
+// Figure 1: file-per-process patterns move two orders of magnitude more
+// data than shared-file patterns at the same geometry, and the largest
+// shared-contiguous pattern (F) outruns every strided pattern.
+func TestFigure1RelativeMagnitudes(t *testing.T) {
+	m := Default()
+	peak := func(label string) float64 {
+		c := m.CurveFor(pattern.Figure1Patterns()[label], 8, true)
+		return float64(c.Best().Bandwidth)
+	}
+	if peak("A") < 10*peak("C") {
+		t.Fatalf("fpp A (%.0f) should dwarf shared C (%.0f)", peak("A"), peak("C"))
+	}
+	for _, strided := range []string{"D", "E", "G"} {
+		if peak("F") <= peak(strided) {
+			t.Fatalf("shared-contiguous F (%.0f) should beat strided %s (%.0f)",
+				peak("F"), strided, peak(strided))
+		}
+	}
+	if peak("B") <= peak("F") {
+		t.Fatalf("fpp B (%.0f) should beat shared F (%.0f)", peak("B"), peak("F"))
+	}
+}

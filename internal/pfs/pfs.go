@@ -1,0 +1,429 @@
+// Package pfs implements the parallel-file-system substrate the forwarding
+// layer dispatches to, standing in for the Lustre deployment of the paper's
+// Grid'5000 evaluation (one MGS/MDS and two OSSs with one OST each, 1 MiB
+// stripes, striping across all OSTs).
+//
+// The store keeps file data in memory (or discards payloads in accounting
+// mode) and models the performance characteristics that matter to the
+// arbitration problem:
+//
+//   - striping: writes and reads are split at stripe boundaries and each
+//     stripe extent is serviced by its OST;
+//   - per-OST serial service with a finite streaming rate, so concurrent
+//     writers contend for the same disks;
+//   - positioning latency for non-sequential extents (small or strided
+//     requests pay per-request overhead);
+//   - a per-file lock, so interleaved writers to one shared file serialize
+//     (the shared-file penalty of the paper's Figure 1).
+//
+// All latency/rate parameters default to zero, which turns the store into a
+// fast functional file system for unit tests; cluster experiments configure
+// scaled-down Lustre-like rates.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FileSystem is the interface shared by the PFS store, the forwarding
+// client, and every application kernel: a minimal POSIX-like contract.
+type FileSystem interface {
+	// Create makes an empty file, truncating any existing one.
+	Create(path string) error
+	// Write stores p at offset off, extending the file as needed.
+	Write(path string, off int64, p []byte) (int, error)
+	// Read fills p from offset off, returning the bytes read. Reads past
+	// the end return io.EOF semantics via a short count and error.
+	Read(path string, off int64, p []byte) (int, error)
+	// Stat reports file metadata.
+	Stat(path string) (FileInfo, error)
+	// Remove deletes the file.
+	Remove(path string) error
+	// Fsync flushes the file (a no-op barrier in this model).
+	Fsync(path string) error
+}
+
+// FileInfo is the metadata returned by Stat.
+type FileInfo struct {
+	Path string
+	Size int64
+}
+
+// Errors returned by the store.
+var (
+	ErrNotExist  = errors.New("pfs: file does not exist")
+	ErrShortRead = errors.New("pfs: read past end of file")
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// StripeSize is the striping unit; ≤0 selects 1 MiB (the paper's
+	// Lustre configuration).
+	StripeSize int64
+	// OSTs is the number of object storage targets; ≤0 selects 2 (the
+	// paper deploys two OSSs with one OST each).
+	OSTs int
+	// OSTRate is the per-OST streaming rate; 0 disables throttling.
+	OSTRate units.Bandwidth
+	// SeekLatency is charged per non-sequential extent on an OST.
+	SeekLatency time.Duration
+	// LockLatency is charged per write to a file that another writer
+	// touched since this writer's last access (shared-file contention).
+	LockLatency time.Duration
+	// MetaLatency is charged per metadata operation (create/stat/remove).
+	MetaLatency time.Duration
+	// Discard keeps metadata and accounting but drops payload bytes; use
+	// for large-volume benchmarks.
+	Discard bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StripeSize <= 0 {
+		c.StripeSize = units.MiB
+	}
+	if c.OSTs <= 0 {
+		c.OSTs = 2
+	}
+	return c
+}
+
+// Metrics is a snapshot of the store's counters.
+type Metrics struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	MetaOps      int64
+	// PerOSTBytes is the total volume serviced by each OST.
+	PerOSTBytes []int64
+	// Seeks counts non-sequential extents serviced.
+	Seeks int64
+	// LockWaits counts shared-file lock handoffs between writers.
+	LockWaits int64
+}
+
+type ost struct {
+	mu sync.Mutex
+	// lastPos tracks the last serviced end offset per file for
+	// sequential-access detection.
+	lastPos map[string]int64
+	bytes   int64
+	seeks   int64
+}
+
+type file struct {
+	mu   sync.Mutex
+	data []byte
+	size int64
+	// lastWriter detects writer interleaving for the lock penalty.
+	lastWriter string
+	// stripeSize overrides the store default when positive (the Lustre
+	// `lfs setstripe` analog); fixed at creation like real layouts.
+	stripeSize int64
+}
+
+// Store is the in-memory PFS. It is safe for concurrent use.
+type Store struct {
+	cfg  Config
+	osts []*ost
+
+	mu    sync.RWMutex
+	files map[string]*file
+
+	statsMu sync.Mutex
+	metrics Metrics
+}
+
+var _ FileSystem = (*Store)(nil)
+
+// NewStore returns a store with the given configuration.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{cfg: cfg, files: make(map[string]*file)}
+	for i := 0; i < cfg.OSTs; i++ {
+		s.osts = append(s.osts, &ost{lastPos: make(map[string]int64)})
+	}
+	return s
+}
+
+// Config returns the store's effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Create implements FileSystem.
+func (s *Store) Create(path string) error {
+	s.meta()
+	s.mu.Lock()
+	s.files[path] = &file{}
+	s.mu.Unlock()
+	return nil
+}
+
+// SetStripe creates (or truncates) path with a per-file stripe size — the
+// `lfs setstripe` analog. Like Lustre, the layout is fixed at creation;
+// stripe ≤ 0 selects the store default.
+func (s *Store) SetStripe(path string, stripe int64) error {
+	s.meta()
+	s.mu.Lock()
+	s.files[path] = &file{stripeSize: stripe}
+	s.mu.Unlock()
+	return nil
+}
+
+// stripeFor returns the effective stripe size for a file.
+func (s *Store) stripeFor(path string) int64 {
+	s.mu.RLock()
+	f, ok := s.files[path]
+	s.mu.RUnlock()
+	if ok && f.stripeSize > 0 {
+		return f.stripeSize
+	}
+	return s.cfg.StripeSize
+}
+
+func (s *Store) lookup(path string) (*file, error) {
+	s.mu.RLock()
+	f, ok := s.files[path]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f, nil
+}
+
+// lookupOrCreate returns the file, creating it on first write (the
+// forwarding layer's create-on-write semantics keep remote ops minimal).
+func (s *Store) lookupOrCreate(path string) *file {
+	s.mu.RLock()
+	f, ok := s.files[path]
+	s.mu.RUnlock()
+	if ok {
+		return f
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok = s.files[path]; ok {
+		return f
+	}
+	f = &file{}
+	s.files[path] = f
+	return f
+}
+
+// Write implements FileSystem. The caller identity for lock accounting is
+// anonymous; use WriteAs to attribute writers.
+func (s *Store) Write(path string, off int64, p []byte) (int, error) {
+	return s.WriteAs("", path, off, p)
+}
+
+// WriteAs is Write with an explicit writer identity, used by the I/O-node
+// daemons so the shared-file lock model sees which stream a write belongs
+// to.
+func (s *Store) WriteAs(writer, path string, off int64, p []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f := s.lookupOrCreate(path)
+
+	// File-level lock: serializes interleaved writers and charges the
+	// handoff penalty when ownership changes.
+	f.mu.Lock()
+	if s.cfg.LockLatency > 0 && f.lastWriter != "" && f.lastWriter != writer {
+		s.statsMu.Lock()
+		s.metrics.LockWaits++
+		s.statsMu.Unlock()
+		time.Sleep(s.cfg.LockLatency)
+	}
+	f.lastWriter = writer
+
+	end := off + int64(len(p))
+	if !s.cfg.Discard {
+		if int64(len(f.data)) < end {
+			grown := make([]byte, end)
+			copy(grown, f.data)
+			f.data = grown
+		}
+		copy(f.data[off:end], p)
+	}
+	if end > f.size {
+		f.size = end
+	}
+	f.mu.Unlock()
+
+	s.serviceExtents(path, off, int64(len(p)))
+
+	s.statsMu.Lock()
+	s.metrics.BytesWritten += int64(len(p))
+	s.metrics.WriteOps++
+	s.statsMu.Unlock()
+	return len(p), nil
+}
+
+// Read implements FileSystem.
+func (s *Store) Read(path string, off int64, p []byte) (int, error) {
+	f, err := s.lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	f.mu.Lock()
+	size := f.size
+	n := 0
+	if off < size {
+		n = int(size - off)
+		if n > len(p) {
+			n = len(p)
+		}
+		if !s.cfg.Discard {
+			copy(p[:n], f.data[off:off+int64(n)])
+		}
+	}
+	f.mu.Unlock()
+
+	if n > 0 {
+		s.serviceExtents(path, off, int64(n))
+	}
+	s.statsMu.Lock()
+	s.metrics.BytesRead += int64(n)
+	s.metrics.ReadOps++
+	s.statsMu.Unlock()
+	if n < len(p) {
+		return n, ErrShortRead
+	}
+	return n, nil
+}
+
+// Stat implements FileSystem.
+func (s *Store) Stat(path string) (FileInfo, error) {
+	s.meta()
+	f, err := s.lookup(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FileInfo{Path: path, Size: f.size}, nil
+}
+
+// Remove implements FileSystem.
+func (s *Store) Remove(path string) error {
+	s.meta()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	delete(s.files, path)
+	for _, o := range s.osts {
+		o.mu.Lock()
+		delete(o.lastPos, path)
+		o.mu.Unlock()
+	}
+	return nil
+}
+
+// Fsync implements FileSystem. Data is always durable in this model, so it
+// only validates existence.
+func (s *Store) Fsync(path string) error {
+	_, err := s.lookup(path)
+	return err
+}
+
+// List returns all paths in lexical order (test/diagnostic helper).
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics returns a snapshot of the store counters.
+func (s *Store) Metrics() Metrics {
+	s.statsMu.Lock()
+	m := s.metrics
+	s.statsMu.Unlock()
+	m.PerOSTBytes = make([]int64, len(s.osts))
+	for i, o := range s.osts {
+		o.mu.Lock()
+		m.PerOSTBytes[i] = o.bytes
+		m.Seeks += o.seeks
+		o.mu.Unlock()
+	}
+	return m
+}
+
+func (s *Store) meta() {
+	if s.cfg.MetaLatency > 0 {
+		time.Sleep(s.cfg.MetaLatency)
+	}
+	s.statsMu.Lock()
+	s.metrics.MetaOps++
+	s.statsMu.Unlock()
+}
+
+// serviceExtents charges each stripe extent of [off, off+n) to its OST:
+// serial per-OST service with optional seek latency and rate limiting.
+// Like Lustre, each file's stripes start at a different OST (derived from
+// the path) so small files spread across the targets.
+func (s *Store) serviceExtents(path string, off, n int64) {
+	stripe := s.stripeFor(path)
+	base := startOST(path, len(s.osts))
+	for n > 0 {
+		idx := off / stripe
+		extent := stripe - off%stripe
+		if extent > n {
+			extent = n
+		}
+		o := s.osts[(base+int(idx%int64(len(s.osts))))%len(s.osts)]
+		o.service(s.cfg, path, off, extent)
+		off += extent
+		n -= extent
+	}
+}
+
+// startOST picks a file's first OST from its path (FNV-1a).
+func startOST(path string, osts int) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(osts))
+}
+
+func (o *ost) service(cfg Config, path string, off, n int64) {
+	o.mu.Lock()
+	sequential := o.lastPos[path] == off
+	o.lastPos[path] = off + n
+	o.bytes += n
+	if !sequential {
+		o.seeks++
+	}
+	var delay time.Duration
+	if !sequential && cfg.SeekLatency > 0 {
+		delay += cfg.SeekLatency
+	}
+	if cfg.OSTRate > 0 {
+		delay += units.TimeToTransfer(n, cfg.OSTRate)
+	}
+	if delay > 0 {
+		// Sleeping while holding the OST lock is the contention model:
+		// an OST services one extent at a time.
+		time.Sleep(delay)
+	}
+	o.mu.Unlock()
+}

@@ -1,0 +1,394 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func newTestStore() *Store { return NewStore(Config{}) }
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newTestStore()
+	data := []byte("the quick brown fox")
+	if _, err := s.Write("/f", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	n, err := s.Read("/f", 0, got)
+	if err != nil || n != len(data) {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch: %q", got)
+	}
+}
+
+func TestWriteAtOffsetExtends(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Write("/f", 100, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 103 {
+		t.Fatalf("size = %d, want 103", info.Size)
+	}
+	// The gap reads as zeros.
+	buf := make([]byte, 103)
+	if _, err := s.Read("/f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole not zero at %d", i)
+		}
+	}
+	if string(buf[100:]) != "xyz" {
+		t.Fatalf("tail = %q", buf[100:])
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Write("/f", 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n, err := s.Read("/f", 0, buf)
+	if n != 3 || !errors.Is(err, ErrShortRead) {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	n, err = s.Read("/f", 100, buf)
+	if n != 0 || !errors.Is(err, ErrShortRead) {
+		t.Fatalf("past-end read: n=%d err=%v", n, err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Read("/nope", 0, make([]byte, 1)); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	if _, err := s.Stat("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat: want ErrNotExist, got %v", err)
+	}
+	if err := s.Fsync("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("fsync: want ErrNotExist, got %v", err)
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Write("/f", 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.Stat("/f")
+	if info.Size != 0 {
+		t.Fatalf("create should truncate, size = %d", info.Size)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newTestStore()
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if got := s.List(); len(got) != 0 {
+		t.Fatalf("list after remove: %v", got)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Write("/f", -1, []byte("x")); err == nil {
+		t.Fatal("negative write offset should fail")
+	}
+	s.Create("/f")
+	if _, err := s.Read("/f", -1, make([]byte, 1)); err == nil {
+		t.Fatal("negative read offset should fail")
+	}
+}
+
+func TestStripingAcrossOSTs(t *testing.T) {
+	s := NewStore(Config{StripeSize: 4, OSTs: 2})
+	// 12 bytes = 3 stripes: the file's first OST gets stripes 0 and 2
+	// (8 bytes), the other gets stripe 1 (4 bytes).
+	if _, err := s.Write("/f", 0, make([]byte, 12)); err != nil {
+		t.Fatal(err)
+	}
+	first := startOST("/f", 2)
+	m := s.Metrics()
+	if m.PerOSTBytes[first] != 8 || m.PerOSTBytes[1-first] != 4 {
+		t.Fatalf("striping wrong: %v (first OST %d)", m.PerOSTBytes, first)
+	}
+}
+
+func TestStripingUnalignedWrite(t *testing.T) {
+	s := NewStore(Config{StripeSize: 4, OSTs: 2})
+	// Write [2, 9): extents [2,4)→first, [4,8)→second, [8,9)→first.
+	if _, err := s.Write("/f", 2, make([]byte, 7)); err != nil {
+		t.Fatal(err)
+	}
+	first := startOST("/f", 2)
+	m := s.Metrics()
+	if m.PerOSTBytes[first] != 3 || m.PerOSTBytes[1-first] != 4 {
+		t.Fatalf("unaligned striping wrong: %v (first OST %d)", m.PerOSTBytes, first)
+	}
+}
+
+func TestSmallFilesSpreadAcrossOSTs(t *testing.T) {
+	s := NewStore(Config{StripeSize: units.MiB, OSTs: 4})
+	for i := 0; i < 64; i++ {
+		if _, err := s.Write(fmt.Sprintf("/small%02d", i), 0, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	for i, b := range m.PerOSTBytes {
+		if b == 0 {
+			t.Fatalf("OST %d idle — sub-stripe files all piled up: %v", i, m.PerOSTBytes)
+		}
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	s := NewStore(Config{StripeSize: units.MiB, OSTs: 1})
+	// Sequential appends from offset zero never reposition.
+	for i := int64(0); i < 4; i++ {
+		if _, err := s.Write("/seq", i*1024, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seqSeeks := s.Metrics().Seeks; seqSeeks != 0 {
+		t.Fatalf("sequential writes: %d seeks, want 0", seqSeeks)
+	}
+	// Strided writes: every one after the first repositions.
+	s2 := NewStore(Config{StripeSize: units.MiB, OSTs: 1})
+	for i := int64(0); i < 4; i++ {
+		if _, err := s2.Write("/str", i*8192, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.Metrics().Seeks; got != 3 {
+		t.Fatalf("strided writes: %d seeks, want 3", got)
+	}
+}
+
+func TestDiscardMode(t *testing.T) {
+	s := NewStore(Config{Discard: true})
+	if _, err := s.Write("/f", 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Stat("/f")
+	if err != nil || info.Size != 1<<20 {
+		t.Fatalf("discard stat: %+v %v", info, err)
+	}
+	// Reads still report counts, content is zeros.
+	buf := make([]byte, 16)
+	if n, err := s.Read("/f", 0, buf); n != 16 || err != nil {
+		t.Fatalf("discard read: %d %v", n, err)
+	}
+	m := s.Metrics()
+	if m.BytesWritten != 1<<20 || m.BytesRead != 16 {
+		t.Fatalf("discard metrics: %+v", m)
+	}
+}
+
+func TestLockHandoffAccounting(t *testing.T) {
+	s := NewStore(Config{LockLatency: time.Microsecond})
+	s.WriteAs("w1", "/shared", 0, []byte("a"))
+	s.WriteAs("w1", "/shared", 1, []byte("b")) // same writer: no handoff
+	s.WriteAs("w2", "/shared", 2, []byte("c")) // handoff
+	s.WriteAs("w1", "/shared", 3, []byte("d")) // handoff back
+	if got := s.Metrics().LockWaits; got != 2 {
+		t.Fatalf("lock handoffs = %d, want 2", got)
+	}
+}
+
+func TestOSTRateThrottling(t *testing.T) {
+	// 1 MiB at 10 MiB/s ≈ 100 ms.
+	s := NewStore(Config{OSTs: 1, OSTRate: units.Bandwidth(10 * units.MiB)})
+	start := time.Now()
+	if _, err := s.Write("/f", 0, make([]byte, units.MiB)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("throttling too weak: %v", elapsed)
+	}
+}
+
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	s := newTestStore()
+	const workers = 8
+	const writes = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/w%d", w)
+			for i := 0; i < writes; i++ {
+				if _, err := s.Write(path, int64(i)*8, []byte("12345678")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		info, err := s.Stat(fmt.Sprintf("/w%d", w))
+		if err != nil || info.Size != writes*8 {
+			t.Fatalf("file w%d: %+v %v", w, info, err)
+		}
+	}
+	if m := s.Metrics(); m.BytesWritten != workers*writes*8 {
+		t.Fatalf("bytes written = %d", m.BytesWritten)
+	}
+}
+
+func TestConcurrentSharedFile(t *testing.T) {
+	s := newTestStore()
+	const workers = 8
+	const region = 1024
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + w)}, region)
+			if _, err := s.WriteAs(fmt.Sprintf("w%d", w), "/shared", int64(w)*region, payload); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	buf := make([]byte, workers*region)
+	if _, err := s.Read("/shared", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < region; i++ {
+			if buf[w*region+i] != byte('a'+w) {
+				t.Fatalf("corruption at worker %d offset %d: %q", w, i, buf[w*region+i])
+			}
+		}
+	}
+}
+
+func TestRandomWritesMatchReference(t *testing.T) {
+	s := NewStore(Config{StripeSize: 16, OSTs: 3})
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]byte, 4096)
+	maxEnd := int64(0)
+	for i := 0; i < 200; i++ {
+		off := int64(rng.Intn(3500))
+		n := rng.Intn(500) + 1
+		payload := make([]byte, n)
+		rng.Read(payload)
+		if _, err := s.Write("/r", off, payload); err != nil {
+			t.Fatal(err)
+		}
+		copy(ref[off:off+int64(n)], payload)
+		if end := off + int64(n); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	got := make([]byte, maxEnd)
+	if _, err := s.Read("/r", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref[:maxEnd]) {
+		t.Fatal("random write/read state diverged from reference")
+	}
+	info, _ := s.Stat("/r")
+	if info.Size != maxEnd {
+		t.Fatalf("size %d, want %d", info.Size, maxEnd)
+	}
+}
+
+func TestWriteReadProperty(t *testing.T) {
+	s := NewStore(Config{StripeSize: 64, OSTs: 4})
+	f := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		path := fmt.Sprintf("/q%d", off)
+		if _, err := s.Write(path, int64(off), payload); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if _, err := s.Read(path, int64(off), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsOps(t *testing.T) {
+	s := newTestStore()
+	s.Create("/f")
+	s.Write("/f", 0, []byte("abc"))
+	s.Read("/f", 0, make([]byte, 3))
+	s.Stat("/f")
+	s.Remove("/f")
+	m := s.Metrics()
+	if m.WriteOps != 1 || m.ReadOps != 1 || m.MetaOps != 3 {
+		t.Fatalf("ops: %+v", m)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := NewStore(Config{})
+	cfg := s.Config()
+	if cfg.StripeSize != units.MiB || cfg.OSTs != 2 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestSetStripeOverride(t *testing.T) {
+	s := NewStore(Config{StripeSize: 1024, OSTs: 2})
+	if err := s.SetStripe("/wide", 8); err != nil {
+		t.Fatal(err)
+	}
+	// 32 bytes at stripe 8 = 4 stripes → both OSTs busy; the default
+	// 1024-stripe file would land on one.
+	if _, err := s.Write("/wide", 0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.PerOSTBytes[0] == 0 || m.PerOSTBytes[1] == 0 {
+		t.Fatalf("per-file stripe not honored: %v", m.PerOSTBytes)
+	}
+	// Default files still use the store stripe.
+	s2 := NewStore(Config{StripeSize: 1024, OSTs: 2})
+	if _, err := s2.Write("/narrow", 0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := s2.Metrics()
+	if m2.PerOSTBytes[0] != 0 && m2.PerOSTBytes[1] != 0 {
+		t.Fatalf("32-byte write within one default stripe hit both OSTs: %v", m2.PerOSTBytes)
+	}
+}

@@ -1,0 +1,53 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Explanation describes one application's outcome under an allocation —
+// the Figure 7 "penalty of global optimization" view, computed for any
+// policy's decision.
+type Explanation struct {
+	ID string
+	// IONs and MBps are the allocated count and resulting bandwidth.
+	IONs int
+	MBps float64
+	// BestIONs/BestMBps are the application's optimum if it ran alone
+	// (unlimited pool).
+	BestIONs int
+	BestMBps float64
+	// PctOfBest = 100·MBps/BestMBps.
+	PctOfBest float64
+	// Sacrificed is true when the application was held below 90% of its
+	// alone-optimum — the cost of maximizing the global aggregate.
+	Sacrificed bool
+}
+
+// Explain annotates an allocation with each application's penalty relative
+// to running alone, sorted by ID.
+func Explain(apps []Application, alloc Allocation) ([]Explanation, error) {
+	out := make([]Explanation, 0, len(apps))
+	for _, a := range apps {
+		n, ok := alloc[a.ID]
+		if !ok {
+			return nil, fmt.Errorf("policy: allocation missing %s", a.ID)
+		}
+		bw, ok := a.Curve.At(n)
+		if !ok {
+			return nil, fmt.Errorf("policy: %s has no point at %d IONs", a.ID, n)
+		}
+		best := a.Curve.Best()
+		e := Explanation{
+			ID: a.ID, IONs: n, MBps: bw.MBps(),
+			BestIONs: best.IONs, BestMBps: best.Bandwidth.MBps(),
+		}
+		if e.BestMBps > 0 {
+			e.PctOfBest = 100 * e.MBps / e.BestMBps
+		}
+		e.Sacrificed = e.PctOfBest < 90
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,519 @@
+// Package policy implements the I/O-node arbitration policies compared in
+// the paper (§3.2): ZERO, ONE, STATIC, SIZE, PROCESS, ORACLE, and the
+// MCKP-based policy that is the paper's contribution. All policies share
+// one interface so the experiment harness and the arbiter service can swap
+// them freely.
+//
+// An application's candidate allocations are the points of its bandwidth
+// curve (weight = I/O nodes, value = bandwidth), which already encode the
+// divisibility constraint of §3.1 — the curve only has points at counts
+// that divide the application's compute nodes.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mckp"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// Application is one ready-to-run (or running) job as the arbiter sees it.
+type Application struct {
+	// ID uniquely identifies the job.
+	ID string
+	// Nodes is the number of compute nodes the job occupies.
+	Nodes int
+	// Processes is the job's client-process count.
+	Processes int
+	// Curve is the job's bandwidth-vs-I/O-node curve. An empty curve
+	// means no characterization data exists yet (first execution); the
+	// MCKP policy then falls back to the STATIC default for that job
+	// (paper §3.1).
+	Curve perfmodel.Curve
+	// WriteBytes and ReadBytes are the job's transfer volumes, used by
+	// the Equation-2 aggregate and by the dynamic-queue simulation.
+	WriteBytes int64
+	ReadBytes  int64
+}
+
+// FromAppSpec converts a perfmodel application spec into an arbitration
+// Application, using the given ID (several jobs may run the same kernel).
+func FromAppSpec(id string, spec perfmodel.AppSpec) Application {
+	return Application{
+		ID:         id,
+		Nodes:      spec.Nodes,
+		Processes:  spec.Processes,
+		Curve:      spec.Curve,
+		WriteBytes: spec.WriteBytes,
+		ReadBytes:  spec.ReadBytes,
+	}
+}
+
+// Allocation maps application IDs to their assigned I/O-node counts.
+type Allocation map[string]int
+
+// Total returns the number of I/O nodes the allocation consumes.
+func (a Allocation) Total() int {
+	t := 0
+	for _, n := range a {
+		t += n
+	}
+	return t
+}
+
+// Policy arbitrates a fixed pool of I/O nodes among applications.
+type Policy interface {
+	// Name returns the policy's paper name (e.g. "MCKP", "STATIC").
+	Name() string
+	// Allocate decides how many I/O nodes each application receives.
+	// available is the size of the forwarding pool. Implementations must
+	// be deterministic.
+	Allocate(apps []Application, available int) (Allocation, error)
+}
+
+// Errors shared by the policies.
+var (
+	ErrNoApplications = errors.New("policy: no applications to arbitrate")
+	ErrNoZeroOption   = errors.New("policy: application cannot run without forwarding")
+	ErrNoCurve        = errors.New("policy: application has no bandwidth curve")
+)
+
+// options returns the app's candidate ION counts in ascending order.
+func options(app Application) []int {
+	pts := app.Curve.Points()
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.IONs
+	}
+	return out
+}
+
+// positiveOptions returns the candidate counts that use forwarding.
+func positiveOptions(app Application) []int {
+	var out []int
+	for _, o := range options(app) {
+		if o > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// clampDown returns the largest option ≤ want from opts (ascending); if
+// every option exceeds want it returns the smallest one, so the result is
+// always a valid choice.
+func clampDown(opts []int, want int) (int, error) {
+	if len(opts) == 0 {
+		return 0, ErrNoCurve
+	}
+	best := opts[0]
+	for _, o := range opts {
+		if o <= want {
+			best = o
+		}
+	}
+	return best, nil
+}
+
+// sortedByID returns indices of apps in deterministic ID order.
+func sortedByID(apps []Application) []int {
+	idx := make([]int, len(apps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return apps[idx[a]].ID < apps[idx[b]].ID })
+	return idx
+}
+
+// trimToFit downgrades allocations until the pool size is respected:
+// repeatedly the application with the largest allocation (ties broken by
+// ID) steps down to its next lower option. Applications already at their
+// lowest option cannot shrink further; if nothing can shrink, an error is
+// returned.
+func trimToFit(apps []Application, alloc Allocation, available int) error {
+	byID := make(map[string]Application, len(apps))
+	for _, a := range apps {
+		byID[a.ID] = a
+	}
+	for alloc.Total() > available {
+		bestID := ""
+		for id, n := range alloc {
+			if bestID == "" || n > alloc[bestID] || (n == alloc[bestID] && id < bestID) {
+				if lowerOption(byID[id], n) >= 0 {
+					bestID = id
+				}
+			}
+		}
+		if bestID == "" {
+			return fmt.Errorf("policy: cannot trim allocation into %d I/O nodes", available)
+		}
+		alloc[bestID] = lowerOption(byID[bestID], alloc[bestID])
+	}
+	return nil
+}
+
+// lowerOption returns the app's next option below cur, or -1 if none.
+func lowerOption(app Application, cur int) int {
+	lower := -1
+	for _, o := range options(app) {
+		if o < cur && o > lower {
+			lower = o
+		}
+	}
+	return lower
+}
+
+// --- ZERO ---------------------------------------------------------------
+
+// Zero assigns no forwarding nodes to anyone: every application accesses
+// the PFS directly. It fails if some application cannot run unforwarded.
+type Zero struct{}
+
+// Name implements Policy.
+func (Zero) Name() string { return "ZERO" }
+
+// Allocate implements Policy.
+func (Zero) Allocate(apps []Application, _ int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	alloc := make(Allocation, len(apps))
+	for _, a := range apps {
+		if _, ok := a.Curve.At(0); !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoZeroOption, a.ID)
+		}
+		alloc[a.ID] = 0
+	}
+	return alloc, nil
+}
+
+// --- ONE ----------------------------------------------------------------
+
+// One assigns exactly one dedicated I/O node to every application. Like
+// the paper's diagnostic use of it, the pool size is not enforced: the
+// policy exists to expose the cost of naive forwarding.
+type One struct{}
+
+// Name implements Policy.
+func (One) Name() string { return "ONE" }
+
+// Allocate implements Policy.
+func (One) Allocate(apps []Application, _ int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	alloc := make(Allocation, len(apps))
+	for _, a := range apps {
+		if _, ok := a.Curve.At(1); !ok {
+			return nil, fmt.Errorf("policy: %s has no 1-I/O-node point", a.ID)
+		}
+		alloc[a.ID] = 1
+	}
+	return alloc, nil
+}
+
+// --- STATIC -------------------------------------------------------------
+
+// Static reproduces the deployment policy of production machines: each
+// application receives I/O nodes in proportion to its compute-node count
+// at the machine's fixed compute-to-I/O-node ratio R = C/F, with a minimum
+// of one (forwarding is mandatory under STATIC). The tentative share
+// floor(Nodes/R) is clamped down to the application's nearest candidate
+// count, and the result is trimmed to the pool if needed.
+//
+// SystemCompute and SystemIONs define the machine ratio. If SystemCompute
+// is zero, the ratio is derived from the applications being arbitrated and
+// the available pool (the §5.2 standalone setting).
+type Static struct {
+	SystemCompute int
+	SystemIONs    int
+}
+
+// Name implements Policy.
+func (Static) Name() string { return "STATIC" }
+
+// Allocate implements Policy.
+func (p Static) Allocate(apps []Application, available int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	c, f := p.SystemCompute, p.SystemIONs
+	if c <= 0 || f <= 0 {
+		c, f = 0, available
+		for _, a := range apps {
+			c += a.Nodes
+		}
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("policy: STATIC needs a positive I/O-node pool")
+	}
+	ratio := float64(c) / float64(f)
+	alloc := make(Allocation, len(apps))
+	for _, a := range apps {
+		opts := positiveOptions(a)
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("%w: %s has no forwarding option", ErrNoCurve, a.ID)
+		}
+		want := int(math.Floor(float64(a.Nodes) / ratio))
+		if want < 1 {
+			want = 1
+		}
+		n, err := clampDown(opts, want)
+		if err != nil {
+			return nil, fmt.Errorf("policy: %s: %w", a.ID, err)
+		}
+		alloc[a.ID] = n
+	}
+	if err := trimToFit(apps, alloc, available); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// --- SIZE and PROCESS ---------------------------------------------------
+
+// Proportional implements the paper's SIZE and PROCESS policies: the pool
+// is divided among the running applications in proportion to their size
+// (compute nodes for SIZE, client processes for PROCESS):
+// round(F·sa/Σs), clamped to the application's candidate counts. Unlike
+// STATIC, a small enough share rounds to zero, and the whole pool is
+// distributed even when few compute nodes are in use.
+type Proportional struct {
+	// ByProcesses selects the PROCESS variant; otherwise SIZE.
+	ByProcesses bool
+}
+
+// Name implements Policy.
+func (p Proportional) Name() string {
+	if p.ByProcesses {
+		return "PROCESS"
+	}
+	return "SIZE"
+}
+
+func (p Proportional) size(a Application) float64 {
+	if p.ByProcesses {
+		return float64(a.Processes)
+	}
+	return float64(a.Nodes)
+}
+
+// Allocate implements Policy.
+func (p Proportional) Allocate(apps []Application, available int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	var total float64
+	for _, a := range apps {
+		total += p.size(a)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("policy: %s: all applications have zero size", p.Name())
+	}
+	alloc := make(Allocation, len(apps))
+	for _, a := range apps {
+		share := float64(available) * p.size(a) / total
+		want := int(math.Round(share))
+		if want == 0 {
+			// The application is too small for a dedicated forwarder.
+			if _, ok := a.Curve.At(0); ok {
+				alloc[a.ID] = 0
+				continue
+			}
+			want = 1 // direct access not permitted: smallest option
+		}
+		n, err := clampDown(positiveOptions(a), want)
+		if err != nil {
+			return nil, fmt.Errorf("policy: %s: %s: %w", p.Name(), a.ID, err)
+		}
+		alloc[a.ID] = n
+	}
+	if err := trimToFit(apps, alloc, available); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// --- ORACLE -------------------------------------------------------------
+
+// Oracle assigns every application the I/O-node count at which its curve
+// peaks, disregarding the pool size entirely. It is the paper's fictitious
+// upper bound for the achievable aggregate bandwidth.
+type Oracle struct{}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "ORACLE" }
+
+// Allocate implements Policy.
+func (Oracle) Allocate(apps []Application, _ int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	alloc := make(Allocation, len(apps))
+	for _, a := range apps {
+		if a.Curve.Len() == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoCurve, a.ID)
+		}
+		alloc[a.ID] = a.Curve.Best().IONs
+	}
+	return alloc, nil
+}
+
+// --- MCKP ---------------------------------------------------------------
+
+// Solver is the signature shared by the exact and heuristic MCKP solvers.
+type Solver func(mckp.Problem) (mckp.Solution, error)
+
+// MCKP is the paper's arbitration policy: one knapsack class per
+// application, one item per candidate I/O-node count (weight = count,
+// value = bandwidth), capacity = available pool. Solving the MCKP yields
+// the allocation that maximizes the aggregate bandwidth.
+type MCKP struct {
+	// Solve picks the solver; nil means the exact DP (the paper's
+	// choice).
+	Solve Solver
+	// Fallback supplies allocations for applications without curve data
+	// (first execution). nil means the STATIC default, as in §3.1.
+	Fallback Policy
+}
+
+// Name implements Policy.
+func (MCKP) Name() string { return "MCKP" }
+
+// Allocate implements Policy.
+func (p MCKP) Allocate(apps []Application, available int) (Allocation, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApplications
+	}
+	solve := p.Solve
+	if solve == nil {
+		solve = mckp.SolveDP
+	}
+
+	// Split off uncharacterized applications: they get the machine
+	// default so their first run is not penalized (§3.1).
+	var known, unknown []Application
+	for _, a := range apps {
+		if a.Curve.Len() == 0 {
+			unknown = append(unknown, a)
+		} else {
+			known = append(known, a)
+		}
+	}
+	alloc := make(Allocation, len(apps))
+	if len(unknown) > 0 {
+		fb := p.Fallback
+		if fb == nil {
+			fb = Static{}
+		}
+		// Uncharacterized applications have no curve to read options
+		// from; synthesize the standard option set (powers of two
+		// dividing the node count) so the fallback policy can choose.
+		withOpts := make([]Application, len(unknown))
+		for i, a := range unknown {
+			withOpts[i] = a
+			withOpts[i].Curve = syntheticOptions(a.Nodes, available)
+		}
+		fbAlloc, err := fb.Allocate(withOpts, available)
+		if err != nil {
+			return nil, fmt.Errorf("policy: MCKP fallback: %w", err)
+		}
+		for id, n := range fbAlloc {
+			alloc[id] = n
+		}
+		available -= fbAlloc.Total()
+		if available < 0 {
+			available = 0
+		}
+	}
+	if len(known) == 0 {
+		return alloc, nil
+	}
+
+	prob := mckp.Problem{Capacity: available}
+	order := sortedByID(known)
+	for _, i := range order {
+		a := known[i]
+		cls := mckp.Class{Label: a.ID}
+		for _, pt := range a.Curve.Restrict(available).Points() {
+			cls.Items = append(cls.Items, mckp.Item{Weight: pt.IONs, Value: pt.Bandwidth.MBps()})
+		}
+		if len(cls.Items) == 0 {
+			return nil, fmt.Errorf("policy: MCKP: %s has no option within %d I/O nodes", a.ID, available)
+		}
+		prob.Classes = append(prob.Classes, cls)
+	}
+	sol, err := solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("policy: MCKP: %w", err)
+	}
+	for ci, itemIdx := range sol.Choice {
+		alloc[prob.Classes[ci].Label] = prob.Classes[ci].Items[itemIdx].Weight
+	}
+	return alloc, nil
+}
+
+// syntheticOptions builds a zero-valued curve whose points are the
+// standard candidate counts for a job of the given size: 0 (direct access)
+// and the powers of two dividing the node count, up to max. It exists so
+// size-based fallback policies can allocate for applications that have no
+// measured curve yet.
+func syntheticOptions(nodes, max int) perfmodel.Curve {
+	pts := []perfmodel.Point{{IONs: 0}}
+	for w := 1; w <= max; w *= 2 {
+		if nodes > 0 && nodes%w == 0 {
+			pts = append(pts, perfmodel.Point{IONs: w})
+		}
+	}
+	return perfmodel.NewCurve(pts...)
+}
+
+// --- Evaluation helpers ---------------------------------------------------
+
+// SumBandwidth is the §5.2 aggregate: the sum of each application's
+// bandwidth at its allocated I/O-node count.
+func SumBandwidth(apps []Application, alloc Allocation) (units.Bandwidth, error) {
+	var total units.Bandwidth
+	for _, a := range apps {
+		n, ok := alloc[a.ID]
+		if !ok {
+			return 0, fmt.Errorf("policy: allocation missing application %s", a.ID)
+		}
+		bw, ok := a.Curve.At(n)
+		if !ok {
+			return 0, fmt.Errorf("policy: %s has no curve point at %d I/O nodes", a.ID, n)
+		}
+		total += bw
+	}
+	return total, nil
+}
+
+// Equation2 is the paper's aggregate bandwidth (Equation 2): the sum over
+// applications of (writes+reads)/runtime, where each runtime is the
+// volume divided by the application's bandwidth at its allocation. With
+// per-application volumes it equals SumBandwidth; it exists separately so
+// experiments can weight runtimes the way the paper does.
+func Equation2(apps []Application, alloc Allocation) (units.Bandwidth, error) {
+	var total units.Bandwidth
+	for _, a := range apps {
+		n, ok := alloc[a.ID]
+		if !ok {
+			return 0, fmt.Errorf("policy: allocation missing application %s", a.ID)
+		}
+		bw, ok := a.Curve.At(n)
+		if !ok {
+			return 0, fmt.Errorf("policy: %s has no curve point at %d I/O nodes", a.ID, n)
+		}
+		vol := a.WriteBytes + a.ReadBytes
+		if vol <= 0 || bw <= 0 {
+			continue
+		}
+		runtime := float64(vol) / float64(bw)
+		total += units.Bandwidth(float64(vol) / runtime)
+	}
+	return total, nil
+}

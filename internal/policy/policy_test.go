@@ -1,0 +1,376 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// fiveTwoApps returns the §5.2 six-application set as policy Applications.
+func fiveTwoApps(t *testing.T) []Application {
+	t.Helper()
+	specs := perfmodel.SectionFiveTwoApps()
+	apps := make([]Application, 0, len(specs))
+	for _, s := range specs {
+		apps = append(apps, FromAppSpec(s.Label, s))
+	}
+	return apps
+}
+
+func mustAllocate(t *testing.T, p Policy, apps []Application, avail int) Allocation {
+	t.Helper()
+	alloc, err := p.Allocate(apps, avail)
+	if err != nil {
+		t.Fatalf("%s.Allocate: %v", p.Name(), err)
+	}
+	return alloc
+}
+
+func TestZeroPolicy(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, Zero{}, apps, 12)
+	for id, n := range alloc {
+		if n != 0 {
+			t.Errorf("ZERO gave %s %d nodes", id, n)
+		}
+	}
+}
+
+func TestZeroPolicyFailsWithoutDirectOption(t *testing.T) {
+	apps := []Application{{
+		ID: "x", Nodes: 8, Processes: 8,
+		Curve: perfmodel.NewCurve(perfmodel.Point{IONs: 1, Bandwidth: 1}),
+	}}
+	if _, err := (Zero{}).Allocate(apps, 4); err == nil {
+		t.Fatal("ZERO should fail when an app has no 0-ION point")
+	}
+}
+
+func TestOnePolicy(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, One{}, apps, 12)
+	for id, n := range alloc {
+		if n != 1 {
+			t.Errorf("ONE gave %s %d nodes", id, n)
+		}
+	}
+}
+
+// TestTable4Static: with the six §5.2 applications and 12 available I/O
+// nodes, STATIC must reproduce Table 4 exactly.
+func TestTable4Static(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, Static{}, apps, 12)
+	want := Allocation{"BT-C": 1, "BT-D": 2, "IOR-MPI": 1, "POSIX-L": 2, "MAD": 1, "S3D": 2}
+	for id, n := range want {
+		if alloc[id] != n {
+			t.Errorf("STATIC %s = %d, Table 4 says %d (full: %v)", id, alloc[id], n, alloc)
+		}
+	}
+}
+
+// TestTable4Size: SIZE coincides with STATIC in the Table 4 setting.
+func TestTable4Size(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, Proportional{}, apps, 12)
+	want := Allocation{"BT-C": 1, "BT-D": 2, "IOR-MPI": 1, "POSIX-L": 2, "MAD": 1, "S3D": 2}
+	for id, n := range want {
+		if alloc[id] != n {
+			t.Errorf("SIZE %s = %d, Table 4 says %d (full: %v)", id, alloc[id], n, alloc)
+		}
+	}
+}
+
+// TestProcessPolicyDropsMAD: PROCESS divides by client processes; MAD's 64
+// processes round to a zero share (the reason the paper reports PROCESS at
+// 4.1× rather than SIZE's 4.59×).
+func TestProcessPolicyDropsMAD(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, Proportional{ByProcesses: true}, apps, 12)
+	want := Allocation{"BT-C": 1, "BT-D": 2, "IOR-MPI": 1, "POSIX-L": 2, "MAD": 0, "S3D": 2}
+	for id, n := range want {
+		if alloc[id] != n {
+			t.Errorf("PROCESS %s = %d, want %d (full: %v)", id, alloc[id], n, alloc)
+		}
+	}
+}
+
+// TestTable4MCKP: the headline reproduction — MCKP at 12 I/O nodes must
+// pick Table 4's allocation: BT-C 0, BT-D 1, IOR-MPI 8, POSIX-L 2, MAD 0,
+// S3D 0.
+func TestTable4MCKP(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, MCKP{}, apps, 12)
+	want := Allocation{"BT-C": 0, "BT-D": 1, "IOR-MPI": 8, "POSIX-L": 2, "MAD": 0, "S3D": 0}
+	for id, n := range want {
+		if alloc[id] != n {
+			t.Errorf("MCKP %s = %d, Table 4 says %d (full: %v)", id, alloc[id], n, alloc)
+		}
+	}
+	if alloc.Total() > 12 {
+		t.Fatalf("MCKP overweight: %d > 12", alloc.Total())
+	}
+}
+
+// TestFigure6Ratios: at 12 available I/O nodes the paper reports MCKP
+// outperforming STATIC and SIZE by 4.59× and PROCESS by 4.1×.
+func TestFigure6Ratios(t *testing.T) {
+	apps := fiveTwoApps(t)
+	bw := func(p Policy) float64 {
+		alloc := mustAllocate(t, p, apps, 12)
+		sum, err := SumBandwidth(apps, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.MBps()
+	}
+	mckp := bw(MCKP{})
+	if r := mckp / bw(Static{}); math.Abs(r-4.59) > 0.02 {
+		t.Errorf("MCKP/STATIC = %.3f, paper says 4.59", r)
+	}
+	if r := mckp / bw(Proportional{}); math.Abs(r-4.59) > 0.02 {
+		t.Errorf("MCKP/SIZE = %.3f, paper says 4.59", r)
+	}
+	if r := mckp / bw(Proportional{ByProcesses: true}); math.Abs(r-4.1) > 0.02 {
+		t.Errorf("MCKP/PROCESS = %.3f, paper says 4.1", r)
+	}
+}
+
+// TestMCKPMatchesOracleAt36: the paper reports MCKP reaching the ORACLE
+// bound once 36 I/O nodes are available — and not before.
+func TestMCKPMatchesOracleAt36(t *testing.T) {
+	apps := fiveTwoApps(t)
+	oracleAlloc := mustAllocate(t, Oracle{}, apps, 0)
+	oracleBW, err := SumBandwidth(apps, oracleAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(n int) units.Bandwidth {
+		alloc := mustAllocate(t, MCKP{}, apps, n)
+		bw, err := SumBandwidth(apps, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bw
+	}
+	if got := at(36); math.Abs(got.MBps()-oracleBW.MBps()) > 1e-6 {
+		t.Errorf("MCKP at 36 = %v, ORACLE = %v; paper says they match", got, oracleBW)
+	}
+	if got := at(32); got >= oracleBW {
+		t.Errorf("MCKP at 32 (%v) should still trail ORACLE (%v)", got, oracleBW)
+	}
+}
+
+// TestMCKPNeverBelowStatic: by optimality, MCKP's aggregate bandwidth is
+// at least STATIC's at every pool size (Fig. 3's minimum ratio ≥ 1).
+func TestMCKPNeverBelowStatic(t *testing.T) {
+	apps := fiveTwoApps(t)
+	for n := 6; n <= 48; n++ {
+		staticAlloc, err := (Static{}).Allocate(apps, n)
+		if err != nil {
+			continue
+		}
+		staticBW, err := SumBandwidth(apps, staticAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mckpAlloc := mustAllocate(t, MCKP{}, apps, n)
+		mckpBW, err := SumBandwidth(apps, mckpAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(mckpBW) < float64(staticBW)-1e-6 {
+			t.Fatalf("at %d IONs MCKP (%v) below STATIC (%v)", n, mckpBW, staticBW)
+		}
+	}
+}
+
+// TestMCKPMonotoneInPool: more available I/O nodes never reduce MCKP's
+// aggregate bandwidth.
+func TestMCKPMonotoneInPool(t *testing.T) {
+	apps := fiveTwoApps(t)
+	prev := -1.0
+	for n := 0; n <= 40; n++ {
+		alloc := mustAllocate(t, MCKP{}, apps, n)
+		bw, err := SumBandwidth(apps, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(bw) < prev-1e-6 {
+			t.Fatalf("aggregate decreased at pool=%d", n)
+		}
+		prev = float64(bw)
+	}
+}
+
+// TestMCKPRespectsPool: the allocation total never exceeds the pool.
+func TestMCKPRespectsPool(t *testing.T) {
+	apps := fiveTwoApps(t)
+	for n := 0; n <= 40; n++ {
+		alloc := mustAllocate(t, MCKP{}, apps, n)
+		if alloc.Total() > n {
+			t.Fatalf("pool %d: allocated %d", n, alloc.Total())
+		}
+	}
+}
+
+// TestMCKPFallbackForUncharacterizedApps: an application without curve data
+// receives the STATIC default (§3.1) and the rest are optimized.
+func TestMCKPFallbackForUncharacterizedApps(t *testing.T) {
+	apps := fiveTwoApps(t)
+	newApp := Application{ID: "NEW", Nodes: 16, Processes: 128}
+	// Give the new app the options a 16-node job would have, but no curve.
+	apps = append(apps, newApp)
+	alloc := mustAllocate(t, MCKP{Fallback: One{}}, apps, 13)
+	if alloc["NEW"] != 1 {
+		t.Fatalf("uncharacterized app should get the fallback allocation, got %d", alloc["NEW"])
+	}
+	if alloc.Total() > 13 {
+		t.Fatalf("total %d exceeds pool", alloc.Total())
+	}
+	// The characterized apps must still get the Table 4 optimum for the
+	// remaining 12 nodes.
+	if alloc["IOR-MPI"] != 8 {
+		t.Fatalf("known apps not optimized after fallback: %v", alloc)
+	}
+}
+
+func TestStaticMachineRatio(t *testing.T) {
+	// §5.3 deployment: 96 compute nodes, 12 I/O nodes → R = 8.
+	apps := []Application{
+		FromAppSpec("HACC", mustSpec(t, "HACC")),       // 8 nodes → 1
+		FromAppSpec("POSIX-L", mustSpec(t, "POSIX-L")), // 64 nodes → 8
+	}
+	alloc := mustAllocate(t, Static{SystemCompute: 96, SystemIONs: 12}, apps, 12)
+	if alloc["HACC"] != 1 || alloc["POSIX-L"] != 8 {
+		t.Fatalf("machine-ratio STATIC: %v, want HACC=1 POSIX-L=8 (paper §5.3)", alloc)
+	}
+}
+
+func mustSpec(t *testing.T, label string) perfmodel.AppSpec {
+	t.Helper()
+	s, err := perfmodel.AppByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrimToFit(t *testing.T) {
+	apps := fiveTwoApps(t)
+	// Pool of 6 forces STATIC's tentative 9 total down.
+	alloc := mustAllocate(t, Static{}, apps, 6)
+	if alloc.Total() > 6 {
+		t.Fatalf("trim failed: total %d", alloc.Total())
+	}
+	for id, n := range alloc {
+		if n < 0 {
+			t.Fatalf("negative allocation for %s", id)
+		}
+	}
+}
+
+func TestOraclePicksCurvePeaks(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, Oracle{}, apps, 0)
+	want := Allocation{"BT-C": 8, "BT-D": 8, "IOR-MPI": 8, "POSIX-L": 8, "MAD": 4, "S3D": 0}
+	for id, n := range want {
+		if alloc[id] != n {
+			t.Errorf("ORACLE %s = %d, want %d", id, alloc[id], n)
+		}
+	}
+	if alloc.Total() != 36 {
+		t.Fatalf("ORACLE weight = %d, want 36", alloc.Total())
+	}
+}
+
+func TestEmptyApplications(t *testing.T) {
+	for _, p := range []Policy{Zero{}, One{}, Static{}, Proportional{}, Proportional{ByProcesses: true}, Oracle{}, MCKP{}} {
+		if _, err := p.Allocate(nil, 10); err == nil {
+			t.Errorf("%s should reject an empty application set", p.Name())
+		}
+	}
+}
+
+func TestSumBandwidthErrors(t *testing.T) {
+	apps := fiveTwoApps(t)
+	if _, err := SumBandwidth(apps, Allocation{}); err == nil {
+		t.Fatal("missing allocation entry should error")
+	}
+	bad := Allocation{}
+	for _, a := range apps {
+		bad[a.ID] = 3 // not a curve point
+	}
+	if _, err := SumBandwidth(apps, bad); err == nil {
+		t.Fatal("non-option allocation should error")
+	}
+}
+
+func TestEquation2MatchesSumForCurveRuntimes(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, MCKP{}, apps, 12)
+	sum, err := SumBandwidth(apps, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq2, err := Equation2(apps, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.MBps()-eq2.MBps()) > 1e-6 {
+		t.Fatalf("Equation2 (%v) should equal SumBandwidth (%v) with curve runtimes", eq2, sum)
+	}
+}
+
+func TestAllocationTotal(t *testing.T) {
+	a := Allocation{"x": 2, "y": 0, "z": 8}
+	if a.Total() != 10 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := []struct {
+		p    Policy
+		want string
+	}{
+		{Zero{}, "ZERO"}, {One{}, "ONE"}, {Static{}, "STATIC"},
+		{Proportional{}, "SIZE"}, {Proportional{ByProcesses: true}, "PROCESS"},
+		{Oracle{}, "ORACLE"}, {MCKP{}, "MCKP"},
+	}
+	for _, c := range names {
+		if c.p.Name() != c.want {
+			t.Errorf("Name() = %q, want %q", c.p.Name(), c.want)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	apps := fiveTwoApps(t)
+	alloc := mustAllocate(t, MCKP{}, apps, 12)
+	exps, err := Explain(apps, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 6 {
+		t.Fatalf("explanations: %d", len(exps))
+	}
+	byID := map[string]Explanation{}
+	for _, e := range exps {
+		byID[e.ID] = e
+	}
+	// IOR-MPI gets its global best at 12 IONs: 100%, not sacrificed.
+	if e := byID["IOR-MPI"]; e.PctOfBest < 99.9 || e.Sacrificed {
+		t.Fatalf("IOR-MPI explanation: %+v", e)
+	}
+	// BT-C is held at 0 IONs (195.7) vs its alone-best 400 at 8: sacrificed.
+	if e := byID["BT-C"]; !e.Sacrificed || e.BestIONs != 8 {
+		t.Fatalf("BT-C explanation: %+v", e)
+	}
+	// Errors for missing allocations.
+	if _, err := Explain(apps, Allocation{}); err == nil {
+		t.Fatal("missing allocation should fail")
+	}
+}

@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// WithShared implements the paper's §3.1 sharing extension: on systems
+// where direct PFS access is impossible and I/O nodes are scarce, one
+// system-wide shared I/O node is set aside, and applications may fall back
+// to it instead of occupying dedicated forwarders. Per the paper's naive
+// estimate, an application's bandwidth on the shared node is its
+// one-I/O-node bandwidth divided by the number of running applications —
+// deliberately pessimistic, so the inner policy only parks the
+// least-performant applications there. The remaining N−1 nodes are
+// arbitrated by the inner policy.
+type WithShared struct {
+	// Inner is the dedicated-node policy; nil selects MCKP.
+	Inner Policy
+}
+
+// Name implements Policy.
+func (p WithShared) Name() string { return "SHARED+" + p.inner().Name() }
+
+func (p WithShared) inner() Policy {
+	if p.Inner == nil {
+		return MCKP{}
+	}
+	return p.Inner
+}
+
+// Allocate implements Policy. Applications using the shared node report
+// zero dedicated I/O nodes; use AllocateShared to learn which ones they
+// are.
+func (p WithShared) Allocate(apps []Application, available int) (Allocation, error) {
+	alloc, _, err := p.AllocateShared(apps, available)
+	return alloc, err
+}
+
+// AllocateShared arbitrates and additionally returns the IDs of the
+// applications that were parked on the shared I/O node.
+func (p WithShared) AllocateShared(apps []Application, available int) (Allocation, []string, error) {
+	if len(apps) == 0 {
+		return nil, nil, ErrNoApplications
+	}
+	if available < 1 {
+		return nil, nil, fmt.Errorf("policy: %s needs at least one I/O node for sharing", p.Name())
+	}
+
+	// Give every application without a direct-access option a synthetic
+	// zero-weight choice valued at bandwidth(1)/numApps — the shared
+	// node estimate.
+	n := float64(len(apps))
+	augmented := make([]Application, len(apps))
+	synthetic := map[string]bool{}
+	for i, a := range apps {
+		augmented[i] = a
+		if _, hasDirect := a.Curve.At(0); hasDirect {
+			continue
+		}
+		bw1, has1 := a.Curve.At(1)
+		if !has1 {
+			continue // no basis for the estimate; app keeps its options
+		}
+		pts := append(a.Curve.Points(), perfmodel.Point{
+			IONs:      0,
+			Bandwidth: units.Bandwidth(float64(bw1) / n),
+		})
+		augmented[i].Curve = perfmodel.NewCurve(pts...)
+		synthetic[a.ID] = true
+	}
+
+	// Reserve the shared node and arbitrate the rest.
+	alloc, err := p.inner().Allocate(augmented, available-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	var shared []string
+	for id, k := range alloc {
+		if k == 0 && synthetic[id] {
+			shared = append(shared, id)
+		}
+	}
+	if len(shared) == 0 {
+		// Nobody needs the shared node: re-arbitrate with the full pool.
+		alloc, err = p.inner().Allocate(apps, available)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return alloc, shared, nil
+}

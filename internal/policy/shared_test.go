@@ -1,0 +1,155 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// noDirectApps builds applications whose curves have no 0-ION point (the
+// platform restriction of §5.3), with one strong and several weak ones.
+func noDirectApps() []Application {
+	mk := func(id string, mbps1, mbps2, mbps4, mbps8 float64) Application {
+		return Application{
+			ID: id, Nodes: 16, Processes: 64,
+			Curve: perfmodel.NewCurve(
+				perfmodel.Point{IONs: 1, Bandwidth: units.BandwidthFromMBps(mbps1)},
+				perfmodel.Point{IONs: 2, Bandwidth: units.BandwidthFromMBps(mbps2)},
+				perfmodel.Point{IONs: 4, Bandwidth: units.BandwidthFromMBps(mbps4)},
+				perfmodel.Point{IONs: 8, Bandwidth: units.BandwidthFromMBps(mbps8)},
+			),
+		}
+	}
+	return []Application{
+		mk("strong", 500, 1200, 2800, 6000),
+		mk("weak-a", 50, 55, 58, 60),
+		mk("weak-b", 40, 44, 46, 48),
+		mk("weak-c", 30, 33, 35, 36),
+	}
+}
+
+func TestWithSharedParksWeakApps(t *testing.T) {
+	apps := noDirectApps()
+	p := WithShared{}
+	// Pool of 10: without sharing, every app must hold ≥1 dedicated node
+	// (4 nodes on apps worth ≤50 MB/s each).
+	alloc, shared, err := p.AllocateShared(apps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) == 0 {
+		t.Fatalf("expected weak apps on the shared node, alloc %v", alloc)
+	}
+	for _, id := range shared {
+		if id == "strong" {
+			t.Fatal("the strong app must not be parked on the shared node")
+		}
+		if alloc[id] != 0 {
+			t.Fatalf("shared user %s shows %d dedicated nodes", id, alloc[id])
+		}
+	}
+	// Dedicated consumption must respect the reserved shared node.
+	if alloc.Total() > 9 {
+		t.Fatalf("dedicated allocation %d exceeds N-1 = 9", alloc.Total())
+	}
+	// The strong app should profit from the freed nodes.
+	if alloc["strong"] < 8 {
+		t.Fatalf("strong app got %d nodes; sharing should free the pool", alloc["strong"])
+	}
+}
+
+func TestWithSharedBeatsPlainMCKPWhenPoolTight(t *testing.T) {
+	apps := noDirectApps()
+	plainAlloc, err := (MCKP{}).Allocate(apps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBW, err := SumBandwidth(apps, plainAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedAlloc, sharedUsers, err := (WithShared{}).AllocateShared(apps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate: shared users get bw(1)/numApps, dedicated users their
+	// curve value.
+	var sharedBW float64
+	users := map[string]bool{}
+	for _, id := range sharedUsers {
+		users[id] = true
+	}
+	for _, a := range apps {
+		if users[a.ID] {
+			bw1, _ := a.Curve.At(1)
+			sharedBW += float64(bw1) / float64(len(apps))
+			continue
+		}
+		bw, ok := a.Curve.At(sharedAlloc[a.ID])
+		if !ok {
+			t.Fatalf("%s: no point at %d", a.ID, sharedAlloc[a.ID])
+		}
+		sharedBW += float64(bw)
+	}
+	if sharedBW <= float64(plainBW) {
+		t.Fatalf("sharing should win on a tight pool: %v vs %v MB/s",
+			sharedBW/1e6, float64(plainBW)/1e6)
+	}
+	t.Logf("tight pool: plain MCKP %.0f MB/s, with shared node %.0f MB/s",
+		plainBW.MBps(), sharedBW/1e6)
+}
+
+func TestWithSharedNoopWhenPoolAmple(t *testing.T) {
+	apps := noDirectApps()
+	// 32 nodes: everyone can have their optimum; nobody should share.
+	alloc, shared, err := (WithShared{}).AllocateShared(apps, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 0 {
+		t.Fatalf("ample pool should not use the shared node: %v", shared)
+	}
+	// Full pool (not N-1) is then available: the strong app gets 8.
+	if alloc["strong"] != 8 {
+		t.Fatalf("strong app got %d", alloc["strong"])
+	}
+}
+
+func TestWithSharedKeepsDirectOptions(t *testing.T) {
+	// Apps with real direct access never get the synthetic option.
+	specs := perfmodel.SectionFiveTwoApps()
+	apps := make([]Application, 0, len(specs))
+	for _, s := range specs {
+		apps = append(apps, FromAppSpec(s.Label, s))
+	}
+	alloc, shared, err := (WithShared{}).AllocateShared(apps, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 0 {
+		t.Fatalf("apps with direct access should not be classified as shared users: %v", shared)
+	}
+	// Table 4 optimum preserved (re-arbitrated with the full pool).
+	if alloc["IOR-MPI"] != 8 {
+		t.Fatalf("alloc: %v", alloc)
+	}
+}
+
+func TestWithSharedErrors(t *testing.T) {
+	if _, _, err := (WithShared{}).AllocateShared(nil, 4); err == nil {
+		t.Fatal("empty apps should fail")
+	}
+	if _, _, err := (WithShared{}).AllocateShared(noDirectApps(), 0); err == nil {
+		t.Fatal("zero pool should fail")
+	}
+}
+
+func TestWithSharedName(t *testing.T) {
+	if (WithShared{}).Name() != "SHARED+MCKP" {
+		t.Fatalf("name: %s", WithShared{}.Name())
+	}
+	if (WithShared{Inner: Static{}}).Name() != "SHARED+STATIC" {
+		t.Fatal("inner name not reflected")
+	}
+}

@@ -1,0 +1,186 @@
+// Package rpc is the forwarding layer's wire transport, standing in for the
+// Mercury HPC RPC framework GekkoFS uses. It implements a compact framed
+// binary protocol over TCP with connection pooling on the client side and a
+// handler-dispatch server. The forwarding semantics (which server a request
+// goes to, how requests are scheduled) live in the fwd and ion packages;
+// this package only moves bytes.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  frame length (bytes after this field)
+//	uint8   opcode
+//	uint16  path length
+//	bytes   path
+//	int64   offset
+//	int64   size       (read length, stat results, etc.)
+//	uint32  data length
+//	bytes   data       (write payload or read result)
+//	uint16  error length
+//	bytes   error      (responses only; empty means success)
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies the remote operation.
+type Op uint8
+
+// Remote operations understood by I/O-node daemons.
+const (
+	OpPing Op = iota + 1
+	OpCreate
+	OpWrite
+	OpRead
+	OpStat
+	OpRemove
+	OpFsync
+	OpShutdown
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpStat:
+		return "stat"
+	case OpRemove:
+		return "remove"
+	case OpFsync:
+		return "fsync"
+	case OpShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Message is both the request and response representation.
+type Message struct {
+	Op     Op
+	Path   string
+	Offset int64
+	Size   int64
+	Data   []byte
+	Err    string
+}
+
+// MaxFrame bounds a single frame (a forwarded request carries at most one
+// chunk, so this is generous).
+const MaxFrame = 64 << 20
+
+// Frame size limits for the variable-length fields.
+const (
+	maxPath = 1 << 16 // uint16 length prefix
+	maxErr  = 1 << 16 // uint16 length prefix
+	maxData = MaxFrame/2 - 64
+)
+
+var (
+	// ErrFrameTooLarge indicates a frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("rpc: frame too large")
+	// ErrClosed indicates use of a closed client or server.
+	ErrClosed = errors.New("rpc: closed")
+)
+
+// WriteMessage encodes m onto w as one frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	if len(m.Path) >= maxPath {
+		return fmt.Errorf("rpc: path too long (%d bytes)", len(m.Path))
+	}
+	if len(m.Err) >= maxErr {
+		return fmt.Errorf("rpc: error string too long (%d bytes)", len(m.Err))
+	}
+	if len(m.Data) > maxData {
+		return fmt.Errorf("%w: %d-byte payload", ErrFrameTooLarge, len(m.Data))
+	}
+	n := 1 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf[0:], uint32(n))
+	p := 4
+	buf[p] = byte(m.Op)
+	p++
+	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Path)))
+	p += 2
+	p += copy(buf[p:], m.Path)
+	binary.BigEndian.PutUint64(buf[p:], uint64(m.Offset))
+	p += 8
+	binary.BigEndian.PutUint64(buf[p:], uint64(m.Size))
+	p += 8
+	binary.BigEndian.PutUint32(buf[p:], uint32(len(m.Data)))
+	p += 4
+	p += copy(buf[p:], m.Data)
+	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Err)))
+	p += 2
+	copy(buf[p:], m.Err)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage decodes one frame from r.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m := &Message{}
+	p := 0
+	need := func(k int) error {
+		if p+k > len(buf) {
+			return fmt.Errorf("rpc: truncated frame (need %d at %d of %d)", k, p, len(buf))
+		}
+		return nil
+	}
+	if err := need(3); err != nil {
+		return nil, err
+	}
+	m.Op = Op(buf[p])
+	p++
+	pathLen := int(binary.BigEndian.Uint16(buf[p:]))
+	p += 2
+	if err := need(pathLen + 20); err != nil {
+		return nil, err
+	}
+	m.Path = string(buf[p : p+pathLen])
+	p += pathLen
+	m.Offset = int64(binary.BigEndian.Uint64(buf[p:]))
+	p += 8
+	m.Size = int64(binary.BigEndian.Uint64(buf[p:]))
+	p += 8
+	dataLen := int(binary.BigEndian.Uint32(buf[p:]))
+	p += 4
+	if err := need(dataLen + 2); err != nil {
+		return nil, err
+	}
+	if dataLen > 0 {
+		m.Data = make([]byte, dataLen)
+		copy(m.Data, buf[p:p+dataLen])
+	}
+	p += dataLen
+	errLen := int(binary.BigEndian.Uint16(buf[p:]))
+	p += 2
+	if err := need(errLen); err != nil {
+		return nil, err
+	}
+	if errLen > 0 {
+		m.Err = string(buf[p : p+errLen])
+	}
+	return m, nil
+}

@@ -1,0 +1,228 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Handler processes one request and returns the response. Handlers must be
+// safe for concurrent use; the server runs one goroutine per connection.
+type Handler func(*Message) *Message
+
+// Server accepts framed-RPC connections and dispatches requests to a
+// Handler. The zero value is unusable; construct with NewServer.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server that dispatches every request to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the server to addr ("host:port", empty port for ephemeral)
+// and starts accepting in a background goroutine. It returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		resp := s.handler(req)
+		if resp == nil {
+			resp = &Message{Op: req.Op}
+		}
+		if err := WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a pooled connection set to one server address. Requests are
+// serialized per connection; up to PoolSize requests proceed in parallel.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	total  int
+	max    int
+	closed bool
+	cond   *sync.Cond
+}
+
+// DefaultPoolSize is the per-target connection pool size.
+const DefaultPoolSize = 4
+
+// Dial returns a client for addr with the given pool size (≤0 selects
+// DefaultPoolSize). Connections are established lazily.
+func Dial(addr string, poolSize int) *Client {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	c := &Client{addr: addr, max: poolSize}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n := len(c.idle); n > 0 {
+			conn := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if c.total < c.max {
+			c.total++
+			c.mu.Unlock()
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				c.mu.Lock()
+				c.total--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, err
+			}
+			return conn, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Client) putConn(conn net.Conn, broken bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if broken || c.closed {
+		conn.Close()
+		c.total--
+	} else {
+		c.idle = append(c.idle, conn)
+	}
+	c.cond.Signal()
+}
+
+// Call sends req and waits for the response. Safe for concurrent use.
+func (c *Client) Call(req *Message) (*Message, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteMessage(conn, req); err != nil {
+		c.putConn(conn, true)
+		return nil, err
+	}
+	resp, err := ReadMessage(conn)
+	if err != nil {
+		c.putConn(conn, true)
+		return nil, err
+	}
+	c.putConn(conn, false)
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Close releases all pooled connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	c.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package stats provides the small set of order statistics and distribution
+// summaries used by the experiment harness: minimum, median, maximum,
+// arbitrary percentiles, and mean. The paper reports min/median/max bands
+// (Fig. 3) and medians over 10,000 sampled application sets (Fig. 2).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries of empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary captures the order statistics the paper reports.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Median float64
+	Mean   float64
+	P25    float64
+	P75    float64
+	Stddev float64
+}
+
+// Summarize computes a Summary over xs. It does not modify xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sumsq float64
+	for _, v := range s {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical guard
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Median: quantileSorted(s, 0.5),
+		Mean:   mean,
+		P25:    quantileSorted(s, 0.25),
+		P75:    quantileSorted(s, 0.75),
+		Stddev: math.Sqrt(variance),
+	}, nil
+}
+
+// Median returns the sample median, NaN for empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Min returns the sample minimum, NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the sample maximum, NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks (the same convention as numpy's default). It does
+// not modify xs. NaN for empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram counts xs into k equal-width bins spanning [min, max].
+// Returns bin edges (k+1) and counts (k). Values equal to max land in the
+// last bin. Returns nil slices for empty input or k < 1.
+func Histogram(xs []float64, k int) (edges []float64, counts []int) {
+	if len(xs) == 0 || k < 1 {
+		return nil, nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, k+1)
+	width := (hi - lo) / float64(k)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	counts = make([]int, k)
+	for _, v := range xs {
+		idx := int((v - lo) / width)
+		if idx >= k {
+			idx = k - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return edges, counts
+}
+
+// Ratios returns the element-wise ratio a[i]/b[i]. Pairs with b[i] == 0 are
+// skipped. Used for the MCKP-over-STATIC improvement distribution (Fig. 3).
+func Ratios(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if b[i] == 0 {
+			continue
+		}
+		out = append(out, a[i]/b[i])
+	}
+	return out
+}
