@@ -1,0 +1,25 @@
+# Tier-1 verification: everything a PR must keep green.
+# `make verify` = vet + build + race-enabled tests (see also scripts/verify.sh).
+
+GO ?= go
+
+.PHONY: verify build test test-race vet bench-campaign
+
+verify: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# The parallel campaign engine's scaling record (serial baseline vs worker
+# pool); results are byte-identical at every worker count.
+bench-campaign:
+	$(GO) test -run - -bench BenchmarkCampaignWorkers -benchtime 1x .

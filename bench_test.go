@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/agios"
 	"repro/internal/experiments"
+	"repro/internal/forge"
 	"repro/internal/fwd"
 	"repro/internal/ion"
 	"repro/internal/mckp"
@@ -56,7 +57,7 @@ func BenchmarkOptimumDistribution(b *testing.B) {
 
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ExpFigure2(benchSets)
+		r, err := experiments.ExpFigure2(benchSets, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkFigure2(b *testing.B) {
 
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ExpFigure3(benchSets)
+		r, err := experiments.ExpFigure3(benchSets, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 func BenchmarkPolicyHeadlines(b *testing.B) {
-	fig2, err := experiments.ExpFigure2(benchSets)
+	fig2, err := experiments.ExpFigure2(benchSets, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,6 +91,27 @@ func BenchmarkPolicyHeadlines(b *testing.B) {
 	}
 	b.ReportMetric(h.OneVsZeroMedianSlowdownPct, "ONE-vs-ZERO-slowdown-pct")
 	b.ReportMetric(h.OracleVsZeroMedianBoostPct, "ORACLE-vs-ZERO-boost-pct")
+}
+
+// BenchmarkCampaignWorkers measures the parallel campaign engine behind
+// Figures 2–3 at several worker counts. workers=1 is the serial baseline;
+// the speedup of workers=N over workers=1 is the engine's scaling record
+// (results are byte-identical at every worker count, see
+// forge.TestParallelCampaignMatchesSerial).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := forge.DefaultConfig()
+			cfg.Sets = 400
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := forge.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.Sets)*float64(b.N)/b.Elapsed().Seconds(), "sets/s")
+		})
+	}
 }
 
 func BenchmarkFigure5(b *testing.B) {

@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-sets N] [table1|figure1|distribution|headlines|figure2|
-//	             figure3|figure5|figure6|table4|figure7|figure8|figure9|
-//	             timing|all]
+//	experiments [-sets N] [-workers N] [table1|figure1|distribution|headlines|
+//	             figure2|figure3|figure5|figure6|table4|figure7|figure8|
+//	             figure9|timing|all]
 //
 // With no arguments, everything except the slow campaign experiments runs;
 // "all" includes those too. -sets controls the Figure 2/3 campaign size
-// (default 2000; the paper uses 10000).
+// (default 2000; the paper uses 10000). -workers bounds the campaign worker
+// pool (default: all cores); every worker count produces identical tables.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	sets := flag.Int("sets", 2000, "application sets for the Figure 2/3 campaigns (paper: 10000)")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = all cores); results are identical for any value")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -36,14 +38,14 @@ func main() {
 	}
 
 	for _, name := range targets {
-		if err := run(name, *sets, os.Stdout); err != nil {
+		if err := run(name, *sets, *workers, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, sets int, w io.Writer) error {
+func run(name string, sets, workers int, w io.Writer) error {
 	switch name {
 	case "table1":
 		fmt.Fprintln(w, experiments.ExpTable1().Table())
@@ -58,19 +60,19 @@ func run(name string, sets int, w io.Writer) error {
 	case "distribution":
 		fmt.Fprintln(w, experiments.ExpOptimumDistribution().Table())
 	case "headlines":
-		fig2, err := experiments.ExpFigure2(sets)
+		fig2, err := experiments.ExpFigure2(sets, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, experiments.ExpPolicyHeadlines(fig2).Table())
 	case "figure2":
-		r, err := experiments.ExpFigure2(sets)
+		r, err := experiments.ExpFigure2(sets, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, r.Table())
 	case "figure3":
-		r, err := experiments.ExpFigure3(sets)
+		r, err := experiments.ExpFigure3(sets, workers)
 		if err != nil {
 			return err
 		}

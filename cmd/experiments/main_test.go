@@ -12,11 +12,11 @@ func TestRunAllTargets(t *testing.T) {
 		"figure3", "figure5", "figure6", "table4", "figure7", "figure8",
 		"figure9", "timing", "ablation", "robustness"}
 	for _, name := range targets {
-		if err := run(name, 25, io.Discard); err != nil {
+		if err := run(name, 25, 0, io.Discard); err != nil {
 			t.Errorf("run(%q): %v", name, err)
 		}
 	}
-	if err := run("bogus", 25, io.Discard); err == nil {
+	if err := run("bogus", 25, 0, io.Discard); err == nil {
 		t.Error("unknown target should fail")
 	}
 }

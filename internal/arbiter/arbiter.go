@@ -88,6 +88,10 @@ func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
 }
 
 // JobFinished removes an application and re-arbitrates for the remainder.
+// If re-arbitration fails, the finished job stays removed and the previous
+// assignment — pruned of the finished job — is published, so clients never
+// route on a mapping that still advertises the finished job's I/O nodes
+// and the remaining jobs keep their established routes.
 func (a *Arbiter) JobFinished(id string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -101,7 +105,14 @@ func (a *Arbiter) JobFinished(id string) error {
 		a.publish()
 		return nil
 	}
-	return a.rearbitrate()
+	if err := a.rearbitrate(); err != nil {
+		// rearbitrate mutates a.assign only on success, so the pruned
+		// previous assignment is still consistent (the finished job's
+		// nodes simply idle until the next successful solve).
+		a.publish()
+		return fmt.Errorf("arbiter: job %s finished, previous mapping kept: %w", id, err)
+	}
+	return nil
 }
 
 // Current returns the present address assignment.
@@ -126,10 +137,10 @@ func (a *Arbiter) rearbitrate() error {
 
 	start := time.Now()
 	alloc, err := a.pol.Allocate(apps, len(a.pool))
-	a.lastSolve = time.Since(start)
 	if err != nil {
 		return fmt.Errorf("arbiter: %s: %w", a.pol.Name(), err)
 	}
+	a.lastSolve = time.Since(start)
 
 	// Phase 1: shrink or keep — retain a stable prefix of each app's
 	// current addresses.

@@ -1,7 +1,9 @@
 package arbiter
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/mapping"
@@ -169,6 +171,74 @@ func TestFailedArbitrationRollsBack(t *testing.T) {
 	}
 	if _, ok := arb.Current()["x"]; ok {
 		t.Fatal("failed job leaked into assignment")
+	}
+}
+
+// scriptedPolicy delegates to an inner policy until fail is set, then
+// errors on every Allocate — simulating e.g. a transiently overcommitted
+// solver during re-arbitration.
+type scriptedPolicy struct {
+	inner policy.Policy
+	fail  bool
+}
+
+func (p *scriptedPolicy) Name() string { return "SCRIPTED" }
+
+func (p *scriptedPolicy) Allocate(apps []policy.Application, avail int) (policy.Allocation, error) {
+	if p.fail {
+		return nil, errors.New("scripted failure")
+	}
+	return p.inner.Allocate(apps, avail)
+}
+
+// TestJobFinishedFailurePublishesPrunedMapping: when re-arbitration fails
+// after a job finishes, the bus must stop advertising the finished job's
+// I/O nodes while the surviving jobs keep their previous routes — clients
+// must never route on a mapping that includes a dead application.
+func TestJobFinishedFailurePublishesPrunedMapping(t *testing.T) {
+	bus := mapping.NewBus()
+	pol := &scriptedPolicy{inner: policy.MCKP{}}
+	arb, err := New(pol, addrs(12), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.JobStarted(app(t, "HACC", "keep")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.JobStarted(app(t, "IOR-MPI", "done")); err != nil {
+		t.Fatal(err)
+	}
+	keepBefore := arb.Current()["keep"]
+	solveBefore := arb.LastSolveTime()
+	versionBefore := bus.Current().Version
+
+	pol.fail = true
+	if err := arb.JobFinished("done"); err == nil {
+		t.Fatal("expected re-arbitration failure to surface")
+	}
+
+	m := bus.Current()
+	if m.Version <= versionBefore {
+		t.Fatal("failure path must still publish a pruned mapping")
+	}
+	if len(m.For("done")) != 0 {
+		t.Fatalf("finished job still advertised on the bus: %v", m.For("done"))
+	}
+	if got := arb.Current()["keep"]; !reflect.DeepEqual(got, keepBefore) {
+		t.Fatalf("surviving job rerouted on failure: %v → %v", keepBefore, got)
+	}
+	if arb.LastSolveTime() != solveBefore {
+		t.Fatal("failed Allocate must not overwrite lastSolve")
+	}
+
+	// The arbiter is not wedged: once the policy recovers, new jobs
+	// arbitrate normally and the finished job stays gone.
+	pol.fail = false
+	if _, err := arb.JobStarted(app(t, "POSIX-L", "next")); err != nil {
+		t.Fatalf("arbiter wedged after failed re-arbitration: %v", err)
+	}
+	if _, ok := arb.Current()["done"]; ok {
+		t.Fatal("finished job resurrected")
 	}
 }
 

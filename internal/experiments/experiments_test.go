@@ -73,7 +73,7 @@ func TestExpOptimumDistribution(t *testing.T) {
 }
 
 func TestExpFigure2Small(t *testing.T) {
-	r, err := ExpFigure2(150)
+	r, err := ExpFigure2(150, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestExpFigure2Small(t *testing.T) {
 }
 
 func TestExpFigure3Small(t *testing.T) {
-	r, err := ExpFigure3(150)
+	r, err := ExpFigure3(150, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestExpSolverTiming(t *testing.T) {
 }
 
 func TestExpPolicyHeadlines(t *testing.T) {
-	fig2, err := ExpFigure2(100)
+	fig2, err := ExpFigure2(100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

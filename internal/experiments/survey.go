@@ -145,12 +145,14 @@ type Figure2Result struct {
 }
 
 // ExpFigure2 runs the forge campaign (sets × policies × pools). sets ≤ 0
-// selects the paper's 10,000.
-func ExpFigure2(sets int) (Figure2Result, error) {
+// selects the paper's 10,000. workers bounds the campaign's worker pool
+// (≤ 0 selects GOMAXPROCS); every worker count yields identical tables.
+func ExpFigure2(sets, workers int) (Figure2Result, error) {
 	cfg := forge.DefaultConfig()
 	if sets > 0 {
 		cfg.Sets = sets
 	}
+	cfg.Workers = workers
 	camp, err := forge.Run(cfg)
 	if err != nil {
 		return Figure2Result{}, err
@@ -201,11 +203,13 @@ type Figure3Result struct {
 
 // ExpFigure3 derives the Figure 3 bands from a campaign (rerun here so the
 // experiment is self-contained). sets ≤ 0 selects the paper's 10,000.
-func ExpFigure3(sets int) (Figure3Result, error) {
+// workers bounds the campaign's worker pool (≤ 0 selects GOMAXPROCS).
+func ExpFigure3(sets, workers int) (Figure3Result, error) {
 	cfg := forge.DefaultConfig()
 	if sets > 0 {
 		cfg.Sets = sets
 	}
+	cfg.Workers = workers
 	camp, err := forge.Run(cfg)
 	if err != nil {
 		return Figure3Result{}, err

@@ -12,6 +12,9 @@ package forge
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 	"repro/internal/perfmodel"
@@ -33,6 +36,11 @@ type Config struct {
 	Seed int64
 	// Model predicts scenario bandwidth; nil means the calibrated default.
 	Model *perfmodel.Model
+	// Workers bounds the number of goroutines evaluating application sets
+	// concurrently; 0 (or negative) selects GOMAXPROCS. Every worker count
+	// produces byte-identical results: set s is always sampled from its own
+	// RNG stream seeded with Seed+s, never from a shared generator.
+	Workers int
 }
 
 // DefaultConfig returns the paper's §3.2 campaign parameters.
@@ -88,55 +96,119 @@ func Policies() []policy.Policy {
 }
 
 // Run executes the campaign: cfg.Sets random draws of cfg.AppsPerSet
-// scenarios, each evaluated under every policy and pool size.
+// scenarios, each evaluated under every policy and pool size. Sets are
+// fanned out over cfg.Workers goroutines; because each set draws from its
+// own seeded RNG stream, the outcome is identical for every worker count.
 func Run(cfg Config) (*Campaign, error) {
 	if cfg.Sets <= 0 || cfg.AppsPerSet <= 0 || len(cfg.PoolSizes) == 0 {
 		return nil, fmt.Errorf("forge: invalid config %+v", cfg)
 	}
-	m := cfg.Model
-	if m == nil {
-		m = perfmodel.Default()
-	}
-	all := scenarios(m)
+	all := scenarios(campaignModel(cfg))
 	if cfg.AppsPerSet > len(all) {
 		return nil, fmt.Errorf("forge: set size %d exceeds %d scenarios", cfg.AppsPerSet, len(all))
 	}
 	pols := Policies()
-	camp := &Campaign{Config: cfg, Results: make([]SetResult, 0, cfg.Sets)}
+	camp := &Campaign{Config: cfg, Results: make([]SetResult, cfg.Sets)}
 	for _, p := range pols {
 		camp.Policies = append(camp.Policies, p.Name())
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for s := 0; s < cfg.Sets; s++ {
-		idx := rng.Perm(len(all))[:cfg.AppsPerSet]
-		apps := make([]policy.Application, 0, cfg.AppsPerSet)
-		for j, i := range idx {
-			a := all[i]
-			// Distinct IDs: the same scenario may repeat across sets,
-			// and IDs must be unique within a set.
-			a.ID = fmt.Sprintf("a%02d-%s", j, a.ID)
-			apps = append(apps, a)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+
+	var (
+		next atomic.Int64 // next set index to claim
+		wg   sync.WaitGroup
+
+		// The first error by set order, so failures are as deterministic
+		// as the results themselves. errSet doubles as the abort signal.
+		errMu  sync.Mutex
+		runErr error
+		errSet = int64(cfg.Sets)
+	)
+	fail := func(s int, err error) {
+		errMu.Lock()
+		if int64(s) < errSet {
+			errSet, runErr = int64(s), err
 		}
-		res := make(SetResult, len(pols))
-		for _, p := range pols {
-			series := make(map[int]float64, len(cfg.PoolSizes))
-			for _, pool := range cfg.PoolSizes {
-				alloc, err := p.Allocate(apps, pool)
-				if err != nil {
-					continue // policy not applicable at this pool size
+		errMu.Unlock()
+	}
+	aborted := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errSet < int64(cfg.Sets)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1) - 1)
+				if s >= cfg.Sets || aborted() {
+					return
 				}
-				bw, err := policy.SumBandwidth(apps, alloc)
+				res, err := runSet(cfg, all, pols, s)
 				if err != nil {
-					return nil, fmt.Errorf("forge: %s at pool %d: %w", p.Name(), pool, err)
+					fail(s, err)
+					return
 				}
-				series[pool] = bw.GBps()
+				camp.Results[s] = res
 			}
-			res[p.Name()] = series
-		}
-		camp.Results = append(camp.Results, res)
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
 	}
 	return camp, nil
+}
+
+// campaignModel resolves cfg's performance model (nil selects the
+// calibrated default).
+func campaignModel(cfg Config) *perfmodel.Model {
+	if cfg.Model != nil {
+		return cfg.Model
+	}
+	return perfmodel.Default()
+}
+
+// runSet samples and evaluates one application set. It owns a private RNG
+// stream (seeded with cfg.Seed+s), making it independent of every other set
+// and safe to run from any goroutine.
+func runSet(cfg Config, all []policy.Application, pols []policy.Policy, s int) (SetResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+	idx := rng.Perm(len(all))[:cfg.AppsPerSet]
+	apps := make([]policy.Application, 0, cfg.AppsPerSet)
+	for j, i := range idx {
+		a := all[i]
+		// Distinct IDs: the same scenario may repeat across sets,
+		// and IDs must be unique within a set.
+		a.ID = fmt.Sprintf("a%02d-%s", j, a.ID)
+		apps = append(apps, a)
+	}
+	res := make(SetResult, len(pols))
+	for _, p := range pols {
+		series := make(map[int]float64, len(cfg.PoolSizes))
+		for _, pool := range cfg.PoolSizes {
+			alloc, err := p.Allocate(apps, pool)
+			if err != nil {
+				continue // policy not applicable at this pool size
+			}
+			bw, err := policy.SumBandwidth(apps, alloc)
+			if err != nil {
+				return nil, fmt.Errorf("forge: set %d: %s at pool %d: %w", s, p.Name(), pool, err)
+			}
+			series[pool] = bw.GBps()
+		}
+		res[p.Name()] = series
+	}
+	return res, nil
 }
 
 // MedianSeries produces the Figure 2 data: for each policy, the median

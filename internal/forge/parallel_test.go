@@ -1,0 +1,101 @@
+package forge
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelCampaignMatchesSerial is the engine's determinism contract:
+// the same seed produces byte-identical per-set results, medians, ratio
+// bands and headlines at every worker count, because each set draws from
+// its own RNG stream rather than a shared generator.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets = 64
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial, err := Run(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		parCfg := cfg
+		parCfg.Workers = workers
+		par, err := Run(parCfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Results) != len(serial.Results) {
+			t.Fatalf("workers=%d: %d results, serial has %d", workers, len(par.Results), len(serial.Results))
+		}
+		for s := range serial.Results {
+			if !reflect.DeepEqual(serial.Results[s], par.Results[s]) {
+				t.Fatalf("workers=%d: set %d differs:\nserial %v\nparallel %v",
+					workers, s, serial.Results[s], par.Results[s])
+			}
+		}
+		if !reflect.DeepEqual(serial.MedianSeries(), par.MedianSeries()) {
+			t.Fatalf("workers=%d: Figure 2 medians differ", workers)
+		}
+		if !reflect.DeepEqual(serial.RatioSeries("MCKP", "STATIC"), par.RatioSeries("MCKP", "STATIC")) {
+			t.Fatalf("workers=%d: Figure 3 bands differ", workers)
+		}
+		if serial.ComputeHeadlines() != par.ComputeHeadlines() {
+			t.Fatalf("workers=%d: headlines differ", workers)
+		}
+	}
+}
+
+// TestWorkerCountEdgeCases: more workers than sets, zero (= GOMAXPROCS) and
+// negative worker counts all run and agree.
+func TestWorkerCountEdgeCases(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets = 3
+	var ref *Campaign
+	for _, workers := range []int{-1, 0, 1, 3, 16} {
+		c := cfg
+		c.Workers = workers
+		camp, err := Run(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(camp.Results) != cfg.Sets {
+			t.Fatalf("workers=%d: %d results", workers, len(camp.Results))
+		}
+		for s, r := range camp.Results {
+			if len(r) == 0 {
+				t.Fatalf("workers=%d: set %d empty", workers, s)
+			}
+		}
+		if ref == nil {
+			ref = camp
+		} else if !reflect.DeepEqual(ref.Results, camp.Results) {
+			t.Fatalf("workers=%d: results differ from reference", workers)
+		}
+	}
+}
+
+// TestRunSetIndependence: evaluating a set in isolation gives the same
+// result as evaluating it as part of a campaign — there is no hidden
+// cross-set state.
+func TestRunSetIndependence(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets = 10
+	camp, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := scenarios(campaignModel(cfg))
+	pols := Policies()
+	for _, s := range []int{0, 4, 9} {
+		res, err := runSet(cfg, all, pols, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, camp.Results[s]) {
+			t.Fatalf("set %d evaluated standalone differs from campaign", s)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package perfmodel
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// TestCurveForMemoized: cached and fresh evaluations agree, including under
+// concurrent access from many goroutines (run with -race).
+func TestCurveForMemoized(t *testing.T) {
+	m := New(DefaultParams())
+	pats := pattern.MN4Survey()
+
+	// Fresh model computes, warm model loads from cache; both must agree
+	// point for point with an independently constructed model.
+	ref := New(DefaultParams())
+	for _, p := range pats[:20] {
+		first := m.CurveFor(p, 8, true)
+		second := m.CurveFor(p, 8, true)
+		if !reflect.DeepEqual(first.Points(), second.Points()) {
+			t.Fatalf("cached curve differs for %v", p)
+		}
+		if !reflect.DeepEqual(first.Points(), ref.CurveFor(p, 8, true).Points()) {
+			t.Fatalf("cached curve differs from fresh model for %v", p)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, p := range pats {
+				c := m.CurveFor(p, 8, true)
+				if c.Len() == 0 {
+					t.Error("empty curve from concurrent CurveFor")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCurveForCacheKeyed: different (maxIONs, allowZero) arguments must not
+// collide in the cache.
+func TestCurveForCacheKeyed(t *testing.T) {
+	m := New(DefaultParams())
+	p := pattern.MN4Survey()[0]
+	full := m.CurveFor(p, 8, true)
+	noZero := m.CurveFor(p, 8, false)
+	if _, ok := full.At(0); !ok {
+		t.Fatal("allowZero curve lost its 0 point")
+	}
+	if _, ok := noZero.At(0); ok {
+		t.Fatal("no-zero curve has a 0 point: cache key collision")
+	}
+	small := m.CurveFor(p, 2, true)
+	if _, ok := small.At(8); ok {
+		t.Fatal("maxIONs=2 curve has an 8 point: cache key collision")
+	}
+}
+
+// TestSurveyCurvesMemoizedCopy: callers get a private slice over the shared
+// immutable curves, so mutating it cannot poison later callers.
+func TestSurveyCurvesMemoizedCopy(t *testing.T) {
+	m := New(DefaultParams())
+	a := m.SurveyCurves()
+	if len(a) != 189 {
+		t.Fatalf("survey size: %d", len(a))
+	}
+	a[0] = Curve{}
+	b := m.SurveyCurves()
+	if b[0].Len() == 0 {
+		t.Fatal("mutating a returned survey slice leaked into the cache")
+	}
+}
+
+// TestDefaultShared: Default returns one shared model so its curve cache is
+// warm across experiments.
+func TestDefaultShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() should return the shared model")
+	}
+}

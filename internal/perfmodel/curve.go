@@ -90,27 +90,47 @@ func (c Curve) String() string {
 	return b.String()
 }
 
+// curveKey identifies one memoized CurveFor evaluation.
+type curveKey struct {
+	pat       pattern.Pattern
+	maxIONs   int
+	allowZero bool
+}
+
 // CurveFor evaluates the model at each of the standard ION options for the
 // pattern (0, and powers of two dividing the node count up to maxIONs) and
-// returns the resulting curve.
+// returns the resulting curve. Results are memoized per model: the model is
+// deterministic in (pattern, maxIONs, allowZero), and campaign runs
+// re-evaluate the same 189 survey scenarios constantly. Safe for concurrent
+// use.
 func (m *Model) CurveFor(pat pattern.Pattern, maxIONs int, allowZero bool) Curve {
+	key := curveKey{pat: pat, maxIONs: maxIONs, allowZero: allowZero}
+	if v, ok := m.curves.Load(key); ok {
+		return v.(Curve)
+	}
 	opts := pattern.IONOptions(pat.Nodes, maxIONs, allowZero)
 	pts := make([]Point, 0, len(opts))
 	for _, k := range opts {
 		pts = append(pts, Point{IONs: k, Bandwidth: m.Bandwidth(pat, k)})
 	}
-	return NewCurve(pts...)
+	c := NewCurve(pts...)
+	m.curves.Store(key, c)
+	return c
 }
 
 // SurveyCurves evaluates the model over the full 189-scenario MN4 survey
-// with the paper's option set {0,1,2,4,8}.
+// with the paper's option set {0,1,2,4,8}. The sweep is computed once per
+// model and memoized; callers receive a fresh slice over the shared
+// immutable curves. Safe for concurrent use.
 func (m *Model) SurveyCurves() []Curve {
-	pats := pattern.MN4Survey()
-	out := make([]Curve, len(pats))
-	for i, p := range pats {
-		out[i] = m.CurveFor(p, 8, true)
-	}
-	return out
+	m.surveyOnce.Do(func() {
+		pats := pattern.MN4Survey()
+		m.survey = make([]Curve, len(pats))
+		for i, p := range pats {
+			m.survey[i] = m.CurveFor(p, 8, true)
+		}
+	})
+	return append([]Curve(nil), m.survey...)
 }
 
 // OptimumDistribution returns, for each ION option, the fraction of curves

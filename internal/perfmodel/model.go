@@ -22,6 +22,7 @@ package perfmodel
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/pattern"
 	"repro/internal/units"
@@ -168,16 +169,32 @@ func DefaultParams() Params {
 }
 
 // Model predicts bandwidth for access patterns under forwarding
-// configurations. The zero value is unusable; construct with New.
+// configurations. The zero value is unusable; construct with New. A Model
+// is safe for concurrent use: its parameters are immutable after New and
+// the memoized curve cache is concurrency-safe.
 type Model struct {
 	p Params
+
+	// curves memoizes CurveFor results (curveKey → Curve). The survey and
+	// the campaign engine evaluate the same 189 scenarios over and over,
+	// so most CurveFor calls repeat; curves are immutable values, so
+	// cached entries can be shared freely across goroutines.
+	curves sync.Map
+
+	// surveyOnce/survey memoize the full 189-scenario sweep.
+	surveyOnce sync.Once
+	survey     []Curve
 }
 
 // New returns a model with the given parameters.
 func New(p Params) *Model { return &Model{p: p} }
 
-// Default returns a model with the calibrated default parameters.
-func Default() *Model { return New(DefaultParams()) }
+// defaultModel is shared by every Default() caller so the curve cache is
+// warm across experiments (the parameter set is immutable).
+var defaultModel = New(DefaultParams())
+
+// Default returns the shared model with the calibrated default parameters.
+func Default() *Model { return defaultModel }
 
 // Params returns the model's parameter set.
 func (m *Model) Params() Params { return m.p }

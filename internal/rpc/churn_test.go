@@ -1,0 +1,183 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echoServer() *Server {
+	return NewServer(func(req *Message) *Message {
+		return &Message{Op: req.Op, Path: req.Path, Data: req.Data}
+	})
+}
+
+// TestCallRetriesStalePooledConn: a server restart invalidates the client's
+// idle pool; the next Call must transparently retry on a fresh connection
+// instead of failing with the stale conn's error.
+func TestCallRetriesStalePooledConn(t *testing.T) {
+	srv := echoServer()
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := Dial(addr, 2)
+	defer cli.Close()
+
+	// Warm the pool so a conn sits idle across the restart.
+	if _, err := cli.Call(&Message{Op: OpPing, Path: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := echoServer()
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	resp, err := cli.Call(&Message{Op: OpPing, Path: "/after-restart"})
+	if err != nil {
+		t.Fatalf("call after server restart should retry on a fresh conn: %v", err)
+	}
+	if resp.Path != "/after-restart" {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+}
+
+// TestServerRestartMidPool: many idle conns go stale at once; every
+// subsequent call (including concurrent ones) must recover.
+func TestServerRestartMidPool(t *testing.T) {
+	srv := echoServer()
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pool = 4
+	cli := Dial(addr, pool)
+	defer cli.Close()
+
+	// Fill the idle pool with pool connections.
+	var wg sync.WaitGroup
+	for i := 0; i < pool; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli.Call(&Message{Op: OpPing, Path: fmt.Sprintf("/warm%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	srv.Close()
+
+	srv2 := echoServer()
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	errs := make(chan error, 2*pool)
+	for i := 0; i < 2*pool; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/p%d", i)
+			resp, err := cli.Call(&Message{Op: OpWrite, Path: path})
+			if err != nil {
+				errs <- fmt.Errorf("call %d: %w", i, err)
+				return
+			}
+			if resp.Path != path {
+				errs <- fmt.Errorf("call %d: wrong response %q", i, resp.Path)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCallAfterServerGone: the retry must not mask a genuinely dead server —
+// when the fresh dial fails too, the call still errors.
+func TestCallAfterServerGone(t *testing.T) {
+	srv := echoServer()
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := Dial(addr, 1)
+	defer cli.Close()
+	if _, err := cli.Call(&Message{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cli.Call(&Message{Op: OpPing}); err == nil {
+		t.Fatal("call with server gone should fail")
+	}
+}
+
+// TestConcurrentCallClose: closing the client while calls are in flight
+// must not deadlock, panic, or race; calls either succeed or report an
+// error.
+func TestConcurrentCallClose(t *testing.T) {
+	srv := echoServer()
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for round := 0; round < 10; round++ {
+		cli := Dial(addr, 2)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if _, err := cli.Call(&Message{Op: OpPing, Path: fmt.Sprintf("/r%d", i)}); err != nil {
+						return // closed mid-flight: acceptable
+					}
+				}
+			}(w)
+		}
+		cli.Close()
+		wg.Wait()
+	}
+}
+
+// TestRetryRespectsPoolCap: a retry storm must not leak connections past
+// the pool cap — after recovery the client still works with its configured
+// pool size.
+func TestRetryRespectsPoolCap(t *testing.T) {
+	srv := echoServer()
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := Dial(addr, 1)
+	defer cli.Close()
+	if _, err := cli.Call(&Message{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := echoServer()
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer srv2.Close()
+	// With a pool of one, the retry must evict the stale conn's slot
+	// before dialing fresh; repeated sequential calls keep working.
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Call(&Message{Op: OpPing}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	cli.mu.Lock()
+	total := cli.total
+	cli.mu.Unlock()
+	if total > 1 {
+		t.Fatalf("pool cap exceeded: total=%d, max=1", total)
+	}
+}

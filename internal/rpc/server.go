@@ -147,18 +147,21 @@ func Dial(addr string, poolSize int) *Client {
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
 
-func (c *Client) getConn() (net.Conn, error) {
+// getConn returns a connection and whether it came from the idle pool (a
+// pooled connection may have been closed by the server while idle; a
+// freshly dialed one cannot have been).
+func (c *Client) getConn() (conn net.Conn, pooled bool, err error) {
 	c.mu.Lock()
 	for {
 		if c.closed {
 			c.mu.Unlock()
-			return nil, ErrClosed
+			return nil, false, ErrClosed
 		}
 		if n := len(c.idle); n > 0 {
 			conn := c.idle[n-1]
 			c.idle = c.idle[:n-1]
 			c.mu.Unlock()
-			return conn, nil
+			return conn, true, nil
 		}
 		if c.total < c.max {
 			c.total++
@@ -169,12 +172,48 @@ func (c *Client) getConn() (net.Conn, error) {
 				c.total--
 				c.cond.Signal()
 				c.mu.Unlock()
-				return nil, err
+				return nil, false, err
 			}
-			return conn, nil
+			return conn, false, nil
 		}
 		c.cond.Wait()
 	}
+}
+
+// dialFresh always establishes a new connection, evicting idle pooled
+// connections if the pool is at capacity: it is only called after a pooled
+// connection turned out stale (e.g. a server restart), which makes its
+// idle siblings suspect too.
+func (c *Client) dialFresh() (net.Conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c.total < c.max {
+			c.total++
+			break
+		}
+		if n := len(c.idle); n > 0 {
+			stale := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.total--
+			stale.Close()
+			continue
+		}
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		c.mu.Lock()
+		c.total--
+		c.cond.Signal()
+		c.mu.Unlock()
+		return nil, err
+	}
+	return conn, nil
 }
 
 func (c *Client) putConn(conn net.Conn, broken bool) {
@@ -189,12 +228,9 @@ func (c *Client) putConn(conn net.Conn, broken bool) {
 	c.cond.Signal()
 }
 
-// Call sends req and waits for the response. Safe for concurrent use.
-func (c *Client) Call(req *Message) (*Message, error) {
-	conn, err := c.getConn()
-	if err != nil {
-		return nil, err
-	}
+// roundTrip performs one request/response exchange on conn and returns the
+// connection to the pool (or discards it on failure).
+func (c *Client) roundTrip(conn net.Conn, req *Message) (*Message, error) {
 	if err := WriteMessage(conn, req); err != nil {
 		c.putConn(conn, true)
 		return nil, err
@@ -205,6 +241,32 @@ func (c *Client) Call(req *Message) (*Message, error) {
 		return nil, err
 	}
 	c.putConn(conn, false)
+	return resp, nil
+}
+
+// Call sends req and waits for the response. Safe for concurrent use.
+//
+// A connection taken from the idle pool may have been closed by the server
+// while it sat idle (restart, idle timeout); its first use then fails even
+// though the server is reachable. When that happens the request is retried
+// exactly once on a freshly dialed connection — a fresh dial either proves
+// the server is really down or completes the call.
+func (c *Client) Call(req *Message) (*Message, error) {
+	conn, pooled, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	resp, rtErr := c.roundTrip(conn, req)
+	if rtErr != nil && pooled {
+		fresh, dialErr := c.dialFresh()
+		if dialErr != nil {
+			return nil, rtErr
+		}
+		resp, rtErr = c.roundTrip(fresh, req)
+	}
+	if rtErr != nil {
+		return nil, rtErr
+	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}

@@ -32,17 +32,22 @@ func Summarize(xs []float64) (Summary, error) {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	var sum, sumsq float64
+	var sum float64
 	for _, v := range s {
 		sum += v
-		sumsq += v * v
 	}
 	n := float64(len(s))
 	mean := sum / n
-	variance := sumsq/n - mean*mean
-	if variance < 0 {
-		variance = 0 // numerical guard
+	// Two-pass variance: summing squared deviations from the mean avoids
+	// the catastrophic cancellation of the sumsq/n − mean² form, which
+	// loses all precision when the spread is tiny relative to the
+	// magnitude (e.g. bandwidths in B/s clustered around 10⁹).
+	var m2 float64
+	for _, v := range s {
+		d := v - mean
+		m2 += d * d
 	}
+	variance := m2 / n
 	return Summary{
 		N:      len(s),
 		Min:    s[0],

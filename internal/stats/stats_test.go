@@ -167,6 +167,48 @@ func TestRatios(t *testing.T) {
 	}
 }
 
+// TestSummarizeStddevLargeMagnitude: the naive sumsq/n − mean² variance
+// catastrophically cancels when the spread is tiny relative to the
+// magnitude (bandwidths in B/s sit near 10⁹ with sub-B/s spread); the
+// two-pass form must stay exact.
+func TestSummarizeStddevLargeMagnitude(t *testing.T) {
+	base := 1e9 // 1 GB/s expressed in B/s
+	xs := []float64{base, base + 1, base + 2}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {0,1,2}
+	if math.Abs(s.Stddev-want) > 1e-6 {
+		t.Fatalf("stddev at magnitude 1e9: got %v, want %v", s.Stddev, want)
+	}
+
+	// Shift invariance: adding a constant must not change the spread.
+	shifted := make([]float64, len(xs))
+	for i, v := range xs {
+		shifted[i] = v - base
+	}
+	s2, err := Summarize(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Stddev-s2.Stddev) > 1e-6 {
+		t.Fatalf("stddev not shift-invariant: %v vs %v", s.Stddev, s2.Stddev)
+	}
+}
+
+// TestSummarizeStddevConstant: a constant sample has zero spread, and the
+// result must not go NaN via a negative variance.
+func TestSummarizeStddevConstant(t *testing.T) {
+	s, err := Summarize([]float64{7.25e11, 7.25e11, 7.25e11, 7.25e11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stddev != 0 {
+		t.Fatalf("constant sample stddev: %v", s.Stddev)
+	}
+}
+
 func TestSummaryAgainstSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	xs := make([]float64, 1001)

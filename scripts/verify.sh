@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification for this repository: vet + build + race-enabled tests.
+# Equivalent to `make verify`; kept as a script for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
