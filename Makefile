@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet bench-campaign
+.PHONY: verify build test test-race vet bench bench-campaign
 
 verify: vet build test-race
 
@@ -18,6 +18,11 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Telemetry overhead on the forwarding hot path (instrumented vs tracing
+# off); writes BENCH_telemetry.json. Tunables: PAIRS, BENCHTIME.
+bench:
+	sh scripts/bench_telemetry.sh
 
 # The parallel campaign engine's scaling record (serial baseline vs worker
 # pool); results are byte-identical at every worker count.

@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/livestack"
 	"repro/internal/perfmodel"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -31,11 +34,17 @@ func main() {
 	sweep := flag.String("sweep", "", "run one kernel at every feasible ION count instead")
 	queue := flag.Bool("queue", false, "run the paper's §5.3 queue live (14 tiny-scale jobs)")
 	rate := flag.Float64("ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /trace/recent on this address (e.g. :9090; empty = off)")
 	flag.Parse()
 
 	cfg := livestack.Config{IONs: *ions, Scheduler: *scheduler, Policy: policy.MCKP{}}
 	if *rate > 0 {
 		cfg.PFS.OSTRate = units.BandwidthFromMBps(*rate)
+	}
+	if *metricsAddr != "" {
+		// Tracing is only worth its (small) cost when someone can look at
+		// the traces, so it rides the metrics endpoint flag.
+		cfg.Tracer = telemetry.NewTracer(0)
 	}
 	st, err := livestack.Start(cfg)
 	if err != nil {
@@ -44,6 +53,18 @@ func main() {
 	defer st.Close()
 	fmt.Printf("started %d I/O nodes (%s scheduling) and the %s arbiter\n",
 		*ions, *scheduler, st.Arbiter.PolicyName())
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: telemetry.Handler(st.Telemetry, st.Tracer)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics and /trace/recent\n", ln.Addr())
+	}
 
 	if *queue {
 		runLiveQueue(st)

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // OpType distinguishes reads from writes.
@@ -53,6 +55,10 @@ type Request struct {
 	Arrival time.Time
 	// Seq is a monotonically increasing tie-breaker set by the queue.
 	Seq uint64
+	// Trace is the originating request's telemetry trace ID (0 =
+	// untraced); the dispatcher uses it to attribute scheduling and PFS
+	// hops to the right trace record.
+	Trace uint64
 	// Children holds the original requests when this request is an
 	// aggregate produced by a merging scheduler.
 	Children []*Request
@@ -414,6 +420,11 @@ type Queue struct {
 	sched  Scheduler
 	seq    uint64
 	closed bool
+
+	// Telemetry handles (nil when uninstrumented; all no-ops then).
+	telDepth     *telemetry.Gauge
+	telCoalesced *telemetry.Counter
+	telWait      *telemetry.Histogram
 }
 
 // NewQueue wraps sched.
@@ -421,6 +432,17 @@ func NewQueue(sched Scheduler) *Queue {
 	q := &Queue{sched: sched}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// Instrument attaches queue metrics to reg: pending depth, client
+// requests coalesced into aggregates, and queue-wait latency. label is an
+// optional Prometheus label set (e.g. `{node="ion00"}`) appended to every
+// series name so per-daemon queues stay distinguishable in one registry.
+// Call before the queue is shared across goroutines.
+func (q *Queue) Instrument(reg *telemetry.Registry, label string) {
+	q.telDepth = reg.Gauge("agios_queue_depth" + label)
+	q.telCoalesced = reg.Counter("agios_coalesced_total" + label)
+	q.telWait = reg.Histogram("agios_queue_wait_seconds"+label, telemetry.LatencyBuckets())
 }
 
 // SchedulerName reports the wrapped scheduler's name.
@@ -444,8 +466,23 @@ func (q *Queue) Push(r *Request) error {
 		r.Arrival = time.Now()
 	}
 	q.sched.Push(r)
+	q.telDepth.Add(1)
 	q.cond.Signal()
 	return nil
+}
+
+// recordPop maintains queue metrics for one popped (possibly aggregate)
+// request. Caller holds the lock.
+func (q *Queue) recordPop(r *Request) {
+	if n := int64(len(r.Children)); n > 0 {
+		q.telDepth.Add(-n)
+		q.telCoalesced.Add(n)
+	} else {
+		q.telDepth.Add(-1)
+	}
+	if q.telWait != nil && !r.Arrival.IsZero() {
+		q.telWait.ObserveDuration(time.Since(r.Arrival))
+	}
 }
 
 // PopWait blocks until a request is available or the queue is closed; ok
@@ -455,6 +492,7 @@ func (q *Queue) PopWait() (*Request, bool) {
 	defer q.mu.Unlock()
 	for {
 		if r, ok := q.sched.Pop(); ok {
+			q.recordPop(r)
 			return r, true
 		}
 		if q.closed {
@@ -468,7 +506,11 @@ func (q *Queue) PopWait() (*Request, bool) {
 func (q *Queue) TryPop() (*Request, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.sched.Pop()
+	r, ok := q.sched.Pop()
+	if ok {
+		q.recordPop(r)
+	}
+	return r, ok
 }
 
 // Len reports pending requests.

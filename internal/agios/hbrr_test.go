@@ -1,0 +1,166 @@
+package agios
+
+import (
+	"testing"
+)
+
+// TestHBRRRoundRobinAcrossFiles checks the defining HBRR property: handles
+// are served round-robin, one quantum of requests per handle per turn.
+func TestHBRRRoundRobinAcrossFiles(t *testing.T) {
+	h := NewHBRR(2)
+	// Three files, three sparse (non-mergeable) requests each, pushed
+	// file-by-file so arrival order alone would drain /a entirely first.
+	for _, path := range []string{"/a", "/b", "/c"} {
+		for i := int64(0); i < 3; i++ {
+			r := req(path, i*1000, 10)
+			r.Seq = uint64(len(path)) + uint64(i)
+			h.Push(r)
+		}
+	}
+	var order []string
+	for {
+		r, ok := h.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, r.Path)
+	}
+	want := []string{
+		"/a", "/a", // quantum 2 from /a
+		"/b", "/b",
+		"/c", "/c",
+		"/a", "/b", "/c", // second turn drains the leftovers
+	}
+	if len(order) != len(want) {
+		t.Fatalf("drained %d requests, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order wrong at %d: got %v want %v", i, order, want)
+		}
+	}
+}
+
+// TestHBRROffsetOrderWithinHandle checks that a handle's turn serves its
+// requests in ascending offset order regardless of arrival order.
+func TestHBRROffsetOrderWithinHandle(t *testing.T) {
+	h := NewHBRR(8)
+	offsets := []int64{3000, 0, 2000, 1000}
+	for i, off := range offsets {
+		r := req("/f", off, 10)
+		r.Seq = uint64(i)
+		h.Push(r)
+	}
+	var got []int64
+	for {
+		r, ok := h.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, r.Offset)
+	}
+	want := []int64{0, 1000, 2000, 3000}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offset order wrong: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestHBRRMergesAdjacentWithinQuantum checks HBRR's aggregation benefit:
+// contiguous same-handle writes inside one turn dispatch as one merged
+// request whose children are the originals, and the merged batch charges
+// the quantum per child.
+func TestHBRRMergesAdjacentWithinQuantum(t *testing.T) {
+	h := NewHBRR(4)
+	for i := int64(0); i < 3; i++ {
+		r := req("/f", i*10, 10)
+		r.Seq = uint64(i)
+		h.Push(r)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	r, ok := h.Pop()
+	if !ok {
+		t.Fatal("pop failed")
+	}
+	if len(r.Children) != 3 {
+		t.Fatalf("merged %d children, want 3 (req %+v)", len(r.Children), r)
+	}
+	if r.Offset != 0 || r.Size != 30 {
+		t.Fatalf("merged extent [%d,%d), want [0,30)", r.Offset, r.End())
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after merged pop = %d, want 0", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestHBRRMaxAggregateBoundsMerge checks that a merged dispatch never
+// exceeds MaxAggregate even when more contiguous data is queued.
+func TestHBRRMaxAggregateBoundsMerge(t *testing.T) {
+	h := NewHBRR(8)
+	h.MaxAggregate = 25
+	for i := int64(0); i < 4; i++ {
+		r := req("/f", i*10, 10)
+		r.Seq = uint64(i)
+		h.Push(r)
+	}
+	first, ok := h.Pop()
+	if !ok {
+		t.Fatal("pop failed")
+	}
+	if first.Size > 25 {
+		t.Fatalf("merged size %d exceeds MaxAggregate 25", first.Size)
+	}
+	if len(first.Children) != 2 {
+		t.Fatalf("first dispatch merged %d children, want 2", len(first.Children))
+	}
+	rest := drain(h)
+	var total int64 = first.Size
+	for _, r := range rest {
+		total += r.Size
+	}
+	if total != 40 {
+		t.Fatalf("drained %d bytes total, want 40", total)
+	}
+}
+
+// TestHBRRQuantumExhaustionRotates checks that a handle with more queued
+// requests than its quantum yields the turn rather than starving others.
+func TestHBRRQuantumExhaustionRotates(t *testing.T) {
+	h := NewHBRR(1)
+	// /hog has sparse requests (no merging); /small has one.
+	for i := int64(0); i < 3; i++ {
+		r := req("/hog", i*1000, 10)
+		r.Seq = uint64(i)
+		h.Push(r)
+	}
+	late := req("/small", 0, 10)
+	late.Seq = 99
+	h.Push(late)
+
+	var order []string
+	for {
+		r, ok := h.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, r.Path)
+	}
+	want := []string{"/hog", "/small", "/hog", "/hog"}
+	if len(order) != len(want) {
+		t.Fatalf("drained %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("quantum rotation wrong: got %v want %v", order, want)
+		}
+	}
+}

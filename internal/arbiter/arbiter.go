@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/mapping"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // Arbiter owns a pool of I/O-node addresses and a mapping bus.
@@ -33,6 +34,14 @@ type Arbiter struct {
 	// SolveTime records the duration of the last policy invocation (the
 	// paper reports 399 µs for its live case).
 	lastSolve time.Duration
+
+	// Telemetry handles (nil until Instrument; all no-ops then).
+	tel struct {
+		solves, solveErrors, published *telemetry.Counter
+		keptMappings                   *telemetry.Counter
+		jobsRunning                    *telemetry.Gauge
+		solveLatency                   *telemetry.Histogram
+	}
 }
 
 // New creates an arbiter over the given policy, I/O-node addresses, and
@@ -63,6 +72,22 @@ func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, erro
 // PolicyName reports the active policy.
 func (a *Arbiter) PolicyName() string { return a.pol.Name() }
 
+// Instrument attaches arbitration metrics to reg: solve count/latency,
+// solver failures, published mappings, re-arbitration fallbacks where the
+// pruned previous mapping was kept, and the running-job gauge. Returns a
+// for chaining; reg may be nil.
+func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tel.solves = reg.Counter("arbiter_solves_total")
+	a.tel.solveErrors = reg.Counter("arbiter_solve_errors_total")
+	a.tel.published = reg.Counter("arbiter_mappings_published_total")
+	a.tel.keptMappings = reg.Counter("arbiter_kept_previous_mapping_total")
+	a.tel.jobsRunning = reg.Gauge("arbiter_jobs_running")
+	a.tel.solveLatency = reg.Histogram("arbiter_solve_latency_seconds", telemetry.LatencyBuckets())
+	return a
+}
+
 // LastSolveTime reports how long the most recent policy invocation took.
 func (a *Arbiter) LastSolveTime() time.Duration {
 	a.mu.Lock()
@@ -82,8 +107,10 @@ func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
 	a.running[app.ID] = app
 	if err := a.rearbitrate(); err != nil {
 		delete(a.running, app.ID)
+		a.tel.jobsRunning.Set(int64(len(a.running)))
 		return nil, err
 	}
+	a.tel.jobsRunning.Set(int64(len(a.running)))
 	return append([]string(nil), a.assign[app.ID]...), nil
 }
 
@@ -100,6 +127,7 @@ func (a *Arbiter) JobFinished(id string) error {
 	}
 	delete(a.running, id)
 	delete(a.assign, id)
+	a.tel.jobsRunning.Set(int64(len(a.running)))
 	if len(a.running) == 0 {
 		a.assign = map[string][]string{}
 		a.publish()
@@ -109,6 +137,7 @@ func (a *Arbiter) JobFinished(id string) error {
 		// rearbitrate mutates a.assign only on success, so the pruned
 		// previous assignment is still consistent (the finished job's
 		// nodes simply idle until the next successful solve).
+		a.tel.keptMappings.Inc()
 		a.publish()
 		return fmt.Errorf("arbiter: job %s finished, previous mapping kept: %w", id, err)
 	}
@@ -137,7 +166,10 @@ func (a *Arbiter) rearbitrate() error {
 
 	start := time.Now()
 	alloc, err := a.pol.Allocate(apps, len(a.pool))
+	a.tel.solves.Inc()
+	a.tel.solveLatency.ObserveDuration(time.Since(start))
 	if err != nil {
+		a.tel.solveErrors.Inc()
 		return fmt.Errorf("arbiter: %s: %w", a.pol.Name(), err)
 	}
 	a.lastSolve = time.Since(start)
@@ -181,5 +213,6 @@ func (a *Arbiter) rearbitrate() error {
 
 // publish pushes the current assignment to the bus. Caller holds the lock.
 func (a *Arbiter) publish() {
+	a.tel.published.Inc()
 	a.bus.Publish(a.assign)
 }

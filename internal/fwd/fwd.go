@@ -25,10 +25,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -49,6 +51,14 @@ type Config struct {
 	// PoolSize is the RPC connection pool per I/O node; ≤0 selects the
 	// transport default.
 	PoolSize int
+	// Telemetry receives the client's metrics (app-labeled series:
+	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
+	// connections it dials. Nil selects a private registry so Stats()
+	// always works.
+	Telemetry *telemetry.Registry
+	// Tracer opens one trace per file operation and threads its ID
+	// through the rpc layer to the I/O nodes. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Stats counts client-side activity.
@@ -69,8 +79,12 @@ type Client struct {
 	conns map[string]*rpc.Client // address → pooled connection, kept across remaps
 	ver   uint64
 
+	// Counters live on reg (app-labeled); coupled counters are updated in
+	// one reg.Update group and Stats() reads under reg.View, so snapshots
+	// are never torn (see ion.Daemon.Stats).
+	reg   *telemetry.Registry
 	stats struct {
-		forwarded, direct, bytesOut, bytesIn, remaps atomic.Int64
+		forwarded, direct, bytesOut, bytesIn, remaps *telemetry.Counter
 	}
 
 	watchStop func()
@@ -91,7 +105,18 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = DefaultChunkSize
 	}
-	return &Client{cfg: cfg, conns: make(map[string]*rpc.Client)}, nil
+	c := &Client{cfg: cfg, conns: make(map[string]*rpc.Client)}
+	c.reg = cfg.Telemetry
+	if c.reg == nil {
+		c.reg = telemetry.New()
+	}
+	label := fmt.Sprintf("{app=%q}", cfg.AppID)
+	c.stats.forwarded = c.reg.Counter("fwd_forwarded_ops_total" + label)
+	c.stats.direct = c.reg.Counter("fwd_direct_ops_total" + label)
+	c.stats.bytesOut = c.reg.Counter("fwd_bytes_out_total" + label)
+	c.stats.bytesIn = c.reg.Counter("fwd_bytes_in_total" + label)
+	c.stats.remaps = c.reg.Counter("fwd_remaps_applied_total" + label)
+	return c, nil
 }
 
 // SetIONs installs a new allocation. Connections to previously used I/O
@@ -103,7 +128,7 @@ func (c *Client) SetIONs(addrs []string) {
 	c.addrs = append([]string(nil), addrs...)
 	for _, a := range addrs {
 		if _, ok := c.conns[a]; !ok {
-			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize)
+			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize).Instrument(c.cfg.Telemetry, c.cfg.Tracer)
 		}
 	}
 	c.stats.remaps.Add(1)
@@ -176,15 +201,67 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot of client counters.
+// Stats returns a consistent snapshot of client counters (read under the
+// registry's view gate, so no grouped update is half-visible).
 func (c *Client) Stats() Stats {
-	return Stats{
-		ForwardedOps:  c.stats.forwarded.Load(),
-		DirectOps:     c.stats.direct.Load(),
-		BytesOut:      c.stats.bytesOut.Load(),
-		BytesIn:       c.stats.bytesIn.Load(),
-		RemapsApplied: c.stats.remaps.Load(),
+	var s Stats
+	c.reg.View(func() {
+		s = Stats{
+			ForwardedOps:  c.stats.forwarded.Value(),
+			DirectOps:     c.stats.direct.Value(),
+			BytesOut:      c.stats.bytesOut.Value(),
+			BytesIn:       c.stats.bytesIn.Value(),
+			RemapsApplied: c.stats.remaps.Value(),
+		}
+	})
+	return s
+}
+
+// trace opens a per-operation trace; the zero opTrace (tracing disabled)
+// makes every method a no-op so the hot path pays only a nil check.
+func (c *Client) trace(op, path string) opTrace {
+	tr := c.cfg.Tracer.Start(c.cfg.AppID, op, path)
+	if tr == nil {
+		return opTrace{}
 	}
+	return opTrace{t: tr, start: time.Now()}
+}
+
+// opTrace pairs a telemetry trace with the operation start time so the
+// "fwd" hop — covering chunking and RPC fan-out — is stamped at completion.
+type opTrace struct {
+	t     *telemetry.Trace
+	start time.Time
+}
+
+// id returns the wire trace ID (0 when tracing is off).
+func (t opTrace) id() uint64 { return t.t.TraceID() }
+
+// done records the fwd hop and finishes the trace.
+func (t opTrace) done(bytes int64, note string) {
+	if t.t == nil {
+		return
+	}
+	t.t.Hop("fwd", t.start, bytes, note)
+	t.t.Finish()
+}
+
+// chunkNotes precomputes the common "chunks=N" hop notes so the data path
+// never formats a string per operation (the Sprintf argument would be
+// evaluated even with tracing off).
+var chunkNotes = func() [17]string {
+	var n [17]string
+	for i := range n {
+		n[i] = fmt.Sprintf("chunks=%d", i)
+	}
+	return n
+}()
+
+func chunkNote(n int) string {
+	if n < len(chunkNotes) {
+		return chunkNotes[n]
+	}
+	return fmt.Sprintf("chunks=%d", n)
 }
 
 // route returns the connection for a chunk, or nil for direct mode.
@@ -242,13 +319,17 @@ func (c *Client) Create(path string) error {
 	if err := c.errIfClosed(); err != nil {
 		return err
 	}
+	tr := c.trace("create", path)
 	if t := c.metaTarget(path); t != nil {
-		c.stats.forwarded.Add(1)
-		_, err := t.Call(&rpc.Message{Op: rpc.OpCreate, Path: path})
+		c.stats.forwarded.Inc()
+		_, err := t.Call(&rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		tr.done(0, "forwarded")
 		return err
 	}
-	c.stats.direct.Add(1)
-	return c.cfg.Direct.Create(path)
+	c.stats.direct.Inc()
+	err := c.cfg.Direct.Create(path)
+	tr.done(0, "direct")
+	return err
 }
 
 // maxParallelChunks bounds the per-request fan-out of chunk RPCs, like
@@ -277,23 +358,28 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 	if err := c.errIfClosed(); err != nil {
 		return 0, err
 	}
+	tr := c.trace("write", path)
 	exts := c.extents(off, int64(len(p)))
 	written := make([]int, len(exts))
 	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
 		rel := e.off - off
 		payload := p[rel : rel+e.n]
 		if t := c.route(path, e.idx); t != nil {
-			c.stats.forwarded.Add(1)
-			c.stats.bytesOut.Add(e.n)
-			resp, err := t.Call(&rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload})
+			c.reg.Update(func() {
+				c.stats.forwarded.Inc()
+				c.stats.bytesOut.Add(e.n)
+			})
+			resp, err := t.Call(&rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()})
 			if err != nil {
 				return err
 			}
 			written[i] = int(resp.Size)
 			return nil
 		}
-		c.stats.direct.Add(1)
-		c.stats.bytesOut.Add(e.n)
+		c.reg.Update(func() {
+			c.stats.direct.Inc()
+			c.stats.bytesOut.Add(e.n)
+		})
 		k, err := c.cfg.Direct.Write(path, e.off, payload)
 		written[i] = k
 		return err
@@ -302,6 +388,7 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 	for _, w := range written {
 		total += w
 	}
+	tr.done(int64(total), chunkNote(len(exts)))
 	return total, err
 }
 
@@ -346,13 +433,14 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 	if err := c.errIfClosed(); err != nil {
 		return 0, err
 	}
+	tr := c.trace("read", path)
 	exts := c.extents(off, int64(len(p)))
 	counts := make([]int, len(exts))
 	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
 		rel := e.off - off
 		if t := c.route(path, e.idx); t != nil {
-			c.stats.forwarded.Add(1)
-			resp, err := t.Call(&rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n})
+			c.stats.forwarded.Inc()
+			resp, err := t.Call(&rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n, Trace: tr.id()})
 			if resp != nil {
 				counts[i] = copy(p[rel:rel+e.n], resp.Data)
 				c.stats.bytesIn.Add(int64(counts[i]))
@@ -362,7 +450,7 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 			}
 			return nil
 		}
-		c.stats.direct.Add(1)
+		c.stats.direct.Inc()
 		k, err := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
 		counts[i] = k
 		c.stats.bytesIn.Add(int64(k))
@@ -375,6 +463,7 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 	for _, k := range counts {
 		total += k
 	}
+	tr.done(int64(total), chunkNote(len(exts)))
 	if err != nil {
 		return total, err
 	}
@@ -395,15 +484,17 @@ func (c *Client) Stat(path string) (pfs.FileInfo, error) {
 	if err := c.errIfClosed(); err != nil {
 		return pfs.FileInfo{}, err
 	}
+	tr := c.trace("stat", path)
+	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
-		c.stats.forwarded.Add(1)
-		resp, err := t.Call(&rpc.Message{Op: rpc.OpStat, Path: path})
+		c.stats.forwarded.Inc()
+		resp, err := t.Call(&rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
 		if err != nil {
 			return pfs.FileInfo{}, remapError(err, path)
 		}
 		return pfs.FileInfo{Path: path, Size: resp.Size}, nil
 	}
-	c.stats.direct.Add(1)
+	c.stats.direct.Inc()
 	return c.cfg.Direct.Stat(path)
 }
 
@@ -412,12 +503,14 @@ func (c *Client) Remove(path string) error {
 	if err := c.errIfClosed(); err != nil {
 		return err
 	}
+	tr := c.trace("remove", path)
+	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
-		c.stats.forwarded.Add(1)
-		_, err := t.Call(&rpc.Message{Op: rpc.OpRemove, Path: path})
+		c.stats.forwarded.Inc()
+		_, err := t.Call(&rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
 		return remapError(err, path)
 	}
-	c.stats.direct.Add(1)
+	c.stats.direct.Inc()
 	return c.cfg.Direct.Remove(path)
 }
 
@@ -426,12 +519,14 @@ func (c *Client) Fsync(path string) error {
 	if err := c.errIfClosed(); err != nil {
 		return err
 	}
+	tr := c.trace("fsync", path)
+	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
-		c.stats.forwarded.Add(1)
-		_, err := t.Call(&rpc.Message{Op: rpc.OpFsync, Path: path})
+		c.stats.forwarded.Inc()
+		_, err := t.Call(&rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
 		return remapError(err, path)
 	}
-	c.stats.direct.Add(1)
+	c.stats.direct.Inc()
 	return c.cfg.Direct.Fsync(path)
 }
 

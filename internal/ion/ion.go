@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agios"
 	"repro/internal/pfs"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // Backend is the storage interface a daemon dispatches to: the PFS
@@ -40,13 +42,23 @@ type Stats struct {
 // Config parameterizes a daemon.
 type Config struct {
 	// ID names the daemon; it is used as the writer identity at the PFS
-	// so the shared-file lock model sees per-I/O-node streams.
+	// so the shared-file lock model sees per-I/O-node streams, and as the
+	// `node` label on the daemon's metric series.
 	ID string
 	// Scheduler orders requests; nil selects FIFO.
 	Scheduler agios.Scheduler
 	// Dispatchers is the PFS worker-pool width; ≤0 selects 2 (matching
 	// the performance model's DispatchWidth).
 	Dispatchers int
+	// Telemetry receives the daemon's metrics (per-node labeled series:
+	// ion_writes_total{node="…"}, …). Nil selects a private registry so
+	// Stats() always works; pass the stack-wide registry to aggregate
+	// across daemons (as livestack does).
+	Telemetry *telemetry.Registry
+	// Tracer receives per-request hops ("ion" at the RPC boundary,
+	// "agios" for queue wait, "pfs" for backend dispatch). Nil disables
+	// hop recording.
+	Tracer *telemetry.Tracer
 }
 
 // Daemon is one I/O node.
@@ -60,8 +72,17 @@ type Daemon struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	stats struct {
-		writes, reads, meta, bytesIn, bytesOut, dispatches, aggregated, rejects atomic.Int64
+	// All counters live on reg; logically-coupled counters are updated in
+	// one reg.Update group and read back under one reg.View, so a
+	// concurrent Stats() can never observe a torn set (e.g. a write
+	// counted but its bytes not yet).
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	tel    struct {
+		writes, reads, meta, bytesIn, bytesOut *telemetry.Counter
+		dispatches, aggregated, rejects        *telemetry.Counter
+		dispatchLatency                        *telemetry.Histogram
+		requestBytes                           *telemetry.Histogram
 	}
 }
 
@@ -77,7 +98,24 @@ func New(cfg Config, backend Backend) *Daemon {
 		cfg:     cfg,
 		backend: backend,
 		queue:   agios.NewQueue(cfg.Scheduler),
+		tracer:  cfg.Tracer,
 	}
+	d.reg = cfg.Telemetry
+	if d.reg == nil {
+		d.reg = telemetry.New()
+	}
+	label := fmt.Sprintf("{node=%q}", cfg.ID)
+	d.tel.writes = d.reg.Counter("ion_writes_total" + label)
+	d.tel.reads = d.reg.Counter("ion_reads_total" + label)
+	d.tel.meta = d.reg.Counter("ion_meta_ops_total" + label)
+	d.tel.bytesIn = d.reg.Counter("ion_bytes_in_total" + label)
+	d.tel.bytesOut = d.reg.Counter("ion_bytes_out_total" + label)
+	d.tel.dispatches = d.reg.Counter("ion_dispatches_total" + label)
+	d.tel.aggregated = d.reg.Counter("ion_aggregated_total" + label)
+	d.tel.rejects = d.reg.Counter("ion_queue_rejects_total" + label)
+	d.tel.dispatchLatency = d.reg.Histogram("ion_dispatch_latency_seconds"+label, telemetry.LatencyBuckets())
+	d.tel.requestBytes = d.reg.Histogram("ion_request_bytes"+label, telemetry.SizeBuckets())
+	d.queue.Instrument(d.reg, label)
 	d.server = rpc.NewServer(d.handle)
 	return d
 }
@@ -117,30 +155,53 @@ func (d *Daemon) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of the daemon's counters.
+// Stats returns a consistent snapshot of the daemon's counters: the read
+// happens under the registry's view gate, so no concurrently running
+// update group is half-visible (previously each field was loaded from an
+// independent atomic, and a reader could see a request counted with its
+// bytes still missing).
 func (d *Daemon) Stats() Stats {
-	return Stats{
-		Writes:       d.stats.writes.Load(),
-		Reads:        d.stats.reads.Load(),
-		MetaOps:      d.stats.meta.Load(),
-		BytesIn:      d.stats.bytesIn.Load(),
-		BytesOut:     d.stats.bytesOut.Load(),
-		Dispatches:   d.stats.dispatches.Load(),
-		Aggregated:   d.stats.aggregated.Load(),
-		QueueRejects: d.stats.rejects.Load(),
-	}
+	var s Stats
+	d.reg.View(func() {
+		s = Stats{
+			Writes:       d.tel.writes.Value(),
+			Reads:        d.tel.reads.Value(),
+			MetaOps:      d.tel.meta.Value(),
+			BytesIn:      d.tel.bytesIn.Value(),
+			BytesOut:     d.tel.bytesOut.Value(),
+			Dispatches:   d.tel.dispatches.Value(),
+			Aggregated:   d.tel.aggregated.Value(),
+			QueueRejects: d.tel.rejects.Value(),
+		}
+	})
+	return s
 }
 
-// handle is the RPC entry point.
+// handle is the RPC entry point. It wraps the per-op handler with the
+// daemon's trace hop: one "ion" hop per forwarded request covering the
+// whole server-side residence (queue wait and PFS dispatch included).
 func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
-	resp := &rpc.Message{Op: m.Op, Path: m.Path}
+	start := time.Now()
+	resp := d.handleOp(m)
+	if d.tracer != nil && m.Trace != 0 {
+		bytes := int64(len(m.Data)) + int64(len(resp.Data))
+		d.tracer.AddHop(m.Trace, "ion", start, bytes, d.cfg.ID)
+	}
+	return resp
+}
+
+func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
+	resp := &rpc.Message{Op: m.Op, Path: m.Path, Trace: m.Trace}
 	switch m.Op {
 	case rpc.OpPing:
 		resp.Data = []byte(d.cfg.ID)
 
 	case rpc.OpWrite:
-		d.stats.writes.Add(1)
-		d.stats.bytesIn.Add(int64(len(m.Data)))
+		d.reg.Update(func() {
+			d.tel.writes.Inc()
+			d.tel.bytesIn.Add(int64(len(m.Data)))
+		})
+		d.tel.requestBytes.Observe(float64(len(m.Data)))
 		done := make(chan error, 1)
 		req := &agios.Request{
 			Path:   m.Path,
@@ -148,12 +209,13 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 			Size:   int64(len(m.Data)),
 			Op:     agios.OpWrite,
 			Data:   m.Data,
+			Trace:  m.Trace,
 			OnComplete: func(err error) {
 				done <- err
 			},
 		}
 		if err := d.queue.Push(req); err != nil {
-			d.stats.rejects.Add(1)
+			d.tel.rejects.Inc()
 			resp.Err = err.Error()
 			return resp
 		}
@@ -164,38 +226,40 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 		resp.Size = int64(len(m.Data))
 
 	case rpc.OpRead:
-		d.stats.reads.Add(1)
+		d.tel.reads.Inc()
+		d.tel.requestBytes.Observe(float64(m.Size))
 		done := make(chan error, 1)
 		req := &agios.Request{
 			Path:   m.Path,
 			Offset: m.Offset,
 			Size:   m.Size,
 			Op:     agios.OpRead,
+			Trace:  m.Trace,
 			OnComplete: func(err error) {
 				done <- err
 			},
 		}
 		if err := d.queue.Push(req); err != nil {
-			d.stats.rejects.Add(1)
+			d.tel.rejects.Inc()
 			resp.Err = err.Error()
 			return resp
 		}
 		err := <-done
 		resp.Data = req.Data // dispatcher stored the bytes read
 		resp.Size = int64(len(req.Data))
-		d.stats.bytesOut.Add(int64(len(req.Data)))
+		d.tel.bytesOut.Add(int64(len(req.Data)))
 		if err != nil {
 			resp.Err = err.Error()
 		}
 
 	case rpc.OpCreate:
-		d.stats.meta.Add(1)
+		d.tel.meta.Inc()
 		if err := d.backend.Create(m.Path); err != nil {
 			resp.Err = err.Error()
 		}
 
 	case rpc.OpStat:
-		d.stats.meta.Add(1)
+		d.tel.meta.Inc()
 		info, err := d.backend.Stat(m.Path)
 		if err != nil {
 			resp.Err = err.Error()
@@ -204,13 +268,13 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 		}
 
 	case rpc.OpRemove:
-		d.stats.meta.Add(1)
+		d.tel.meta.Inc()
 		if err := d.backend.Remove(m.Path); err != nil {
 			resp.Err = err.Error()
 		}
 
 	case rpc.OpFsync:
-		d.stats.meta.Add(1)
+		d.tel.meta.Inc()
 		if err := d.backend.Fsync(m.Path); err != nil {
 			resp.Err = err.Error()
 		}
@@ -221,6 +285,22 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 	return resp
 }
 
+// hopEach records one layer hop on a dispatched request — or on each of
+// its children when it is an aggregate, since the children carry the
+// client-visible trace IDs.
+func (d *Daemon) hopEach(req *agios.Request, layer string, start time.Time, note string) {
+	if d.tracer == nil {
+		return
+	}
+	if len(req.Children) == 0 {
+		d.tracer.AddHop(req.Trace, layer, start, req.Size, note)
+		return
+	}
+	for _, c := range req.Children {
+		d.tracer.AddHop(c.Trace, layer, start, c.Size, note)
+	}
+}
+
 // dispatchLoop pops scheduled requests and executes them against the PFS.
 func (d *Daemon) dispatchLoop() {
 	defer d.wg.Done()
@@ -229,18 +309,31 @@ func (d *Daemon) dispatchLoop() {
 		if !ok {
 			return
 		}
-		d.stats.dispatches.Add(1)
-		if n := len(req.Children); n > 0 {
-			d.stats.aggregated.Add(int64(n))
+		n := len(req.Children)
+		d.reg.Update(func() {
+			d.tel.dispatches.Inc()
+			if n > 0 {
+				d.tel.aggregated.Add(int64(n))
+			}
+		})
+		note := d.queue.SchedulerName()
+		if n > 0 {
+			note = fmt.Sprintf("%s merged=%d", note, n)
 		}
+		d.hopEach(req, "agios", req.Arrival, note)
+		start := time.Now()
 		switch req.Op {
 		case agios.OpWrite:
 			_, err := d.backend.WriteAs(d.cfg.ID, req.Path, req.Offset, req.Data)
+			d.tel.dispatchLatency.ObserveDuration(time.Since(start))
+			d.hopEach(req, "pfs", start, "write")
 			req.Complete(err)
 		case agios.OpRead:
 			buf := make([]byte, req.Size)
 			n, err := d.backend.Read(req.Path, req.Offset, buf)
 			req.Data = buf[:n]
+			d.tel.dispatchLatency.ObserveDuration(time.Since(start))
+			d.hopEach(req, "pfs", start, "read")
 			req.Complete(err)
 		default:
 			req.Complete(fmt.Errorf("ion: unknown scheduled op %v", req.Op))

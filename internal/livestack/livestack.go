@@ -16,6 +16,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a stack.
@@ -32,6 +33,12 @@ type Config struct {
 	PFS pfs.Config
 	// Dispatchers per I/O node; ≤0 selects the daemon default.
 	Dispatchers int
+	// Telemetry is the stack-wide metrics registry shared by every layer
+	// (fwd clients, rpc, daemons, PFS, arbiter); nil creates one.
+	Telemetry *telemetry.Registry
+	// Tracer joins per-request hops across layers. Nil disables tracing
+	// (metrics stay on); pass telemetry.NewTracer to record traces.
+	Tracer *telemetry.Tracer
 }
 
 // Stack is a running live system.
@@ -41,6 +48,11 @@ type Stack struct {
 	Arbiter *arbiter.Arbiter
 	Daemons []*ion.Daemon
 	Addrs   []string
+
+	// Telemetry and Tracer are the stack-wide observability handles every
+	// layer reports into; serve them with telemetry.Handler.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	clients []*fwd.Client
 	cancels []func()
@@ -60,9 +72,17 @@ func Start(cfg Config) (*Stack, error) {
 		schedName = "AIOLI"
 	}
 
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	tracer := cfg.Tracer // nil keeps tracing off
+
 	st := &Stack{
-		Store: pfs.NewStore(cfg.PFS),
-		Bus:   mapping.NewBus(),
+		Store:     pfs.NewStore(cfg.PFS).Instrument(reg),
+		Bus:       mapping.NewBus(),
+		Telemetry: reg,
+		Tracer:    tracer,
 	}
 	for i := 0; i < cfg.IONs; i++ {
 		sched, err := agios.NewByName(schedName)
@@ -74,6 +94,8 @@ func Start(cfg Config) (*Stack, error) {
 			ID:          fmt.Sprintf("ion%02d", i),
 			Scheduler:   sched,
 			Dispatchers: cfg.Dispatchers,
+			Telemetry:   reg,
+			Tracer:      tracer,
 		}, st.Store)
 		addr, err := d.Start("")
 		if err != nil {
@@ -88,7 +110,7 @@ func Start(cfg Config) (*Stack, error) {
 		st.Close()
 		return nil, err
 	}
-	st.Arbiter = arb
+	st.Arbiter = arb.Instrument(reg)
 	return st, nil
 }
 
@@ -96,7 +118,12 @@ func Start(cfg Config) (*Stack, error) {
 // the stack's mapping bus. The client starts in direct mode until the
 // arbiter assigns it I/O nodes (via JobStarted).
 func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
-	c, err := fwd.NewClient(fwd.Config{AppID: appID, Direct: s.Store})
+	c, err := fwd.NewClient(fwd.Config{
+		AppID:     appID,
+		Direct:    s.Store,
+		Telemetry: s.Telemetry,
+		Tracer:    s.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,190 @@
+package livestack
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryEndToEnd pushes real traffic through the live stack and
+// checks the observability contract end to end:
+//
+//	(a) byte conservation — bytes leaving the forwarding clients equal
+//	    bytes arriving at the I/O nodes and landing on the PFS;
+//	(b) the /metrics exposition parses and carries the rpc latency
+//	    histogram;
+//	(c) a recorded trace shows every hop of the forwarding path in order:
+//	    fwd → rpc → ion → agios → pfs.
+func TestTelemetryEndToEnd(t *testing.T) {
+	sink := telemetry.NewTestSink()
+	st, err := Start(Config{IONs: 4, Telemetry: sink.Registry, Tracer: sink.Tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	app := policy.Application{ID: "telapp", Nodes: 4, Processes: 16}
+	assigned, err := st.Arbiter.JobStarted(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := st.NewClient("telapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitForAllocation(client, len(assigned), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const path = "/telapp/data"
+	if err := client.Create(path); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("forward!"), 4096) // 32 KiB, spans chunks
+	total := 0
+	for i := 0; i < 4; i++ {
+		n, err := client.Write(path, int64(total), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	buf := make([]byte, total)
+	if _, err := client.Read(path, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Fsync(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Byte conservation across layers.
+	for _, pair := range [][2]string{
+		{"fwd_bytes_out_total", "ion_bytes_in_total"},
+		{"fwd_bytes_out_total", "pfs_bytes_written_total"},
+		{"fwd_bytes_in_total", "ion_bytes_out_total"},
+		{"fwd_bytes_in_total", "pfs_bytes_read_total"},
+	} {
+		if err := sink.ExpectEqual(pair[0], pair[1]); err != nil {
+			t.Error(err)
+		}
+	}
+	if got := sink.CounterSum("fwd_bytes_out_total"); got != int64(total) {
+		t.Errorf("fwd_bytes_out_total = %d, wrote %d", got, total)
+	}
+	if sink.HistogramCount("rpc_call_latency_seconds") == 0 {
+		t.Error("no rpc call latencies observed")
+	}
+
+	// (b) HTTP exposition parses and contains the rpc latency histogram.
+	srv := httptest.NewServer(telemetry.Handler(st.Telemetry, st.Tracer))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ParsePrometheus(string(body)); err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"rpc_call_latency_seconds_bucket", "rpc_call_latency_seconds_count",
+		"fwd_bytes_out_total", "ion_writes_total", "pfs_bytes_written_total",
+		"arbiter_solves_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	trResp, err := http.Get(srv.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBody, _ := io.ReadAll(trResp.Body)
+	trResp.Body.Close()
+	if !strings.Contains(string(trBody), `"path":"`+path+`"`) {
+		t.Errorf("/trace/recent has no trace for %s: %s", path, trBody)
+	}
+
+	// (c) A write trace records every hop of the forwarding path in order.
+	var wtr telemetry.TraceSnapshot
+	found := false
+	for _, s := range sink.Traces() {
+		if s.Op == "write" && s.Path == path {
+			wtr, found = s, true
+		}
+	}
+	if !found {
+		t.Fatal("no finished write trace recorded")
+	}
+	want := []string{"fwd", "rpc", "ion", "agios", "pfs"}
+	if got := telemetry.HopLayers(wtr); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("write trace hops = %v, want %v (trace %+v)", got, want, wtr)
+	}
+	if wtr.Total <= 0 {
+		t.Errorf("trace total duration = %v, want > 0", wtr.Total)
+	}
+	for _, h := range wtr.Hops {
+		if h.Duration < 0 {
+			t.Errorf("hop %s has negative duration %v", h.Layer, h.Duration)
+		}
+	}
+}
+
+// benchmarkForward measures one client forwarding 64 KiB writes to one
+// I/O node — the hot path the telemetry overhead budget applies to.
+func benchmarkForward(b *testing.B, cfg Config) {
+	st, err := Start(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Arbiter.JobStarted(policy.Application{ID: "bench", Nodes: 1, Processes: 1}); err != nil {
+		b.Fatal(err)
+	}
+	client, err := st.NewClient("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := waitForSomeAllocation(client, 2*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := client.Create("/bench/file"); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64*1024)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write("/bench/file", 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardHotPath compares the forwarding write path with tracing
+// off (bare: metrics only, nil tracer short-circuits all hop recording)
+// against the fully instrumented stack (shared registry + request traces).
+// scripts/bench_telemetry.sh turns the pair into BENCH_telemetry.json.
+func BenchmarkForwardHotPath(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		benchmarkForward(b, Config{IONs: 1, Scheduler: "FIFO"})
+	})
+	b.Run("telemetry", func(b *testing.B) {
+		benchmarkForward(b, Config{
+			IONs: 1, Scheduler: "FIFO",
+			Telemetry: telemetry.New(),
+			Tracer:    telemetry.NewTracer(0),
+		})
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -138,6 +139,16 @@ type Store struct {
 
 	statsMu sync.Mutex
 	metrics Metrics
+
+	// Registry mirrors of the store counters (nil when uninstrumented;
+	// all methods no-op then). These feed the stack-wide /metrics view;
+	// Metrics() remains the store's own consistent snapshot.
+	tel struct {
+		bytesWritten, bytesRead       *telemetry.Counter
+		writeOps, readOps, metaOps    *telemetry.Counter
+		seeks, lockWaits              *telemetry.Counter
+		writeBytesHist, readBytesHist *telemetry.Histogram
+	}
 }
 
 var _ FileSystem = (*Store)(nil)
@@ -154,6 +165,23 @@ func NewStore(cfg Config) *Store {
 
 // Config returns the store's effective configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Instrument mirrors the store's counters onto reg (pfs_bytes_written_total,
+// pfs_seeks_total, …) so the PFS end of the forwarding path shows up in the
+// same exposition as the layers above it. Call before serving traffic; reg
+// may be nil (no-op). Returns s for chaining.
+func (s *Store) Instrument(reg *telemetry.Registry) *Store {
+	s.tel.bytesWritten = reg.Counter("pfs_bytes_written_total")
+	s.tel.bytesRead = reg.Counter("pfs_bytes_read_total")
+	s.tel.writeOps = reg.Counter("pfs_write_ops_total")
+	s.tel.readOps = reg.Counter("pfs_read_ops_total")
+	s.tel.metaOps = reg.Counter("pfs_meta_ops_total")
+	s.tel.seeks = reg.Counter("pfs_seeks_total")
+	s.tel.lockWaits = reg.Counter("pfs_lock_waits_total")
+	s.tel.writeBytesHist = reg.Histogram("pfs_write_bytes", telemetry.SizeBuckets())
+	s.tel.readBytesHist = reg.Histogram("pfs_read_bytes", telemetry.SizeBuckets())
+	return s
+}
 
 // Create implements FileSystem.
 func (s *Store) Create(path string) error {
@@ -240,6 +268,7 @@ func (s *Store) WriteAs(writer, path string, off int64, p []byte) (int, error) {
 		s.statsMu.Lock()
 		s.metrics.LockWaits++
 		s.statsMu.Unlock()
+		s.tel.lockWaits.Inc()
 		time.Sleep(s.cfg.LockLatency)
 	}
 	f.lastWriter = writer
@@ -264,6 +293,9 @@ func (s *Store) WriteAs(writer, path string, off int64, p []byte) (int, error) {
 	s.metrics.BytesWritten += int64(len(p))
 	s.metrics.WriteOps++
 	s.statsMu.Unlock()
+	s.tel.writeOps.Inc()
+	s.tel.bytesWritten.Add(int64(len(p)))
+	s.tel.writeBytesHist.Observe(float64(len(p)))
 	return len(p), nil
 }
 
@@ -297,6 +329,9 @@ func (s *Store) Read(path string, off int64, p []byte) (int, error) {
 	s.metrics.BytesRead += int64(n)
 	s.metrics.ReadOps++
 	s.statsMu.Unlock()
+	s.tel.readOps.Inc()
+	s.tel.bytesRead.Add(int64(n))
+	s.tel.readBytesHist.Observe(float64(n))
 	if n < len(p) {
 		return n, ErrShortRead
 	}
@@ -373,6 +408,7 @@ func (s *Store) meta() {
 	s.statsMu.Lock()
 	s.metrics.MetaOps++
 	s.statsMu.Unlock()
+	s.tel.metaOps.Inc()
 }
 
 // serviceExtents charges each stripe extent of [off, off+n) to its OST:
@@ -389,7 +425,9 @@ func (s *Store) serviceExtents(path string, off, n int64) {
 			extent = n
 		}
 		o := s.osts[(base+int(idx%int64(len(s.osts))))%len(s.osts)]
-		o.service(s.cfg, path, off, extent)
+		if !o.service(s.cfg, path, off, extent) {
+			s.tel.seeks.Inc()
+		}
 		off += extent
 		n -= extent
 	}
@@ -405,7 +443,9 @@ func startOST(path string, osts int) int {
 	return int(h % uint64(osts))
 }
 
-func (o *ost) service(cfg Config, path string, off, n int64) {
+// service charges one extent to the OST and reports whether the access
+// was sequential (callers count seeks on false).
+func (o *ost) service(cfg Config, path string, off, n int64) bool {
 	o.mu.Lock()
 	sequential := o.lastPos[path] == off
 	o.lastPos[path] = off + n
@@ -426,4 +466,5 @@ func (o *ost) service(cfg Config, path string, off, n int64) {
 		time.Sleep(delay)
 	}
 	o.mu.Unlock()
+	return sequential
 }

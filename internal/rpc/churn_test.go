@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func echoServer() *Server {
@@ -21,7 +23,8 @@ func TestCallRetriesStalePooledConn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := Dial(addr, 2)
+	reg := telemetry.New()
+	cli := Dial(addr, 2).Instrument(reg, nil)
 	defer cli.Close()
 
 	// Warm the pool so a conn sits idle across the restart.
@@ -43,6 +46,14 @@ func TestCallRetriesStalePooledConn(t *testing.T) {
 	if resp.Path != "/after-restart" {
 		t.Fatalf("unexpected response %+v", resp)
 	}
+	// One stale conn → the retry path fired exactly once, and the
+	// telemetry counters prove it.
+	if got := reg.Counter("rpc_stale_retries_total").Value(); got != 1 {
+		t.Fatalf("rpc_stale_retries_total = %d, want exactly 1", got)
+	}
+	if got := reg.Counter("rpc_calls_total").Value(); got != 2 {
+		t.Fatalf("rpc_calls_total = %d, want 2 (warm + post-restart)", got)
+	}
 }
 
 // TestServerRestartMidPool: many idle conns go stale at once; every
@@ -54,7 +65,8 @@ func TestServerRestartMidPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	const pool = 4
-	cli := Dial(addr, pool)
+	reg := telemetry.New()
+	cli := Dial(addr, pool).Instrument(reg, nil)
 	defer cli.Close()
 
 	// Fill the idle pool with pool connections.
@@ -95,6 +107,17 @@ func TestServerRestartMidPool(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	// Every stale conn is consumed exactly once: either its first use
+	// failed and triggered a retry, or dialFresh evicted it while idle.
+	retries := reg.Counter("rpc_stale_retries_total").Value()
+	evictions := reg.Counter("rpc_stale_evictions_total").Value()
+	if retries+evictions != pool {
+		t.Fatalf("retries (%d) + evictions (%d) = %d, want exactly %d (one per stale conn)",
+			retries, evictions, retries+evictions, pool)
+	}
+	if retries < 1 {
+		t.Fatalf("at least one stale conn must have taken the retry path (retries=%d)", retries)
 	}
 }
 

@@ -9,6 +9,7 @@
 //
 //	uint32  frame length (bytes after this field)
 //	uint8   opcode
+//	uint64  trace id   (0 = untraced; see internal/telemetry)
 //	uint16  path length
 //	bytes   path
 //	int64   offset
@@ -72,6 +73,10 @@ type Message struct {
 	Size   int64
 	Data   []byte
 	Err    string
+	// Trace carries the originating request's telemetry trace ID across
+	// the wire so server-side layers can append hops to the same record.
+	// Zero means untraced; servers echo it back in responses.
+	Trace uint64
 }
 
 // MaxFrame bounds a single frame (a forwarded request carries at most one
@@ -103,12 +108,14 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Data) > maxData {
 		return fmt.Errorf("%w: %d-byte payload", ErrFrameTooLarge, len(m.Data))
 	}
-	n := 1 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
+	n := 1 + 8 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
 	buf := make([]byte, 4+n)
 	binary.BigEndian.PutUint32(buf[0:], uint32(n))
 	p := 4
 	buf[p] = byte(m.Op)
 	p++
+	binary.BigEndian.PutUint64(buf[p:], m.Trace)
+	p += 8
 	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Path)))
 	p += 2
 	p += copy(buf[p:], m.Path)
@@ -148,11 +155,13 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		}
 		return nil
 	}
-	if err := need(3); err != nil {
+	if err := need(11); err != nil {
 		return nil, err
 	}
 	m.Op = Op(buf[p])
 	p++
+	m.Trace = binary.BigEndian.Uint64(buf[p:])
+	p += 8
 	pathLen := int(binary.BigEndian.Uint16(buf[p:]))
 	p += 2
 	if err := need(pathLen + 20); err != nil {

@@ -13,7 +13,7 @@ import (
 func TestMessageRoundTrip(t *testing.T) {
 	msgs := []*Message{
 		{Op: OpPing},
-		{Op: OpWrite, Path: "/data/file.bin", Offset: 1 << 40, Size: 0, Data: []byte("hello world")},
+		{Op: OpWrite, Path: "/data/file.bin", Offset: 1 << 40, Size: 0, Data: []byte("hello world"), Trace: 1<<63 + 7},
 		{Op: OpRead, Path: "x", Offset: -1, Size: 4096},
 		{Op: OpStat, Path: strings.Repeat("p", 1000), Size: 123456789},
 		{Op: OpRemove, Path: "/gone", Err: "no such file"},
@@ -29,18 +29,19 @@ func TestMessageRoundTrip(t *testing.T) {
 			t.Fatalf("msg %d: read: %v", i, err)
 		}
 		if got.Op != m.Op || got.Path != m.Path || got.Offset != m.Offset ||
-			got.Size != m.Size || got.Err != m.Err || !bytes.Equal(got.Data, m.Data) {
+			got.Size != m.Size || got.Err != m.Err || got.Trace != m.Trace ||
+			!bytes.Equal(got.Data, m.Data) {
 			t.Fatalf("msg %d: round trip mismatch:\n  in  %+v\n  out %+v", i, m, got)
 		}
 	}
 }
 
 func TestMessageRoundTripProperty(t *testing.T) {
-	f := func(op uint8, path string, offset, size int64, data []byte, errStr string) bool {
+	f := func(op uint8, path string, offset, size int64, data []byte, errStr string, trace uint64) bool {
 		if len(path) >= maxPath || len(errStr) >= maxErr || len(data) > 1<<16 {
 			return true
 		}
-		m := &Message{Op: Op(op), Path: path, Offset: offset, Size: size, Data: data, Err: errStr}
+		m := &Message{Op: Op(op), Path: path, Offset: offset, Size: size, Data: data, Err: errStr, Trace: trace}
 		var buf bytes.Buffer
 		if err := WriteMessage(&buf, m); err != nil {
 			return false

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Handler processes one request and returns the response. Handlers must be
@@ -128,6 +131,15 @@ type Client struct {
 	max    int
 	closed bool
 	cond   *sync.Cond
+
+	// Telemetry handles are nil on an uninstrumented client; every method
+	// on them is then a no-op (see internal/telemetry).
+	tel struct {
+		dials, dialErrors, calls, callErrors *telemetry.Counter
+		staleRetries, staleEvictions         *telemetry.Counter
+		latency                              *telemetry.Histogram
+	}
+	tracer *telemetry.Tracer
 }
 
 // DefaultPoolSize is the per-target connection pool size.
@@ -146,6 +158,23 @@ func Dial(addr string, poolSize int) *Client {
 
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
+
+// Instrument attaches a metrics registry and tracer to the client. Call
+// it before the first Call; either argument may be nil. It returns c for
+// chaining. The counters record dial activity and the stale-connection
+// retry path (retries taken, idle siblings evicted), so connection-churn
+// behaviour is observable and testable; latency covers every Call.
+func (c *Client) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) *Client {
+	c.tel.dials = reg.Counter("rpc_dials_total")
+	c.tel.dialErrors = reg.Counter("rpc_dial_errors_total")
+	c.tel.calls = reg.Counter("rpc_calls_total")
+	c.tel.callErrors = reg.Counter("rpc_call_errors_total")
+	c.tel.staleRetries = reg.Counter("rpc_stale_retries_total")
+	c.tel.staleEvictions = reg.Counter("rpc_stale_evictions_total")
+	c.tel.latency = reg.Histogram("rpc_call_latency_seconds", telemetry.LatencyBuckets())
+	c.tracer = tracer
+	return c
+}
 
 // getConn returns a connection and whether it came from the idle pool (a
 // pooled connection may have been closed by the server while idle; a
@@ -166,8 +195,10 @@ func (c *Client) getConn() (conn net.Conn, pooled bool, err error) {
 		if c.total < c.max {
 			c.total++
 			c.mu.Unlock()
+			c.tel.dials.Inc()
 			conn, err := net.Dial("tcp", c.addr)
 			if err != nil {
+				c.tel.dialErrors.Inc()
 				c.mu.Lock()
 				c.total--
 				c.cond.Signal()
@@ -200,13 +231,16 @@ func (c *Client) dialFresh() (net.Conn, error) {
 			c.idle = c.idle[:n-1]
 			c.total--
 			stale.Close()
+			c.tel.staleEvictions.Inc()
 			continue
 		}
 		c.cond.Wait()
 	}
 	c.mu.Unlock()
+	c.tel.dials.Inc()
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
+		c.tel.dialErrors.Inc()
 		c.mu.Lock()
 		c.total--
 		c.cond.Signal()
@@ -252,12 +286,31 @@ func (c *Client) roundTrip(conn net.Conn, req *Message) (*Message, error) {
 // exactly once on a freshly dialed connection — a fresh dial either proves
 // the server is really down or completes the call.
 func (c *Client) Call(req *Message) (*Message, error) {
+	start := time.Now()
+	resp, err := c.call(req)
+	c.tel.calls.Inc()
+	c.tel.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		c.tel.callErrors.Inc()
+	}
+	if c.tracer != nil {
+		bytes := int64(len(req.Data))
+		if resp != nil {
+			bytes += int64(len(resp.Data))
+		}
+		c.tracer.AddHop(req.Trace, "rpc", start, bytes, c.addr)
+	}
+	return resp, err
+}
+
+func (c *Client) call(req *Message) (*Message, error) {
 	conn, pooled, err := c.getConn()
 	if err != nil {
 		return nil, err
 	}
 	resp, rtErr := c.roundTrip(conn, req)
 	if rtErr != nil && pooled {
+		c.tel.staleRetries.Inc()
 		fresh, dialErr := c.dialFresh()
 		if dialErr != nil {
 			return nil, rtErr

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a consistent snapshot of the registry in the
+// Prometheus text exposition format (version 0.0.4): counters, gauges,
+// and histograms with cumulative `le` buckets, `_sum`, and `_count`
+// series. Series are emitted in lexical order so output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	typed := map[string]bool{} // base names whose # TYPE line was emitted
+	emitType := func(series, kind string) string {
+		base := baseName(series)
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return fmt.Sprintf("# TYPE %s %s\n", base, kind)
+	}
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		b.WriteString(emitType(name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		b.WriteString(emitType(name, "gauge"))
+		fmt.Fprintf(&b, "%s %d\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		b.WriteString(emitType(name, "histogram"))
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s %d\n", seriesWithLE(name, formatBound(bound)), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s %d\n", seriesWithLE(name, "+Inf"), cum)
+		fmt.Fprintf(&b, "%s %s\n", suffixSeries(name, "_sum"), strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s %d\n", suffixSeries(name, "_count"), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesWithLE appends the histogram bucket label to a series name that
+// may already carry labels: x{a="b"} → x_bucket{a="b",le="..."}.
+func seriesWithLE(series, le string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + "_bucket{" + series[i+1:len(series)-1] + `,le="` + le + `"}`
+	}
+	return series + `_bucket{le="` + le + `"}`
+}
+
+// suffixSeries inserts a suffix before any label set: x{a="b"} + _sum →
+// x_sum{a="b"}.
+func suffixSeries(series, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + suffix + series[i:]
+	}
+	return series + suffix
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// ParsePrometheus validates a text exposition: every non-comment line must
+// be `series value` with a well-formed series name (optional label set)
+// and a numeric value, and every series must be preceded by a # TYPE line
+// for its base name. It is a structural validator for tests, not a full
+// Prometheus parser.
+func ParsePrometheus(text string) error {
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[3])
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("line %d: expected `series value`, got %q", ln+1, line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln+1, value, err)
+		}
+		base := baseName(series)
+		if i := strings.IndexByte(series, '{'); i >= 0 && !strings.HasSuffix(series, "}") {
+			return fmt.Errorf("line %d: unterminated label set in %q", ln+1, series)
+		}
+		// Histogram child series reference the parent's TYPE line.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(base, suffix); trimmed != base && typed[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		if !typed[base] {
+			return fmt.Errorf("line %d: series %q has no preceding TYPE line", ln+1, series)
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry and tracer over HTTP:
+//
+//	GET /metrics       Prometheus text exposition of reg
+//	GET /trace/recent  JSON array of the tracer's retained traces
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty document. This is what `gkfwd -metrics-addr` mounts.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace/recent", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recent := tracer.Recent()
+		if recent == nil {
+			recent = []TraceSnapshot{}
+		}
+		json.NewEncoder(w).Encode(recent)
+	})
+	return mux
+}

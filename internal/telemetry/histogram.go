@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution. Buckets are defined by their
+// inclusive upper bounds; one implicit +Inf bucket catches the rest.
+// Observations are lock-free (atomic per-bucket counts plus a CAS-summed
+// total), so the forwarding hot path can record latencies and sizes
+// without serializing.
+type Histogram struct {
+	bounds []float64      // sorted inclusive upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// sort.SearchFloat64s finds the first bound >= v for inclusive upper
+	// bounds (Prometheus `le` semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds (the Prometheus base unit for
+// time). No-op on a nil histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LatencyBuckets is the default latency bucket layout: 10 µs to ~10 s,
+// roughly trebling, in seconds. It brackets everything from an in-memory
+// PFS dispatch to a throttled-OST transfer, and comfortably contains the
+// paper's 399 µs live solve time.
+func LatencyBuckets() []float64 {
+	return []float64{
+		10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3,
+		100e-3, 300e-3, 1, 3, 10,
+	}
+}
+
+// SizeBuckets is the default request-size bucket layout: 256 B to 64 MiB
+// in powers of four, bracketing the 512 KiB forwarding chunk and the
+// merged dispatches AGIOS produces.
+func SizeBuckets() []float64 {
+	out := make([]float64, 0, 10)
+	for b := float64(256); b <= 64<<20; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTraceLifecycle prices one fully recorded request trace — Start,
+// the five forwarding-stack hops, Finish into the ring — which is the
+// entire per-request cost tracing adds to the data path (metrics counters
+// are separate, plain atomics). The budget in ISSUE 2 is <5% of a
+// forwarded 64 KiB write (~60 µs), so this must stay in the low
+// single-digit µs.
+func BenchmarkTraceLifecycle(b *testing.B) {
+	tc := NewTracer(0)
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tc.Start("app", "write", "/f")
+		id := t.TraceID()
+		tc.AddHop(id, "rpc", start, 64, "addr")
+		tc.AddHop(id, "ion", start, 64, "ion00")
+		tc.AddHop(id, "agios", start, 64, "FIFO")
+		tc.AddHop(id, "pfs", start, 64, "write")
+		t.Hop("fwd", start, 64, "chunks=1")
+		t.Finish()
+	}
+}
+
+// BenchmarkCounterAdd prices the always-on metrics primitive.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+// BenchmarkHistogramObserve prices one latency observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_seconds", LatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.00042)
+		}
+	})
+}
