@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet bench bench-campaign
+.PHONY: verify build test test-race vet chaos bench bench-campaign
 
 verify: vet build test-race
 
@@ -18,6 +18,15 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Failure-tolerance suite, run twice under the race detector: chaos tests
+# that kill or wedge daemons mid-workload, fault injectors, breaker and
+# deadline behaviour, and health-driven re-arbitration.
+chaos:
+	$(GO) test -race -count=2 -timeout 180s \
+		-run 'Chaos|Fault|Fail|Breaker|Deadline|Retr|Hang|Delay|Mark|Probe|Refuse|Reset|Drop' \
+		./internal/livestack ./internal/faultnet ./internal/faultfs \
+		./internal/rpc ./internal/health ./internal/arbiter ./internal/fwd
 
 # Telemetry overhead on the forwarding hot path (instrumented vs tracing
 # off); writes BENCH_telemetry.json. Tunables: PAIRS, BENCHTIME.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/livestack"
 	"repro/internal/perfmodel"
 	"repro/internal/policy"
+	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -35,9 +36,27 @@ func main() {
 	queue := flag.Bool("queue", false, "run the paper's §5.3 queue live (14 tiny-scale jobs)")
 	rate := flag.Float64("ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /trace/recent on this address (e.g. :9090; empty = off)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline (0 = block forever, the legacy behaviour)")
+	rpcRetries := flag.Int("rpc-retries", 0, "transport-failure retries per RPC")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures that open a circuit breaker (0 = breaker off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+	healthInterval := flag.Duration("health-interval", 0, "heartbeat probe interval; >0 enables health-driven re-arbitration")
+	healthTimeout := flag.Duration("health-timeout", 0, "per-ping deadline (0 = derived from the interval)")
 	flag.Parse()
 
-	cfg := livestack.Config{IONs: *ions, Scheduler: *scheduler, Policy: policy.MCKP{}}
+	cfg := livestack.Config{
+		IONs:      *ions,
+		Scheduler: *scheduler,
+		Policy:    policy.MCKP{},
+		RPC: rpc.Options{
+			CallTimeout:      *callTimeout,
+			MaxRetries:       *rpcRetries,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		},
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+	}
 	if *rate > 0 {
 		cfg.PFS.OSTRate = units.BandwidthFromMBps(*rate)
 	}

@@ -22,6 +22,17 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Typed failures, distinguishable with errors.Is so callers (the health
+// loop, job managers) can react programmatically instead of parsing text.
+var (
+	// ErrUnknownJob reports an operation on a job id that is not running.
+	ErrUnknownJob = errors.New("arbiter: unknown job")
+	// ErrUnknownION reports a mark on an address outside the pool.
+	ErrUnknownION = errors.New("arbiter: unknown I/O node")
+	// ErrNoLiveIONs reports arbitration over an empty or fully-down pool.
+	ErrNoLiveIONs = errors.New("arbiter: no live I/O nodes")
+)
+
 // Arbiter owns a pool of I/O-node addresses and a mapping bus.
 type Arbiter struct {
 	pol  policy.Policy
@@ -29,6 +40,7 @@ type Arbiter struct {
 	pool []string
 
 	mu      sync.Mutex
+	down    map[string]bool // addresses marked down (health transitions)
 	running map[string]policy.Application
 	assign  map[string][]string // app → addresses
 	// SolveTime records the duration of the last policy invocation (the
@@ -39,7 +51,9 @@ type Arbiter struct {
 	tel struct {
 		solves, solveErrors, published *telemetry.Counter
 		keptMappings                   *telemetry.Counter
+		marksDown, marksUp             *telemetry.Counter
 		jobsRunning                    *telemetry.Gauge
+		ionsDown, ionsLive             *telemetry.Gauge
 		solveLatency                   *telemetry.Histogram
 	}
 }
@@ -64,6 +78,7 @@ func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, erro
 		pol:     pol,
 		bus:     bus,
 		pool:    append([]string(nil), ionAddrs...),
+		down:    map[string]bool{},
 		running: map[string]policy.Application{},
 		assign:  map[string][]string{},
 	}, nil
@@ -83,7 +98,12 @@ func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
 	a.tel.solveErrors = reg.Counter("arbiter_solve_errors_total")
 	a.tel.published = reg.Counter("arbiter_mappings_published_total")
 	a.tel.keptMappings = reg.Counter("arbiter_kept_previous_mapping_total")
+	a.tel.marksDown = reg.Counter("arbiter_marked_down_total")
+	a.tel.marksUp = reg.Counter("arbiter_marked_up_total")
 	a.tel.jobsRunning = reg.Gauge("arbiter_jobs_running")
+	a.tel.ionsDown = reg.Gauge("arbiter_ions_down")
+	a.tel.ionsLive = reg.Gauge("arbiter_ions_live")
+	a.tel.ionsLive.Set(int64(len(a.pool)))
 	a.tel.solveLatency = reg.Histogram("arbiter_solve_latency_seconds", telemetry.LatencyBuckets())
 	return a
 }
@@ -104,6 +124,10 @@ func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
 	if _, dup := a.running[app.ID]; dup {
 		return nil, fmt.Errorf("arbiter: job %s already running", app.ID)
 	}
+	if len(a.livePool()) == 0 {
+		return nil, fmt.Errorf("%w: cannot start %s (pool %d, down %d)",
+			ErrNoLiveIONs, app.ID, len(a.pool), len(a.down))
+	}
 	a.running[app.ID] = app
 	if err := a.rearbitrate(); err != nil {
 		delete(a.running, app.ID)
@@ -123,7 +147,7 @@ func (a *Arbiter) JobFinished(id string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if _, ok := a.running[id]; !ok {
-		return fmt.Errorf("arbiter: job %s not running", id)
+		return fmt.Errorf("%w: %s is not running", ErrUnknownJob, id)
 	}
 	delete(a.running, id)
 	delete(a.assign, id)
@@ -155,6 +179,140 @@ func (a *Arbiter) Current() map[string][]string {
 	return out
 }
 
+// livePool returns the pool minus down nodes, in stable pool order.
+// Caller holds the lock.
+func (a *Arbiter) livePool() []string {
+	live := make([]string, 0, len(a.pool))
+	for _, addr := range a.pool {
+		if !a.down[addr] {
+			live = append(live, addr)
+		}
+	}
+	return live
+}
+
+func (a *Arbiter) inPool(addr string) bool {
+	for _, p := range a.pool {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Down returns the addresses currently marked down.
+func (a *Arbiter) Down() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.down))
+	for _, addr := range a.pool {
+		if a.down[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// updatePoolGauges refreshes the live/down gauges. Caller holds the lock.
+func (a *Arbiter) updatePoolGauges() {
+	a.tel.ionsDown.Set(int64(len(a.down)))
+	a.tel.ionsLive.Set(int64(len(a.pool) - len(a.down)))
+}
+
+// without returns addrs with every occurrence of addr removed (the slice
+// is only copied when something is actually removed).
+func without(addrs []string, addr string) []string {
+	hit := false
+	for _, x := range addrs {
+		if x == addr {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return addrs
+	}
+	out := make([]string, 0, len(addrs)-1)
+	for _, x := range addrs {
+		if x != addr {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MarkDown removes addr from the live pool (a health prober observed it
+// unreachable) and re-arbitrates the surviving jobs. The allocation
+// invariant — no job is ever mapped to a down I/O node — holds on every
+// published mapping even when the policy solve fails: the down node is
+// stripped from the previous assignment first, and that degraded (but
+// safe) mapping is what gets published on the failure path. Marking an
+// already-down node is a no-op.
+func (a *Arbiter) MarkDown(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if a.down[addr] {
+		return nil
+	}
+	a.down[addr] = true
+	a.tel.marksDown.Inc()
+	a.updatePoolGauges()
+
+	// Invariant first, policy second: strip the dead node from the
+	// current assignment before any solve runs.
+	touched := false
+	for app, addrs := range a.assign {
+		filtered := without(addrs, addr)
+		if len(filtered) != len(addrs) {
+			a.assign[app] = filtered
+			touched = true
+		}
+	}
+	if len(a.running) == 0 {
+		if touched {
+			a.publish()
+		}
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		// The pruned previous assignment is still safe (nothing routes to
+		// the dead node); publish it so clients stop using the node now.
+		a.tel.keptMappings.Inc()
+		a.publish()
+		return fmt.Errorf("arbiter: %s marked down, degraded mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// MarkUp returns addr to the live pool and re-arbitrates so jobs can grow
+// back onto it. Marking a node that is not down is a no-op. If the solve
+// fails the previous mapping stays (it is still valid — the recovered
+// node simply idles until the next successful solve).
+func (a *Arbiter) MarkUp(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if !a.down[addr] {
+		return nil
+	}
+	delete(a.down, addr)
+	a.tel.marksUp.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s marked up, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
 // rearbitrate recomputes counts with the policy and maps them to concrete
 // addresses. Caller holds the lock.
 func (a *Arbiter) rearbitrate() error {
@@ -164,8 +322,13 @@ func (a *Arbiter) rearbitrate() error {
 	}
 	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
 
+	live := a.livePool()
+	if len(live) == 0 {
+		a.tel.solveErrors.Inc()
+		return fmt.Errorf("%w: %d of %d marked down", ErrNoLiveIONs, len(a.down), len(a.pool))
+	}
 	start := time.Now()
-	alloc, err := a.pol.Allocate(apps, len(a.pool))
+	alloc, err := a.pol.Allocate(apps, len(live))
 	a.tel.solves.Inc()
 	a.tel.solveLatency.ObserveDuration(time.Since(start))
 	if err != nil {
@@ -175,23 +338,29 @@ func (a *Arbiter) rearbitrate() error {
 	a.lastSolve = time.Since(start)
 
 	// Phase 1: shrink or keep — retain a stable prefix of each app's
-	// current addresses.
+	// current addresses, skipping any node marked down in the meantime.
 	next := make(map[string][]string, len(alloc))
 	used := map[string]bool{}
 	for _, app := range apps {
 		want := alloc[app.ID]
 		cur := a.assign[app.ID]
-		if want < len(cur) {
-			cur = cur[:want]
-		}
-		next[app.ID] = append([]string(nil), cur...)
+		keep := make([]string, 0, len(cur))
 		for _, addr := range cur {
+			if len(keep) == want {
+				break
+			}
+			if !a.down[addr] {
+				keep = append(keep, addr)
+			}
+		}
+		next[app.ID] = keep
+		for _, addr := range keep {
 			used[addr] = true
 		}
 	}
-	// Phase 2: grow from the free pool, in stable pool order.
-	free := make([]string, 0, len(a.pool))
-	for _, addr := range a.pool {
+	// Phase 2: grow from the free live pool, in stable pool order.
+	free := make([]string, 0, len(live))
+	for _, addr := range live {
 		if !used[addr] {
 			free = append(free, addr)
 		}

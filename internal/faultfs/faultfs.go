@@ -1,13 +1,25 @@
 // Package faultfs wraps a pfs.FileSystem with deterministic fault
 // injection, used to exercise the error paths of the forwarding stack and
-// the application kernels: every n-th operation (optionally filtered by
-// operation kind or path prefix) fails with a configurable error.
+// the application kernels. Two independent schedules are supported:
+//
+//   - failures: every FailEvery-th eligible operation either returns a
+//     configurable error (Behavior Fail, the default) or blocks until the
+//     wrapper is closed (Behavior Hang — a wedged storage target, the
+//     backend counterpart of faultnet's network hang);
+//   - latency: every DelayEvery-th eligible operation sleeps Delay before
+//     proceeding, modelling a slow or contended PFS without failing it.
+//
+// Eligibility (operation kind, path prefix) gates both schedules. Close
+// releases any operation blocked in a hang or a delay, so tests can always
+// tear the stack down in bounded time.
 package faultfs
 
 import (
 	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pfs"
 )
@@ -26,26 +38,50 @@ const (
 	KindMeta
 )
 
+// Behavior selects what an injected failure does.
+type Behavior int
+
+const (
+	// Fail returns Config.Err immediately.
+	Fail Behavior = iota
+	// Hang blocks the operation until Close, then returns Config.Err.
+	Hang
+)
+
 // Config controls injection.
 type Config struct {
 	// FailEvery injects a fault on every n-th eligible operation
-	// (1 = every operation). ≤0 disables injection.
+	// (1 = every operation). ≤0 disables failure injection.
 	FailEvery int64
-	// Kind restricts injection to one operation class.
+	// Behavior selects between failing fast and hanging until Close.
+	Behavior Behavior
+	// Kind restricts injection (failures and delays) to one operation
+	// class.
 	Kind OpKind
 	// PathPrefix, when non-empty, restricts injection to paths with the
 	// prefix.
 	PathPrefix string
 	// Err is the injected error; nil selects ErrInjected.
 	Err error
+	// DelayEvery delays every n-th eligible operation by Delay
+	// (1 = every operation). ≤0 disables latency injection.
+	DelayEvery int64
+	// Delay is the injected latency for DelayEvery.
+	Delay time.Duration
 }
 
 // FS is the fault-injecting wrapper.
 type FS struct {
 	inner pfs.FileSystem
 	cfg   Config
-	n     atomic.Int64
-	hits  atomic.Int64
+
+	n       atomic.Int64 // failure-schedule position
+	hits    atomic.Int64
+	dn      atomic.Int64 // delay-schedule position
+	delayed atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 var _ pfs.FileSystem = (*FS)(nil)
@@ -55,73 +91,103 @@ func Wrap(inner pfs.FileSystem, cfg Config) *FS {
 	if cfg.Err == nil {
 		cfg.Err = ErrInjected
 	}
-	return &FS{inner: inner, cfg: cfg}
+	return &FS{inner: inner, cfg: cfg, closed: make(chan struct{})}
 }
 
 // Injected reports how many faults have fired.
 func (f *FS) Injected() int64 { return f.hits.Load() }
 
-func (f *FS) should(kind OpKind, path string) bool {
-	if f.cfg.FailEvery <= 0 {
-		return false
-	}
+// Delayed reports how many operations were slowed by the latency schedule.
+func (f *FS) Delayed() int64 { return f.delayed.Load() }
+
+// Close releases every operation currently blocked in an injected hang or
+// delay. Idempotent; the wrapped file system is not closed.
+func (f *FS) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return nil
+}
+
+// eligible applies the kind and path filters shared by both schedules.
+func (f *FS) eligible(kind OpKind, path string) bool {
 	if f.cfg.Kind != KindAny && f.cfg.Kind != kind {
 		return false
 	}
 	if f.cfg.PathPrefix != "" && !strings.HasPrefix(path, f.cfg.PathPrefix) {
 		return false
 	}
-	if f.n.Add(1)%f.cfg.FailEvery == 0 {
-		f.hits.Add(1)
-		return true
+	return true
+}
+
+// inject runs the latency schedule then the failure schedule for one
+// operation; a non-nil return aborts the operation with that error.
+func (f *FS) inject(kind OpKind, path string) error {
+	if !f.eligible(kind, path) {
+		return nil
 	}
-	return false
+	if f.cfg.DelayEvery > 0 && f.dn.Add(1)%f.cfg.DelayEvery == 0 {
+		f.delayed.Add(1)
+		t := time.NewTimer(f.cfg.Delay)
+		select {
+		case <-t.C:
+		case <-f.closed:
+			t.Stop()
+			return f.cfg.Err
+		}
+	}
+	if f.cfg.FailEvery > 0 && f.n.Add(1)%f.cfg.FailEvery == 0 {
+		f.hits.Add(1)
+		if f.cfg.Behavior == Hang {
+			<-f.closed
+		}
+		return f.cfg.Err
+	}
+	return nil
 }
 
 // Create implements pfs.FileSystem.
 func (f *FS) Create(path string) error {
-	if f.should(KindMeta, path) {
-		return f.cfg.Err
+	if err := f.inject(KindMeta, path); err != nil {
+		return err
 	}
 	return f.inner.Create(path)
 }
 
 // Write implements pfs.FileSystem.
 func (f *FS) Write(path string, off int64, p []byte) (int, error) {
-	if f.should(KindWrite, path) {
-		return 0, f.cfg.Err
+	if err := f.inject(KindWrite, path); err != nil {
+		return 0, err
 	}
 	return f.inner.Write(path, off, p)
 }
 
 // Read implements pfs.FileSystem.
 func (f *FS) Read(path string, off int64, p []byte) (int, error) {
-	if f.should(KindRead, path) {
-		return 0, f.cfg.Err
+	if err := f.inject(KindRead, path); err != nil {
+		return 0, err
 	}
 	return f.inner.Read(path, off, p)
 }
 
 // Stat implements pfs.FileSystem.
 func (f *FS) Stat(path string) (pfs.FileInfo, error) {
-	if f.should(KindMeta, path) {
-		return pfs.FileInfo{}, f.cfg.Err
+	if err := f.inject(KindMeta, path); err != nil {
+		return pfs.FileInfo{}, err
 	}
 	return f.inner.Stat(path)
 }
 
 // Remove implements pfs.FileSystem.
 func (f *FS) Remove(path string) error {
-	if f.should(KindMeta, path) {
-		return f.cfg.Err
+	if err := f.inject(KindMeta, path); err != nil {
+		return err
 	}
 	return f.inner.Remove(path)
 }
 
 // Fsync implements pfs.FileSystem.
 func (f *FS) Fsync(path string) error {
-	if f.should(KindMeta, path) {
-		return f.cfg.Err
+	if err := f.inject(KindMeta, path); err != nil {
+		return err
 	}
 	return f.inner.Fsync(path)
 }
@@ -129,8 +195,8 @@ func (f *FS) Fsync(path string) error {
 // WriteAs implements the I/O-node backend contract: attribution passes
 // through when the inner file system supports it.
 func (f *FS) WriteAs(writer, path string, off int64, p []byte) (int, error) {
-	if f.should(KindWrite, path) {
-		return 0, f.cfg.Err
+	if err := f.inject(KindWrite, path); err != nil {
+		return 0, err
 	}
 	type writerAs interface {
 		WriteAs(writer, path string, off int64, p []byte) (int, error)

@@ -1,0 +1,101 @@
+package faultfs
+
+// Tests for the latency schedule (DelayEvery/Delay) and the Hang behaviour
+// released by Close.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+func TestDelayInjectionCadence(t *testing.T) {
+	const d = 20 * time.Millisecond
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{DelayEvery: 2, Delay: d, Kind: KindWrite})
+	defer f.Close()
+	if err := f.Create("/x"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write("/x", int64(i), []byte("a")); err != nil {
+			t.Fatalf("delayed write %d must still succeed: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("4 writes with DelayEvery=2 took %v, want ≥ %v", elapsed, 2*d)
+	}
+	if got := f.Delayed(); got != 2 {
+		t.Fatalf("Delayed() = %d, want 2", got)
+	}
+	if got := f.Injected(); got != 0 {
+		t.Fatalf("latency schedule must not count as failures: Injected() = %d", got)
+	}
+}
+
+func TestDelayRespectsKindFilter(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{DelayEvery: 1, Delay: time.Hour, Kind: KindRead})
+	defer f.Close()
+	done := make(chan error, 1)
+	go func() { done <- f.Create("/x") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("metadata op hit a read-only delay schedule")
+	}
+}
+
+func TestHangBlocksUntilClose(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{FailEvery: 1, Behavior: Hang})
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Write("/x", 0, []byte("a"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned before Close: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// still blocked, as intended
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released hang should surface the injected error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the hung operation")
+	}
+	// Close is idempotent.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayReleasedByClose(t *testing.T) {
+	f := Wrap(pfs.NewStore(pfs.Config{}), Config{DelayEvery: 1, Delay: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Write("/x", 0, []byte("a"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released delay should surface the injected error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the delayed operation")
+	}
+}

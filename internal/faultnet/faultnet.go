@@ -1,0 +1,277 @@
+// Package faultnet injects deterministic network faults between the
+// forwarding client and an I/O-node daemon. It wraps a net.Listener so
+// every accepted connection observes the Injector's current Plan:
+// connections can be refused at accept, reset mid-stream, hung
+// indefinitely, delayed per I/O call, or cut after a byte budget.
+//
+// The injector is the chaos half of the failure-tolerance story: the rpc
+// layer's deadlines, retries and circuit breaker (internal/rpc), the
+// health prober (internal/health) and the arbiter's MarkDown/MarkUp are
+// all exercised against these faults in livestack's chaos tests. Unlike
+// faultfs — which injects *storage* faults behind a healthy daemon —
+// faultnet makes the daemon itself unreachable, which is what an I/O-node
+// crash looks like from a compute node.
+//
+// Faults are fully deterministic: the Plan is explicit shared state, not a
+// probability, and Set replaces it atomically. Setting a new plan releases
+// connections currently blocked in a Hang so tests can script
+// outage-then-recovery sequences without leaking goroutines.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind selects a fault behaviour.
+type Kind int
+
+const (
+	// None passes traffic through untouched.
+	None Kind = iota
+	// Refuse closes every new connection immediately at accept, before
+	// any bytes flow — what a dead daemon's OS does to SYN packets.
+	Refuse
+	// Reset closes the connection on the next read or write — an abrupt
+	// crash mid-exchange.
+	Reset
+	// Hang blocks every read and write until the plan changes or the
+	// connection is closed — a wedged daemon that accepts but never
+	// answers. This is what per-call deadlines exist to catch.
+	Hang
+	// Delay sleeps before every read and write — a congested or
+	// overloaded network path.
+	Delay
+	// DropAfter lets Bytes flow (summed across reads and writes), then
+	// hangs — a failure mid-message, after the client committed to it.
+	DropAfter
+)
+
+// String names the kind for test output.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Refuse:
+		return "refuse"
+	case Reset:
+		return "reset"
+	case Hang:
+		return "hang"
+	case Delay:
+		return "delay"
+	case DropAfter:
+		return "drop-after"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is one fault configuration.
+type Plan struct {
+	// Kind selects the behaviour.
+	Kind Kind
+	// Delay is the per-I/O sleep for Kind Delay.
+	Delay time.Duration
+	// Bytes is the budget for Kind DropAfter.
+	Bytes int64
+}
+
+// ErrInjected marks errors produced by the injector, so tests can tell a
+// scripted fault from a real one.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Injector holds the current plan, shared by a listener wrapper and all
+// its connections.
+type Injector struct {
+	mu     sync.Mutex
+	plan   Plan
+	budget int64         // remaining DropAfter bytes
+	wake   chan struct{} // closed (and replaced) on every Set, releasing hangs
+}
+
+// NewInjector starts with the given plan.
+func NewInjector(plan Plan) *Injector {
+	inj := &Injector{wake: make(chan struct{})}
+	inj.install(plan)
+	return inj
+}
+
+// Set atomically replaces the plan. Connections blocked in a Hang (or a
+// Delay sleep, or an exhausted DropAfter) re-evaluate the new plan.
+func (inj *Injector) Set(plan Plan) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.install(plan)
+	close(inj.wake)
+	inj.wake = make(chan struct{})
+}
+
+func (inj *Injector) install(plan Plan) {
+	inj.plan = plan
+	inj.budget = plan.Bytes
+}
+
+// Plan returns the current plan.
+func (inj *Injector) Plan() Plan {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.plan
+}
+
+// snapshot returns the plan and the wake channel that a blocked operation
+// should wait on for plan changes.
+func (inj *Injector) snapshot() (Plan, <-chan struct{}) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.plan, inj.wake
+}
+
+// consume takes up to n bytes from the DropAfter budget and reports how
+// many may flow.
+func (inj *Injector) consume(n int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.budget <= 0 {
+		return 0
+	}
+	if int64(n) > inj.budget {
+		n = int(inj.budget)
+	}
+	inj.budget -= int64(n)
+	return n
+}
+
+// WrapListener interposes inj on every connection accepted from ln.
+func WrapListener(ln net.Listener, inj *Injector) net.Listener {
+	return &listener{Listener: ln, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Accept applies the Refuse fault and wraps surviving connections.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.inj.Plan().Kind == Refuse {
+			c.Close()
+			continue // keep serving: the fault is per-connection
+		}
+		return &Conn{Conn: c, inj: l.inj, closed: make(chan struct{})}, nil
+	}
+}
+
+// Conn applies the injector's plan to one accepted connection.
+type Conn struct {
+	net.Conn
+	inj       *Injector
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// gate blocks or errors according to the current plan; a nil return means
+// the caller may perform its I/O. It re-evaluates the plan every time Set
+// wakes it, so a Hang lifts when the fault is cleared.
+func (c *Conn) gate() error {
+	for {
+		plan, wake := c.inj.snapshot()
+		switch plan.Kind {
+		case Reset:
+			c.Close()
+			return errInjectedReset
+		case Hang:
+			select {
+			case <-wake:
+				continue
+			case <-c.closed:
+				return errInjectedClosed
+			}
+		case Delay:
+			t := time.NewTimer(plan.Delay)
+			select {
+			case <-t.C:
+				return nil
+			case <-wake:
+				t.Stop()
+				continue
+			case <-c.closed:
+				t.Stop()
+				return errInjectedClosed
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+var (
+	errInjectedReset  = &net.OpError{Op: "faultnet", Err: ErrInjected}
+	errInjectedClosed = &net.OpError{Op: "faultnet", Err: net.ErrClosed}
+)
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	if c.inj.Plan().Kind == DropAfter {
+		n := c.inj.consume(len(p))
+		if n == 0 {
+			return 0, c.starve()
+		}
+		p = p[:n]
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	if c.inj.Plan().Kind == DropAfter {
+		n := c.inj.consume(len(p))
+		if n == 0 {
+			return 0, c.starve()
+		}
+		k, err := c.Conn.Write(p[:n])
+		if err != nil {
+			return k, err
+		}
+		if n < len(p) {
+			// The budget ran dry mid-buffer: the remainder is dropped.
+			return k, c.starve()
+		}
+		return k, nil
+	}
+	return c.Conn.Write(p)
+}
+
+// starve blocks an exhausted DropAfter connection until the plan changes
+// or the connection closes — mirroring a peer that went silent.
+func (c *Conn) starve() error {
+	for {
+		plan, wake := c.inj.snapshot()
+		if plan.Kind != DropAfter {
+			return c.gate()
+		}
+		select {
+		case <-wake:
+		case <-c.closed:
+			return errInjectedClosed
+		}
+	}
+}
+
+// Close releases any operation blocked by the plan, then closes the
+// underlying connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

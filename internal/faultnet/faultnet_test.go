@@ -1,0 +1,184 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// startServer runs an rpc echo server behind the injector and returns its
+// address.
+func startServer(t *testing.T, inj *Injector) (*rpc.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(func(req *rpc.Message) *rpc.Message {
+		return &rpc.Message{Op: req.Op, Data: req.Data}
+	})
+	if _, err := srv.ListenOn(WrapListener(ln, inj)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func newClient(t *testing.T, addr string) *rpc.Client {
+	t.Helper()
+	c := rpc.Dial(addr, 1).WithOptions(rpc.Options{
+		CallTimeout:      200 * time.Millisecond,
+		BreakerThreshold: 1 << 30, // effectively disabled: these tests probe the faults
+	})
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func ping(c *rpc.Client) error {
+	_, err := c.Call(&rpc.Message{Op: rpc.OpPing})
+	return err
+}
+
+func TestNonePassesThrough(t *testing.T) {
+	inj := NewInjector(Plan{})
+	_, addr := startServer(t, inj)
+	if err := ping(newClient(t, addr)); err != nil {
+		t.Fatalf("plan None must pass traffic: %v", err)
+	}
+}
+
+func TestRefuseThenRecover(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Refuse})
+	_, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	if err := ping(c); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("refused connection: want ErrUnavailable, got %v", err)
+	}
+	inj.Set(Plan{})
+	if err := ping(c); err != nil {
+		t.Fatalf("after clearing Refuse: %v", err)
+	}
+}
+
+func TestResetKillsInFlightCall(t *testing.T) {
+	inj := NewInjector(Plan{})
+	_, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	if err := ping(c); err != nil {
+		t.Fatal(err)
+	}
+	inj.Set(Plan{Kind: Reset})
+	if err := ping(c); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("reset connection: want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestHangTrippedByClientDeadline(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Hang})
+	_, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	start := time.Now()
+	if err := ping(c); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("hung server: want ErrUnavailable, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the hang: %v", elapsed)
+	}
+	// Lifting the fault releases the wedged connection and restores service.
+	inj.Set(Plan{})
+	if err := ping(c); err != nil {
+		t.Fatalf("after lifting Hang: %v", err)
+	}
+}
+
+func TestDelaySlowsCalls(t *testing.T) {
+	const d = 30 * time.Millisecond
+	inj := NewInjector(Plan{Kind: Delay, Delay: d})
+	_, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	start := time.Now()
+	if err := ping(c); err != nil {
+		t.Fatalf("delayed call must still succeed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("call finished in %v, plan delays every I/O by %v", elapsed, d)
+	}
+}
+
+func TestDropAfterStarvesThenRecovers(t *testing.T) {
+	inj := NewInjector(Plan{Kind: DropAfter, Bytes: 4})
+	_, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	if err := ping(c); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("starved connection: want ErrUnavailable, got %v", err)
+	}
+	inj.Set(Plan{})
+	if err := ping(c); err != nil {
+		t.Fatalf("after lifting DropAfter: %v", err)
+	}
+}
+
+// TestServerCloseReleasesHungConnections: a daemon shutting down must not
+// wait on connections wedged inside an injected hang.
+func TestServerCloseReleasesHungConnections(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Hang})
+	srv, addr := startServer(t, inj)
+	c := newClient(t, addr)
+	callDone := make(chan struct{})
+	go func() {
+		ping(c) // will fail: either deadline or server close
+		close(callDone)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the hang
+	closeDone := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closeDone)
+	}()
+	for _, ch := range []chan struct{}{closeDone, callDone} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("hung connection was not released")
+		}
+	}
+}
+
+func TestPlanSwapIsAtomic(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Delay, Delay: time.Millisecond})
+	if got := inj.Plan(); got.Kind != Delay {
+		t.Fatalf("Plan() = %v", got)
+	}
+	inj.Set(Plan{Kind: DropAfter, Bytes: 10})
+	if got := inj.Plan(); got.Kind != DropAfter || got.Bytes != 10 {
+		t.Fatalf("Plan() after Set = %+v", got)
+	}
+	if n := inj.consume(6); n != 6 {
+		t.Fatalf("consume(6) = %d", n)
+	}
+	if n := inj.consume(6); n != 4 {
+		t.Fatalf("consume beyond budget = %d, want 4", n)
+	}
+	if n := inj.consume(1); n != 0 {
+		t.Fatalf("consume from empty budget = %d", n)
+	}
+	inj.Set(Plan{Kind: DropAfter, Bytes: 3})
+	if n := inj.consume(5); n != 3 {
+		t.Fatalf("Set must reset the budget: consume = %d, want 3", n)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", Refuse: "refuse", Reset: "reset",
+		Hang: "hang", Delay: "delay", DropAfter: "drop-after",
+		Kind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -15,7 +15,11 @@
 //   - the allocation can change at any time without disrupting the
 //     application: a background watcher applies mapping updates, and
 //     in-flight requests complete on the old routes;
-//   - an empty allocation means direct PFS access.
+//   - an empty allocation means direct PFS access;
+//   - an unreachable I/O node (rpc.ErrUnavailable: deadlines and retries
+//     exhausted, or its circuit breaker open) degrades that node's chunks
+//     to direct PFS access — counted as fwd_failover_ops_total — until a
+//     fresh mapping re-routes them.
 package fwd
 
 import (
@@ -51,6 +55,11 @@ type Config struct {
 	// PoolSize is the RPC connection pool per I/O node; ≤0 selects the
 	// transport default.
 	PoolSize int
+	// RPC configures the failure-tolerance behaviour of every connection
+	// this client dials: per-call deadlines, bounded retries, circuit
+	// breaker. The zero value keeps the transport's legacy behaviour
+	// (block forever, no retries, no breaker).
+	RPC rpc.Options
 	// Telemetry receives the client's metrics (app-labeled series:
 	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
 	// connections it dials. Nil selects a private registry so Stats()
@@ -65,6 +74,7 @@ type Config struct {
 type Stats struct {
 	ForwardedOps  int64
 	DirectOps     int64
+	FailoverOps   int64
 	BytesOut      int64
 	BytesIn       int64
 	RemapsApplied int64
@@ -84,7 +94,7 @@ type Client struct {
 	// are never torn (see ion.Daemon.Stats).
 	reg   *telemetry.Registry
 	stats struct {
-		forwarded, direct, bytesOut, bytesIn, remaps *telemetry.Counter
+		forwarded, direct, failover, bytesOut, bytesIn, remaps *telemetry.Counter
 	}
 
 	watchStop func()
@@ -113,6 +123,7 @@ func NewClient(cfg Config) (*Client, error) {
 	label := fmt.Sprintf("{app=%q}", cfg.AppID)
 	c.stats.forwarded = c.reg.Counter("fwd_forwarded_ops_total" + label)
 	c.stats.direct = c.reg.Counter("fwd_direct_ops_total" + label)
+	c.stats.failover = c.reg.Counter("fwd_failover_ops_total" + label)
 	c.stats.bytesOut = c.reg.Counter("fwd_bytes_out_total" + label)
 	c.stats.bytesIn = c.reg.Counter("fwd_bytes_in_total" + label)
 	c.stats.remaps = c.reg.Counter("fwd_remaps_applied_total" + label)
@@ -128,7 +139,9 @@ func (c *Client) SetIONs(addrs []string) {
 	c.addrs = append([]string(nil), addrs...)
 	for _, a := range addrs {
 		if _, ok := c.conns[a]; !ok {
-			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize).Instrument(c.cfg.Telemetry, c.cfg.Tracer)
+			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize).
+				WithOptions(c.cfg.RPC).
+				Instrument(c.cfg.Telemetry, c.cfg.Tracer)
 		}
 	}
 	c.stats.remaps.Add(1)
@@ -209,6 +222,7 @@ func (c *Client) Stats() Stats {
 		s = Stats{
 			ForwardedOps:  c.stats.forwarded.Value(),
 			DirectOps:     c.stats.direct.Value(),
+			FailoverOps:   c.stats.failover.Value(),
 			BytesOut:      c.stats.bytesOut.Value(),
 			BytesIn:       c.stats.bytesIn.Value(),
 			RemapsApplied: c.stats.remaps.Value(),
@@ -323,6 +337,12 @@ func (c *Client) Create(path string) error {
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
 		_, err := t.Call(&rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		if errors.Is(err, rpc.ErrUnavailable) {
+			c.stats.failover.Inc()
+			err = c.cfg.Direct.Create(path)
+			tr.done(0, "failover")
+			return err
+		}
 		tr.done(0, "forwarded")
 		return err
 	}
@@ -370,11 +390,21 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 				c.stats.bytesOut.Add(e.n)
 			})
 			resp, err := t.Call(&rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()})
-			if err != nil {
+			if err == nil {
+				written[i] = int(resp.Size)
+				return nil
+			}
+			if !errors.Is(err, rpc.ErrUnavailable) {
 				return err
 			}
-			written[i] = int(resp.Size)
-			return nil
+			// The responsible I/O node is unreachable (deadlines/retries
+			// exhausted or its breaker is open): degrade this chunk to the
+			// direct PFS path rather than failing the application's write.
+			// bytesOut was already counted for this extent above.
+			c.stats.failover.Inc()
+			k, derr := c.cfg.Direct.Write(path, e.off, payload)
+			written[i] = k
+			return derr
 		}
 		c.reg.Update(func() {
 			c.stats.direct.Inc()
@@ -445,8 +475,21 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 				counts[i] = copy(p[rel:rel+e.n], resp.Data)
 				c.stats.bytesIn.Add(int64(counts[i]))
 			}
-			if err != nil && !isShortRead(err) {
+			if err == nil || isShortRead(err) {
+				return nil
+			}
+			if !errors.Is(err, rpc.ErrUnavailable) {
 				return err
+			}
+			// Unreachable I/O node: satisfy this chunk from the PFS
+			// directly, honouring the same short-read semantics as the
+			// direct branch below.
+			c.stats.failover.Inc()
+			k, derr := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
+			counts[i] = k
+			c.stats.bytesIn.Add(int64(k))
+			if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
+				return derr
 			}
 			return nil
 		}
@@ -490,6 +533,10 @@ func (c *Client) Stat(path string) (pfs.FileInfo, error) {
 		c.stats.forwarded.Inc()
 		resp, err := t.Call(&rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
 		if err != nil {
+			if errors.Is(err, rpc.ErrUnavailable) {
+				c.stats.failover.Inc()
+				return c.cfg.Direct.Stat(path)
+			}
 			return pfs.FileInfo{}, remapError(err, path)
 		}
 		return pfs.FileInfo{Path: path, Size: resp.Size}, nil
@@ -508,6 +555,10 @@ func (c *Client) Remove(path string) error {
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
 		_, err := t.Call(&rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		if errors.Is(err, rpc.ErrUnavailable) {
+			c.stats.failover.Inc()
+			return c.cfg.Direct.Remove(path)
+		}
 		return remapError(err, path)
 	}
 	c.stats.direct.Inc()
@@ -524,6 +575,10 @@ func (c *Client) Fsync(path string) error {
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
 		_, err := t.Call(&rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		if errors.Is(err, rpc.ErrUnavailable) {
+			c.stats.failover.Inc()
+			return c.cfg.Direct.Fsync(path)
+		}
 		return remapError(err, path)
 	}
 	c.stats.direct.Inc()

@@ -1,0 +1,255 @@
+// Package health is the liveness plane of the forwarding stack: a
+// heartbeat prober that pings every I/O-node daemon over the existing rpc
+// protocol (OpPing) and publishes up/down transitions.
+//
+// The paper's premise is that forwarding is on-demand and optional — an
+// application with an empty allocation accesses the PFS directly — so an
+// I/O node that stops answering must be *detected* and *removed from the
+// arbitration pool*, not waited on. The prober is the detector half of
+// that loop: the arbiter (MarkDown/MarkUp) is the reactor, and livestack
+// wires the two together through the OnTransition callback.
+//
+// Detection is threshold-debounced in both directions: FailThreshold
+// consecutive failed pings mark a node down (one lost packet is not an
+// outage), RiseThreshold consecutive successful pings mark it back up
+// (one lucky ping is not a recovery).
+package health
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// Transition is one up/down state change of a probed node.
+type Transition struct {
+	// Addr is the I/O-node address whose state changed.
+	Addr string
+	// Up is the new state.
+	Up bool
+}
+
+// Config parameterizes a prober.
+type Config struct {
+	// Addrs are the I/O-node addresses to probe. Required.
+	Addrs []string
+	// Interval between probe sweeps; ≤0 selects 1s.
+	Interval time.Duration
+	// Timeout is the per-ping deadline; ≤0 selects Interval/2, floored at
+	// 100ms — pings are answered inline by the daemon, but on a saturated
+	// host scheduling delay alone can cost tens of milliseconds, and a
+	// busy-but-alive node must not be mistaken for a dead one. Probes use
+	// a dedicated rpc client with no retries and no breaker, so the
+	// prober sees raw reachability. Timeout may exceed Interval: sweeps
+	// run sequentially and a slow sweep simply delays the next tick.
+	Timeout time.Duration
+	// FailThreshold consecutive failed pings mark a node down; ≤0
+	// selects 3.
+	FailThreshold int
+	// RiseThreshold consecutive successful pings mark a down node back
+	// up; ≤0 selects 1.
+	RiseThreshold int
+	// OnTransition, when non-nil, is invoked synchronously from the probe
+	// goroutine for every up/down transition (e.g. arbiter.MarkDown).
+	OnTransition func(Transition)
+	// Telemetry receives probe metrics; nil disables them.
+	Telemetry *telemetry.Registry
+}
+
+// nodeState tracks one address's debounced liveness.
+type nodeState struct {
+	up    bool
+	fails int // consecutive failures while up
+	rises int // consecutive successes while down
+}
+
+// Prober pings a fixed set of I/O nodes and reports transitions.
+type Prober struct {
+	cfg     Config
+	clients map[string]*rpc.Client
+
+	mu    sync.Mutex
+	state map[string]*nodeState
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	tel struct {
+		probes, failures *telemetry.Counter
+		downs, ups       *telemetry.Counter
+		nodesUp          *telemetry.Gauge
+	}
+}
+
+// New builds a prober; every node starts optimistically up. Call Start to
+// begin probing, or drive sweeps explicitly with ProbeOnce.
+func New(cfg Config) (*Prober, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("health: at least one address is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval / 2
+		if cfg.Timeout < 100*time.Millisecond {
+			cfg.Timeout = 100 * time.Millisecond
+		}
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RiseThreshold <= 0 {
+		cfg.RiseThreshold = 1
+	}
+	p := &Prober{
+		cfg:     cfg,
+		clients: make(map[string]*rpc.Client, len(cfg.Addrs)),
+		state:   make(map[string]*nodeState, len(cfg.Addrs)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, addr := range cfg.Addrs {
+		if _, dup := p.clients[addr]; dup {
+			return nil, errors.New("health: duplicate address " + addr)
+		}
+		p.clients[addr] = rpc.Dial(addr, 1).
+			WithOptions(rpc.Options{CallTimeout: cfg.Timeout}).
+			Instrument(cfg.Telemetry, nil)
+		p.state[addr] = &nodeState{up: true}
+	}
+	reg := cfg.Telemetry
+	p.tel.probes = reg.Counter("health_probes_total")
+	p.tel.failures = reg.Counter("health_probe_failures_total")
+	p.tel.downs = reg.Counter("health_transitions_down_total")
+	p.tel.ups = reg.Counter("health_transitions_up_total")
+	p.tel.nodesUp = reg.Gauge("health_ions_up")
+	p.tel.nodesUp.Set(int64(len(cfg.Addrs)))
+	return p, nil
+}
+
+// Start launches the periodic probe loop. Safe to call once; Stop ends it.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			ticker := time.NewTicker(p.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-ticker.C:
+					p.ProbeOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends probing and releases the probe connections. Safe to call even
+// if Start never ran.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+	})
+	p.startOnce.Do(func() { close(p.done) }) // never started: nothing to wait for
+	<-p.done
+	for _, c := range p.clients {
+		c.Close()
+	}
+}
+
+// ProbeOnce performs one synchronous sweep over every address, applying
+// thresholds and firing OnTransition for each state change. Exported so
+// tests (and callers that want probe timing under their own control) can
+// drive the prober deterministically.
+func (p *Prober) ProbeOnce() {
+	results := make(map[string]bool, len(p.clients))
+	var (
+		rmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	for addr, cli := range p.clients {
+		wg.Add(1)
+		go func(addr string, cli *rpc.Client) {
+			defer wg.Done()
+			_, err := cli.Call(&rpc.Message{Op: rpc.OpPing})
+			rmu.Lock()
+			results[addr] = err == nil
+			rmu.Unlock()
+		}(addr, cli)
+	}
+	wg.Wait()
+
+	var fired []Transition
+	p.mu.Lock()
+	for addr, ok := range results {
+		p.tel.probes.Inc()
+		if !ok {
+			p.tel.failures.Inc()
+		}
+		st := p.state[addr]
+		switch {
+		case st.up && !ok:
+			st.fails++
+			if st.fails >= p.cfg.FailThreshold {
+				st.up = false
+				st.fails = 0
+				st.rises = 0
+				p.tel.downs.Inc()
+				p.tel.nodesUp.Add(-1)
+				fired = append(fired, Transition{Addr: addr, Up: false})
+			}
+		case st.up && ok:
+			st.fails = 0
+		case !st.up && ok:
+			st.rises++
+			if st.rises >= p.cfg.RiseThreshold {
+				st.up = true
+				st.fails = 0
+				st.rises = 0
+				p.tel.ups.Inc()
+				p.tel.nodesUp.Add(1)
+				fired = append(fired, Transition{Addr: addr, Up: true})
+			}
+		default: // down and still failing
+			st.rises = 0
+		}
+	}
+	p.mu.Unlock()
+
+	// Callbacks run outside the prober lock so they may query the prober
+	// (and take arbitrary downstream locks) freely.
+	if p.cfg.OnTransition != nil {
+		for _, tr := range fired {
+			p.cfg.OnTransition(tr)
+		}
+	}
+}
+
+// IsUp reports the debounced state of addr (false for unknown addresses).
+func (p *Prober) IsUp(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[addr]
+	return ok && st.up
+}
+
+// Down returns the addresses currently marked down.
+func (p *Prober) Down() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for addr, st := range p.state {
+		if !st.up {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package ion
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,12 +128,28 @@ func (d *Daemon) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	d.launch(bound)
+	return bound, nil
+}
+
+// StartOn serves on an already-bound listener instead of dialing one up.
+// This is the seam fault-injection wrappers (faultnet) and tests use to
+// interpose on the daemon's network path.
+func (d *Daemon) StartOn(ln net.Listener) (string, error) {
+	bound, err := d.server.ListenOn(ln)
+	if err != nil {
+		return "", err
+	}
+	d.launch(bound)
+	return bound, nil
+}
+
+func (d *Daemon) launch(bound string) {
 	d.addr = bound
 	for i := 0; i < d.cfg.Dispatchers; i++ {
 		d.wg.Add(1)
 		go d.dispatchLoop()
 	}
-	return bound, nil
 }
 
 // Addr returns the daemon's bound address (empty before Start).

@@ -7,15 +7,18 @@ package livestack
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/agios"
 	"repro/internal/arbiter"
 	"repro/internal/fwd"
+	"repro/internal/health"
 	"repro/internal/ion"
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/policy"
+	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
 
@@ -39,6 +42,32 @@ type Config struct {
 	// Tracer joins per-request hops across layers. Nil disables tracing
 	// (metrics stay on); pass telemetry.NewTracer to record traces.
 	Tracer *telemetry.Tracer
+
+	// ChunkSize is the forwarding clients' request-splitting unit; ≤0
+	// selects fwd.DefaultChunkSize.
+	ChunkSize int64
+	// RPC is the failure-tolerance configuration (per-call deadlines,
+	// retries, circuit breaker) applied to every forwarding client this
+	// stack creates. The zero value keeps the legacy block-forever
+	// transport behaviour.
+	RPC rpc.Options
+
+	// HealthInterval, when >0, runs a heartbeat prober over the daemons
+	// and feeds up/down transitions into the arbiter (MarkDown/MarkUp),
+	// closing the detect→re-arbitrate loop.
+	HealthInterval time.Duration
+	// HealthTimeout is the per-ping deadline; ≤0 lets the prober derive
+	// it from the interval.
+	HealthTimeout time.Duration
+	// HealthFailThreshold / HealthRiseThreshold debounce transitions;
+	// ≤0 selects the prober defaults.
+	HealthFailThreshold int
+	HealthRiseThreshold int
+
+	// WrapListener, when non-nil, interposes on each daemon's listener
+	// before it starts serving — the hook chaos tests use to inject
+	// network faults (faultnet.WrapListener) on a chosen I/O node.
+	WrapListener func(ionIndex int, ln net.Listener) net.Listener
 }
 
 // Stack is a running live system.
@@ -49,11 +78,16 @@ type Stack struct {
 	Daemons []*ion.Daemon
 	Addrs   []string
 
+	// Health is the heartbeat prober (nil unless Config.HealthInterval
+	// was set). Its transitions drive Arbiter.MarkDown/MarkUp.
+	Health *health.Prober
+
 	// Telemetry and Tracer are the stack-wide observability handles every
 	// layer reports into; serve them with telemetry.Handler.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 
+	cfg     Config
 	clients []*fwd.Client
 	cancels []func()
 }
@@ -83,6 +117,7 @@ func Start(cfg Config) (*Stack, error) {
 		Bus:       mapping.NewBus(),
 		Telemetry: reg,
 		Tracer:    tracer,
+		cfg:       cfg,
 	}
 	for i := 0; i < cfg.IONs; i++ {
 		sched, err := agios.NewByName(schedName)
@@ -97,7 +132,7 @@ func Start(cfg Config) (*Stack, error) {
 			Telemetry:   reg,
 			Tracer:      tracer,
 		}, st.Store)
-		addr, err := d.Start("")
+		addr, err := startDaemon(d, i, cfg.WrapListener)
 		if err != nil {
 			st.Close()
 			return nil, err
@@ -111,7 +146,47 @@ func Start(cfg Config) (*Stack, error) {
 		return nil, err
 	}
 	st.Arbiter = arb.Instrument(reg)
+
+	if cfg.HealthInterval > 0 {
+		prober, err := health.New(health.Config{
+			Addrs:         st.Addrs,
+			Interval:      cfg.HealthInterval,
+			Timeout:       cfg.HealthTimeout,
+			FailThreshold: cfg.HealthFailThreshold,
+			RiseThreshold: cfg.HealthRiseThreshold,
+			Telemetry:     reg,
+			OnTransition: func(tr health.Transition) {
+				// MarkDown/MarkUp errors are advisory here: even when a
+				// re-solve fails, the arbiter has already published a
+				// mapping that excludes down nodes.
+				if tr.Up {
+					arb.MarkUp(tr.Addr)
+				} else {
+					arb.MarkDown(tr.Addr)
+				}
+			},
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.Health = prober
+		prober.Start()
+	}
 	return st, nil
+}
+
+// startDaemon starts d on an ephemeral port, threading the listener
+// through the fault-injection hook when one is configured.
+func startDaemon(d *ion.Daemon, idx int, wrap func(int, net.Listener) net.Listener) (string, error) {
+	if wrap == nil {
+		return d.Start("")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	return d.StartOn(wrap(idx, ln))
 }
 
 // NewClient creates a forwarding client for an application, subscribed to
@@ -121,6 +196,8 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 	c, err := fwd.NewClient(fwd.Config{
 		AppID:     appID,
 		Direct:    s.Store,
+		ChunkSize: s.cfg.ChunkSize,
+		RPC:       s.cfg.RPC,
 		Telemetry: s.Telemetry,
 		Tracer:    s.Tracer,
 	})
@@ -166,8 +243,12 @@ func waitForSomeAllocation(c *fwd.Client, timeout time.Duration) error {
 	return nil
 }
 
-// Close stops watchers, clients, and daemons.
+// Close stops the health prober, watchers, clients, and daemons. The
+// prober goes first so daemon shutdown is not misread as an outage.
 func (s *Stack) Close() {
+	if s.Health != nil {
+		s.Health.Stop()
+	}
 	for _, cancel := range s.cancels {
 		cancel()
 	}

@@ -97,8 +97,10 @@ var (
 	ErrClosed = errors.New("rpc: closed")
 )
 
-// WriteMessage encodes m onto w as one frame.
-func WriteMessage(w io.Writer, m *Message) error {
+// validateMessage checks the frame-size limits before any byte touches the
+// wire, so an unsendable message is a permanent local error — it must not
+// discard a healthy connection, burn retries, or trip the circuit breaker.
+func validateMessage(m *Message) error {
 	if len(m.Path) >= maxPath {
 		return fmt.Errorf("rpc: path too long (%d bytes)", len(m.Path))
 	}
@@ -107,6 +109,14 @@ func WriteMessage(w io.Writer, m *Message) error {
 	}
 	if len(m.Data) > maxData {
 		return fmt.Errorf("%w: %d-byte payload", ErrFrameTooLarge, len(m.Data))
+	}
+	return nil
+}
+
+// WriteMessage encodes m onto w as one frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	if err := validateMessage(m); err != nil {
+		return err
 	}
 	n := 1 + 8 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
 	buf := make([]byte, 4+n)

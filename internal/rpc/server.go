@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -41,6 +42,14 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.ListenOn(ln)
+}
+
+// ListenOn starts accepting on an already-bound listener. It exists so
+// callers can interpose on the transport (e.g. faultnet wraps the daemon's
+// listener with a network fault injector in chaos tests). The server takes
+// ownership of ln and closes it on Close.
+func (s *Server) ListenOn(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -124,6 +133,8 @@ func (s *Server) Close() error {
 // serialized per connection; up to PoolSize requests proceed in parallel.
 type Client struct {
 	addr string
+	opts Options
+	brk  *breaker // nil when the breaker is disabled
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -137,6 +148,9 @@ type Client struct {
 	tel struct {
 		dials, dialErrors, calls, callErrors *telemetry.Counter
 		staleRetries, staleEvictions         *telemetry.Counter
+		deadlineExpired, retries             *telemetry.Counter
+		breakerOpens, breakerProbes          *telemetry.Counter
+		breakerCloses, breakerRejects        *telemetry.Counter
 		latency                              *telemetry.Histogram
 	}
 	tracer *telemetry.Tracer
@@ -159,6 +173,28 @@ func Dial(addr string, poolSize int) *Client {
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
 
+// WithOptions installs failure-tolerance options (deadlines, retries,
+// breaker — see Options). Call before the first Call. Returns c for
+// chaining.
+func (c *Client) WithOptions(o Options) *Client {
+	c.opts = o.withDefaults()
+	if c.opts.BreakerThreshold > 0 {
+		c.brk = newBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown)
+	} else {
+		c.brk = nil
+	}
+	return c
+}
+
+// BreakerState reports the circuit breaker's current state (BreakerClosed
+// when the breaker is disabled).
+func (c *Client) BreakerState() BreakerState {
+	if c.brk == nil {
+		return BreakerClosed
+	}
+	return c.brk.current()
+}
+
 // Instrument attaches a metrics registry and tracer to the client. Call
 // it before the first Call; either argument may be nil. It returns c for
 // chaining. The counters record dial activity and the stale-connection
@@ -171,6 +207,12 @@ func (c *Client) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) *
 	c.tel.callErrors = reg.Counter("rpc_call_errors_total")
 	c.tel.staleRetries = reg.Counter("rpc_stale_retries_total")
 	c.tel.staleEvictions = reg.Counter("rpc_stale_evictions_total")
+	c.tel.deadlineExpired = reg.Counter("rpc_deadline_expired_total")
+	c.tel.retries = reg.Counter("rpc_retries_total")
+	c.tel.breakerOpens = reg.Counter("rpc_breaker_open_total")
+	c.tel.breakerProbes = reg.Counter("rpc_breaker_half_open_probes_total")
+	c.tel.breakerCloses = reg.Counter("rpc_breaker_close_total")
+	c.tel.breakerRejects = reg.Counter("rpc_breaker_rejected_total")
 	c.tel.latency = reg.Histogram("rpc_call_latency_seconds", telemetry.LatencyBuckets())
 	c.tracer = tracer
 	return c
@@ -196,7 +238,7 @@ func (c *Client) getConn() (conn net.Conn, pooled bool, err error) {
 			c.total++
 			c.mu.Unlock()
 			c.tel.dials.Inc()
-			conn, err := net.Dial("tcp", c.addr)
+			conn, err := c.netDial()
 			if err != nil {
 				c.tel.dialErrors.Inc()
 				c.mu.Lock()
@@ -238,7 +280,7 @@ func (c *Client) dialFresh() (net.Conn, error) {
 	}
 	c.mu.Unlock()
 	c.tel.dials.Inc()
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := c.netDial()
 	if err != nil {
 		c.tel.dialErrors.Inc()
 		c.mu.Lock()
@@ -262,17 +304,56 @@ func (c *Client) putConn(conn net.Conn, broken bool) {
 	c.cond.Signal()
 }
 
+// netDial establishes one TCP connection, bounded by CallTimeout when set
+// so a black-holed address cannot stall a call past its deadline.
+func (c *Client) netDial() (net.Conn, error) {
+	if c.opts.CallTimeout > 0 {
+		return net.DialTimeout("tcp", c.addr, c.opts.CallTimeout)
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// noteTimeout counts deadline expiries so hung-server detection is
+// observable separately from other transport failures.
+func (c *Client) noteTimeout(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.tel.deadlineExpired.Inc()
+	}
+}
+
 // roundTrip performs one request/response exchange on conn and returns the
 // connection to the pool (or discards it on failure).
+//
+// Pool-hygiene invariants (see the regression tests in failure_test.go):
+// a conn that failed partway through an exchange — bytes possibly on the
+// wire, a response possibly half-read — is always discarded, never pooled;
+// and a conn that completed an exchange under a deadline has the deadline
+// cleared before pooling, so it cannot fail spuriously on reuse.
 func (c *Client) roundTrip(conn net.Conn, req *Message) (*Message, error) {
+	if c.opts.CallTimeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)); err != nil {
+			c.putConn(conn, true)
+			return nil, err
+		}
+	}
 	if err := WriteMessage(conn, req); err != nil {
+		c.noteTimeout(err)
 		c.putConn(conn, true)
 		return nil, err
 	}
 	resp, err := ReadMessage(conn)
 	if err != nil {
+		c.noteTimeout(err)
 		c.putConn(conn, true)
 		return nil, err
+	}
+	if c.opts.CallTimeout > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			// The exchange completed; only the conn's future is suspect.
+			c.putConn(conn, true)
+			return resp, nil
+		}
 	}
 	c.putConn(conn, false)
 	return resp, nil
@@ -280,11 +361,11 @@ func (c *Client) roundTrip(conn net.Conn, req *Message) (*Message, error) {
 
 // Call sends req and waits for the response. Safe for concurrent use.
 //
-// A connection taken from the idle pool may have been closed by the server
-// while it sat idle (restart, idle timeout); its first use then fails even
-// though the server is reachable. When that happens the request is retried
-// exactly once on a freshly dialed connection — a fresh dial either proves
-// the server is really down or completes the call.
+// Transport-level failures (dial errors, broken or timed-out exchanges)
+// are retried up to Options.MaxRetries times with exponential backoff and
+// jitter, feed the circuit breaker, and are wrapped in ErrUnavailable.
+// Application errors (the server responded with resp.Err) surface
+// immediately and count as successes for the breaker.
 func (c *Client) Call(req *Message) (*Message, error) {
 	start := time.Now()
 	resp, err := c.call(req)
@@ -303,27 +384,87 @@ func (c *Client) Call(req *Message) (*Message, error) {
 	return resp, err
 }
 
+// errClass partitions attempt outcomes for the retry loop and the breaker.
+type errClass int
+
+const (
+	classOK        errClass = iota
+	classApp                // server responded with an application error
+	classLocal              // client-side condition (closed, bad message): permanent
+	classTransport          // dial/exchange failure: retryable, trips the breaker
+)
+
 func (c *Client) call(req *Message) (*Message, error) {
+	attempts := 1 + c.opts.MaxRetries
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if c.brk != nil {
+			ok, probe := c.brk.allow(time.Now())
+			if !ok {
+				c.tel.breakerRejects.Inc()
+				return nil, fmt.Errorf("%w: %w: %s", ErrUnavailable, ErrCircuitOpen, c.addr)
+			}
+			if probe {
+				c.tel.breakerProbes.Inc()
+			}
+		}
+		resp, err, class := c.attempt(req)
+		switch class {
+		case classOK, classApp:
+			if c.brk != nil && c.brk.onSuccess() {
+				c.tel.breakerCloses.Inc()
+			}
+			return resp, err
+		case classLocal:
+			return resp, err
+		}
+		// classTransport: feed the breaker, maybe retry.
+		if c.brk != nil && c.brk.onFailure(time.Now()) {
+			c.tel.breakerOpens.Inc()
+		}
+		lastErr = err
+		if i+1 < attempts {
+			c.tel.retries.Inc()
+			time.Sleep(backoffDelay(c.opts, i))
+		}
+	}
+	return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, lastErr)
+}
+
+// attempt performs one logical call: take a connection, exchange, and —
+// preserving the original stale-conn semantics — retry exactly once on a
+// freshly dialed connection when a pooled conn turns out stale.
+func (c *Client) attempt(req *Message) (*Message, error, errClass) {
+	if err := validateMessage(req); err != nil {
+		// Nothing touched the wire: the request itself is unsendable.
+		return nil, err, classLocal
+	}
 	conn, pooled, err := c.getConn()
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrClosed) {
+			return nil, err, classLocal
+		}
+		return nil, err, classTransport
 	}
 	resp, rtErr := c.roundTrip(conn, req)
 	if rtErr != nil && pooled {
 		c.tel.staleRetries.Inc()
 		fresh, dialErr := c.dialFresh()
 		if dialErr != nil {
-			return nil, rtErr
+			if errors.Is(dialErr, ErrClosed) {
+				return nil, rtErr, classLocal
+			}
+			return nil, rtErr, classTransport
 		}
 		resp, rtErr = c.roundTrip(fresh, req)
 	}
 	if rtErr != nil {
-		return nil, rtErr
+		return nil, rtErr, classTransport
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, errors.New(resp.Err), classApp
 	}
-	return resp, nil
+	return resp, nil, classOK
 }
 
 // Close releases all pooled connections. In-flight calls fail.
