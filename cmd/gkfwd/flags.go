@@ -1,0 +1,182 @@
+// Flag plumbing for gkfwd: every tunable is collected into one options
+// struct and validated up front, so a typo'd -call-timeout=-1s dies with a
+// clear message at startup instead of silently degrading mid-run (a
+// negative timeout used to behave like "no timeout", a negative chunk size
+// like the default — both lies about what the operator asked for).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/fwd"
+	"repro/internal/livestack"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// options is the parsed flag set, kept as a plain struct so validation and
+// config assembly are unit-testable without touching the flag package.
+type options struct {
+	ions      int
+	appList   string
+	scheduler string
+	sweep     string
+	queue     bool
+	rate      float64
+
+	metricsAddr string
+	chunkSize   int64
+
+	callTimeout      time.Duration
+	rpcRetries       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+
+	queueCap    int
+	maxInflight int
+	maxConns    int
+	retryAfter  time.Duration
+
+	throttle    bool
+	throttleMin int
+	throttleMax int
+
+	overloadDepth int
+	overloadShed  int
+}
+
+// parseFlags registers every flag on the default FlagSet and parses the
+// command line.
+func parseFlags() *options {
+	var o options
+	flag.IntVar(&o.ions, "ions", 4, "I/O-node daemons to start")
+	flag.StringVar(&o.appList, "apps", "IOR-MPI,HACC", "comma-separated Table 3 labels to run concurrently")
+	flag.StringVar(&o.scheduler, "scheduler", "AIOLI", "AGIOS scheduler: FIFO|SJF|AIOLI|TWINS")
+	flag.StringVar(&o.sweep, "sweep", "", "run one kernel at every feasible ION count instead")
+	flag.BoolVar(&o.queue, "queue", false, "run the paper's §5.3 queue live (14 tiny-scale jobs)")
+	flag.Float64Var(&o.rate, "ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /trace/recent on this address (e.g. :9090; empty = off)")
+	flag.Int64Var(&o.chunkSize, "chunk-size", 0, "forwarding request-splitting unit in bytes (0 = default)")
+	flag.DurationVar(&o.callTimeout, "call-timeout", 0, "per-RPC deadline (0 = block forever, the legacy behaviour)")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", 0, "transport-failure retries per RPC")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive transport failures that open a circuit breaker (0 = breaker off)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+	flag.DurationVar(&o.healthInterval, "health-interval", 0, "heartbeat probe interval; >0 enables health-driven re-arbitration")
+	flag.DurationVar(&o.healthTimeout, "health-timeout", 0, "per-ping deadline (0 = derived from the interval)")
+	flag.IntVar(&o.queueCap, "queue-cap", 0, "bound each daemon's request queue; above it requests get a busy response (0 = unbounded)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "bound concurrently-handled requests per daemon (0 = unlimited)")
+	flag.IntVar(&o.maxConns, "max-conns", 0, "bound accepted client connections per daemon (0 = unlimited)")
+	flag.DurationVar(&o.retryAfter, "retry-after", 0, "retry-after hint carried on busy responses (0 = daemon default)")
+	flag.BoolVar(&o.throttle, "throttle", false, "enable adaptive per-ION client throttling (AIMD window)")
+	flag.IntVar(&o.throttleMin, "throttle-min", 0, "throttle window floor (0 = default)")
+	flag.IntVar(&o.throttleMax, "throttle-max", 0, "throttle window ceiling (0 = default)")
+	flag.IntVar(&o.overloadDepth, "overload-depth", 0, "queue depth at which the prober calls an I/O node overloaded (0 = off)")
+	flag.IntVar(&o.overloadShed, "overload-shed", 0, "sheds per probe sweep at which the prober calls an I/O node overloaded (0 = off)")
+	flag.Parse()
+	return &o
+}
+
+// validate rejects flag values that would otherwise misbehave silently at
+// runtime. Zero means "feature off" for most knobs, so the rule is:
+// negative never, and cross-flag requirements stated explicitly.
+func (o *options) validate() error {
+	if o.ions <= 0 {
+		return fmt.Errorf("-ions must be at least 1, got %d", o.ions)
+	}
+	if o.rate < 0 {
+		return fmt.Errorf("-ost-mbps must not be negative, got %g", o.rate)
+	}
+	if o.chunkSize < 0 {
+		return fmt.Errorf("-chunk-size must not be negative, got %d", o.chunkSize)
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-call-timeout", o.callTimeout},
+		{"-breaker-cooldown", o.breakerCooldown},
+		{"-health-interval", o.healthInterval},
+		{"-health-timeout", o.healthTimeout},
+		{"-retry-after", o.retryAfter},
+	} {
+		if d.val < 0 {
+			return fmt.Errorf("%s must not be negative, got %v", d.name, d.val)
+		}
+	}
+	for _, n := range []struct {
+		name string
+		val  int
+	}{
+		{"-rpc-retries", o.rpcRetries},
+		{"-breaker-threshold", o.breakerThreshold},
+		{"-queue-cap", o.queueCap},
+		{"-max-inflight", o.maxInflight},
+		{"-max-conns", o.maxConns},
+		{"-throttle-min", o.throttleMin},
+		{"-throttle-max", o.throttleMax},
+		{"-overload-depth", o.overloadDepth},
+		{"-overload-shed", o.overloadShed},
+	} {
+		if n.val < 0 {
+			return fmt.Errorf("%s must not be negative, got %d", n.name, n.val)
+		}
+	}
+	if o.throttleMin > 0 && o.throttleMax > 0 && o.throttleMin > o.throttleMax {
+		return fmt.Errorf("-throttle-min (%d) must not exceed -throttle-max (%d)", o.throttleMin, o.throttleMax)
+	}
+	if !o.throttle && (o.throttleMin > 0 || o.throttleMax > 0) {
+		return fmt.Errorf("-throttle-min/-throttle-max require -throttle")
+	}
+	if o.healthInterval == 0 && (o.overloadDepth > 0 || o.overloadShed > 0) {
+		return fmt.Errorf("-overload-depth/-overload-shed require -health-interval")
+	}
+	if o.queue && o.sweep != "" {
+		return fmt.Errorf("-queue and -sweep are mutually exclusive")
+	}
+	return nil
+}
+
+// stackConfig assembles the livestack configuration from validated options.
+func (o *options) stackConfig() livestack.Config {
+	cfg := livestack.Config{
+		IONs:      o.ions,
+		Scheduler: o.scheduler,
+		Policy:    policy.MCKP{},
+		ChunkSize: o.chunkSize,
+		RPC: rpc.Options{
+			CallTimeout:      o.callTimeout,
+			MaxRetries:       o.rpcRetries,
+			BreakerThreshold: o.breakerThreshold,
+			BreakerCooldown:  o.breakerCooldown,
+		},
+		HealthInterval:     o.healthInterval,
+		HealthTimeout:      o.healthTimeout,
+		QueueCap:           o.queueCap,
+		MaxInflight:        o.maxInflight,
+		MaxConns:           o.maxConns,
+		RetryAfterHint:     o.retryAfter,
+		OverloadQueueDepth: o.overloadDepth,
+		OverloadShedDelta:  o.overloadShed,
+		Throttle: fwd.ThrottleConfig{
+			Enabled:   o.throttle,
+			MinWindow: o.throttleMin,
+			MaxWindow: o.throttleMax,
+		},
+	}
+	if o.rate > 0 {
+		cfg.PFS.OSTRate = units.BandwidthFromMBps(o.rate)
+	}
+	if o.metricsAddr != "" {
+		// Tracing is only worth its (small) cost when someone can look at
+		// the traces, so it rides the metrics endpoint flag.
+		cfg.Tracer = telemetry.NewTracer(0)
+	}
+	return cfg
+}

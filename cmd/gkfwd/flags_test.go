@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validOptions mirrors the flag defaults.
+func validOptions() options {
+	return options{ions: 4, appList: "IOR-MPI,HACC", scheduler: "AIOLI"}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	o := validOptions()
+	if err := o.validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // substring of the error
+	}{
+		{"zero ions", func(o *options) { o.ions = 0 }, "-ions"},
+		{"negative ions", func(o *options) { o.ions = -3 }, "-ions"},
+		{"negative ost rate", func(o *options) { o.rate = -1 }, "-ost-mbps"},
+		{"negative chunk size", func(o *options) { o.chunkSize = -4096 }, "-chunk-size"},
+		{"negative call timeout", func(o *options) { o.callTimeout = -time.Second }, "-call-timeout"},
+		{"negative breaker cooldown", func(o *options) { o.breakerCooldown = -1 }, "-breaker-cooldown"},
+		{"negative health interval", func(o *options) { o.healthInterval = -time.Millisecond }, "-health-interval"},
+		{"negative health timeout", func(o *options) { o.healthTimeout = -time.Millisecond }, "-health-timeout"},
+		{"negative retry after", func(o *options) { o.retryAfter = -time.Millisecond }, "-retry-after"},
+		{"negative rpc retries", func(o *options) { o.rpcRetries = -1 }, "-rpc-retries"},
+		{"negative breaker threshold", func(o *options) { o.breakerThreshold = -1 }, "-breaker-threshold"},
+		{"negative queue cap", func(o *options) { o.queueCap = -1 }, "-queue-cap"},
+		{"negative max inflight", func(o *options) { o.maxInflight = -1 }, "-max-inflight"},
+		{"negative max conns", func(o *options) { o.maxConns = -1 }, "-max-conns"},
+		{"negative throttle min", func(o *options) { o.throttle = true; o.throttleMin = -1 }, "-throttle-min"},
+		{"negative overload depth", func(o *options) { o.overloadDepth = -1 }, "-overload-depth"},
+		{"min above max", func(o *options) { o.throttle = true; o.throttleMin = 8; o.throttleMax = 4 }, "-throttle-min"},
+		{"throttle knobs without throttle", func(o *options) { o.throttleMax = 16 }, "-throttle"},
+		{"overload without health", func(o *options) { o.overloadDepth = 10 }, "-health-interval"},
+		{"queue and sweep", func(o *options) { o.queue = true; o.sweep = "HACC" }, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mut(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("expected an error mentioning %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsOverloadKnobs(t *testing.T) {
+	o := validOptions()
+	o.healthInterval = 100 * time.Millisecond
+	o.overloadDepth = 32
+	o.overloadShed = 4
+	o.queueCap = 64
+	o.maxInflight = 16
+	o.maxConns = 8
+	o.throttle = true
+	o.throttleMin = 1
+	o.throttleMax = 16
+	if err := o.validate(); err != nil {
+		t.Fatalf("overload/backpressure knobs should validate: %v", err)
+	}
+}
+
+func TestStackConfigCarriesOverloadKnobs(t *testing.T) {
+	o := validOptions()
+	o.healthInterval = 100 * time.Millisecond
+	o.queueCap = 64
+	o.maxInflight = 16
+	o.maxConns = 8
+	o.retryAfter = 5 * time.Millisecond
+	o.overloadDepth = 32
+	o.overloadShed = 4
+	o.throttle = true
+	o.throttleMin = 2
+	o.throttleMax = 16
+	o.chunkSize = 1 << 16
+	cfg := o.stackConfig()
+	if cfg.QueueCap != 64 || cfg.MaxInflight != 16 || cfg.MaxConns != 8 {
+		t.Fatalf("admission knobs not carried: %+v", cfg)
+	}
+	if cfg.RetryAfterHint != 5*time.Millisecond {
+		t.Fatalf("retry-after hint not carried: %v", cfg.RetryAfterHint)
+	}
+	if cfg.OverloadQueueDepth != 32 || cfg.OverloadShedDelta != 4 {
+		t.Fatalf("overload knobs not carried: %+v", cfg)
+	}
+	if !cfg.Throttle.Enabled || cfg.Throttle.MinWindow != 2 || cfg.Throttle.MaxWindow != 16 {
+		t.Fatalf("throttle knobs not carried: %+v", cfg.Throttle)
+	}
+	if cfg.ChunkSize != 1<<16 {
+		t.Fatalf("chunk size not carried: %d", cfg.ChunkSize)
+	}
+}

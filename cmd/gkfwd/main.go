@@ -10,7 +10,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"net"
 	"net/http"
@@ -23,58 +22,25 @@ import (
 	"repro/internal/livestack"
 	"repro/internal/perfmodel"
 	"repro/internal/policy"
-	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
 func main() {
-	ions := flag.Int("ions", 4, "I/O-node daemons to start")
-	appList := flag.String("apps", "IOR-MPI,HACC", "comma-separated Table 3 labels to run concurrently")
-	scheduler := flag.String("scheduler", "AIOLI", "AGIOS scheduler: FIFO|SJF|AIOLI|TWINS")
-	sweep := flag.String("sweep", "", "run one kernel at every feasible ION count instead")
-	queue := flag.Bool("queue", false, "run the paper's §5.3 queue live (14 tiny-scale jobs)")
-	rate := flag.Float64("ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /trace/recent on this address (e.g. :9090; empty = off)")
-	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline (0 = block forever, the legacy behaviour)")
-	rpcRetries := flag.Int("rpc-retries", 0, "transport-failure retries per RPC")
-	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures that open a circuit breaker (0 = breaker off)")
-	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
-	healthInterval := flag.Duration("health-interval", 0, "heartbeat probe interval; >0 enables health-driven re-arbitration")
-	healthTimeout := flag.Duration("health-timeout", 0, "per-ping deadline (0 = derived from the interval)")
-	flag.Parse()
-
-	cfg := livestack.Config{
-		IONs:      *ions,
-		Scheduler: *scheduler,
-		Policy:    policy.MCKP{},
-		RPC: rpc.Options{
-			CallTimeout:      *callTimeout,
-			MaxRetries:       *rpcRetries,
-			BreakerThreshold: *breakerThreshold,
-			BreakerCooldown:  *breakerCooldown,
-		},
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
+	opts := parseFlags()
+	if err := opts.validate(); err != nil {
+		fail(err)
 	}
-	if *rate > 0 {
-		cfg.PFS.OSTRate = units.BandwidthFromMBps(*rate)
-	}
-	if *metricsAddr != "" {
-		// Tracing is only worth its (small) cost when someone can look at
-		// the traces, so it rides the metrics endpoint flag.
-		cfg.Tracer = telemetry.NewTracer(0)
-	}
-	st, err := livestack.Start(cfg)
+	st, err := livestack.Start(opts.stackConfig())
 	if err != nil {
 		fail(err)
 	}
 	defer st.Close()
 	fmt.Printf("started %d I/O nodes (%s scheduling) and the %s arbiter\n",
-		*ions, *scheduler, st.Arbiter.PolicyName())
+		opts.ions, opts.scheduler, st.Arbiter.PolicyName())
 
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
+	if opts.metricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.metricsAddr)
 		if err != nil {
 			fail(err)
 		}
@@ -85,15 +51,15 @@ func main() {
 		fmt.Printf("telemetry on http://%s/metrics and /trace/recent\n", ln.Addr())
 	}
 
-	if *queue {
+	if opts.queue {
 		runLiveQueue(st)
 		return
 	}
-	if *sweep != "" {
-		runSweep(st, *sweep, *ions)
+	if opts.sweep != "" {
+		runSweep(st, opts.sweep, opts.ions)
 		return
 	}
-	runConcurrent(st, strings.Split(*appList, ","))
+	runConcurrent(st, strings.Split(opts.appList, ","))
 }
 
 func kernelFor(label string) (apps.Kernel, error) {

@@ -20,6 +20,7 @@ package agios
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -412,8 +413,29 @@ func (t *TWINS) Len() int { return t.count }
 
 // --- Queue ----------------------------------------------------------------
 
+// Typed queue-admission failures, distinguishable with errors.Is so the
+// daemon can answer a full queue with a busy (shed) response and a closed
+// queue with a terminal error.
+var (
+	// ErrQueueClosed reports a Push after Close. A racing Push/Close pair
+	// resolves deterministically: either the push wins (the request is
+	// enqueued and will be drained) or it observes this error — never a
+	// panic, never a silent drop.
+	ErrQueueClosed = errors.New("agios: queue closed")
+	// ErrQueueFull reports a Push rejected by bounded admission: depth
+	// reached the capacity (high watermark) and has not yet drained back
+	// to the low watermark.
+	ErrQueueFull = errors.New("agios: queue full")
+)
+
 // Queue makes a Scheduler safe for the daemon's producer/consumer use:
 // producers Push, dispatcher goroutines PopWait. Closing wakes all waiters.
+//
+// A queue may be bounded with SetCapacity: admission then follows a
+// high/low-watermark hysteresis — once depth reaches the capacity, Push
+// fails with ErrQueueFull until dispatch drains depth back to the low
+// watermark. The hysteresis keeps a saturated daemon from flapping between
+// accept and reject on every pop.
 type Queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -421,9 +443,14 @@ type Queue struct {
 	seq    uint64
 	closed bool
 
+	capacity  int  // 0 = unbounded (the historical default)
+	lowWater  int  // resume-admission threshold (< capacity)
+	saturated bool // above high watermark, not yet drained to lowWater
+
 	// Telemetry handles (nil when uninstrumented; all no-ops then).
 	telDepth     *telemetry.Gauge
 	telCoalesced *telemetry.Counter
+	telSaturated *telemetry.Gauge
 	telWait      *telemetry.Histogram
 }
 
@@ -434,6 +461,42 @@ func NewQueue(sched Scheduler) *Queue {
 	return q
 }
 
+// SetCapacity bounds the queue at capacity pending requests with a
+// resume-admission threshold of lowWater (≤0 selects capacity/2; values ≥
+// capacity are clamped to capacity-1). capacity ≤ 0 removes the bound.
+// Call before the queue is shared, or between workloads.
+func (q *Queue) SetCapacity(capacity, lowWater int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if capacity <= 0 {
+		q.capacity, q.lowWater, q.saturated = 0, 0, false
+		q.telSaturated.Set(0)
+		return
+	}
+	if lowWater <= 0 {
+		lowWater = capacity / 2
+	}
+	if lowWater >= capacity {
+		lowWater = capacity - 1
+	}
+	q.capacity, q.lowWater = capacity, lowWater
+}
+
+// Capacity reports the admission bound (0 = unbounded).
+func (q *Queue) Capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity
+}
+
+// Saturated reports whether the queue is currently rejecting pushes
+// (depth crossed the capacity and has not drained to the low watermark).
+func (q *Queue) Saturated() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.saturated
+}
+
 // Instrument attaches queue metrics to reg: pending depth, client
 // requests coalesced into aggregates, and queue-wait latency. label is an
 // optional Prometheus label set (e.g. `{node="ion00"}`) appended to every
@@ -442,6 +505,7 @@ func NewQueue(sched Scheduler) *Queue {
 func (q *Queue) Instrument(reg *telemetry.Registry, label string) {
 	q.telDepth = reg.Gauge("agios_queue_depth" + label)
 	q.telCoalesced = reg.Counter("agios_coalesced_total" + label)
+	q.telSaturated = reg.Gauge("agios_queue_saturated" + label)
 	q.telWait = reg.Histogram("agios_queue_wait_seconds"+label, telemetry.LatencyBuckets())
 }
 
@@ -452,13 +516,23 @@ func (q *Queue) SchedulerName() string {
 	return q.sched.Name()
 }
 
-// Push enqueues r, stamping arrival time and sequence. It fails after
-// Close.
+// Push enqueues r, stamping arrival time and sequence. It fails with
+// ErrQueueClosed after Close, and with ErrQueueFull while a bounded queue
+// is saturated (see SetCapacity).
 func (q *Queue) Push(r *Request) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return fmt.Errorf("agios: queue closed")
+		return ErrQueueClosed
+	}
+	if q.capacity > 0 {
+		if depth := q.sched.Len(); q.saturated || depth >= q.capacity {
+			if !q.saturated {
+				q.saturated = true
+				q.telSaturated.Set(1)
+			}
+			return ErrQueueFull
+		}
 	}
 	q.seq++
 	r.Seq = q.seq
@@ -471,14 +545,18 @@ func (q *Queue) Push(r *Request) error {
 	return nil
 }
 
-// recordPop maintains queue metrics for one popped (possibly aggregate)
-// request. Caller holds the lock.
+// recordPop maintains queue metrics and admission state for one popped
+// (possibly aggregate) request. Caller holds the lock.
 func (q *Queue) recordPop(r *Request) {
 	if n := int64(len(r.Children)); n > 0 {
 		q.telDepth.Add(-n)
 		q.telCoalesced.Add(n)
 	} else {
 		q.telDepth.Add(-1)
+	}
+	if q.saturated && q.sched.Len() <= q.lowWater {
+		q.saturated = false
+		q.telSaturated.Set(0)
 	}
 	if q.telWait != nil && !r.Arrival.IsZero() {
 		q.telWait.ObserveDuration(time.Since(r.Arrival))

@@ -39,22 +39,24 @@ type Arbiter struct {
 	bus  *mapping.Bus
 	pool []string
 
-	mu      sync.Mutex
-	down    map[string]bool // addresses marked down (health transitions)
-	running map[string]policy.Application
-	assign  map[string][]string // app → addresses
+	mu         sync.Mutex
+	down       map[string]bool // addresses marked down (health transitions)
+	overloaded map[string]bool // addresses shedding load (overload transitions)
+	running    map[string]policy.Application
+	assign     map[string][]string // app → addresses
 	// SolveTime records the duration of the last policy invocation (the
 	// paper reports 399 µs for its live case).
 	lastSolve time.Duration
 
 	// Telemetry handles (nil until Instrument; all no-ops then).
 	tel struct {
-		solves, solveErrors, published *telemetry.Counter
-		keptMappings                   *telemetry.Counter
-		marksDown, marksUp             *telemetry.Counter
-		jobsRunning                    *telemetry.Gauge
-		ionsDown, ionsLive             *telemetry.Gauge
-		solveLatency                   *telemetry.Histogram
+		solves, solveErrors, published   *telemetry.Counter
+		keptMappings                     *telemetry.Counter
+		marksDown, marksUp               *telemetry.Counter
+		marksOverloaded, marksRecovered  *telemetry.Counter
+		jobsRunning                      *telemetry.Gauge
+		ionsDown, ionsLive, ionsOverload *telemetry.Gauge
+		solveLatency                     *telemetry.Histogram
 	}
 }
 
@@ -75,12 +77,13 @@ func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, erro
 		uniq[a] = true
 	}
 	return &Arbiter{
-		pol:     pol,
-		bus:     bus,
-		pool:    append([]string(nil), ionAddrs...),
-		down:    map[string]bool{},
-		running: map[string]policy.Application{},
-		assign:  map[string][]string{},
+		pol:        pol,
+		bus:        bus,
+		pool:       append([]string(nil), ionAddrs...),
+		down:       map[string]bool{},
+		overloaded: map[string]bool{},
+		running:    map[string]policy.Application{},
+		assign:     map[string][]string{},
 	}, nil
 }
 
@@ -100,9 +103,12 @@ func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
 	a.tel.keptMappings = reg.Counter("arbiter_kept_previous_mapping_total")
 	a.tel.marksDown = reg.Counter("arbiter_marked_down_total")
 	a.tel.marksUp = reg.Counter("arbiter_marked_up_total")
+	a.tel.marksOverloaded = reg.Counter("arbiter_marked_overloaded_total")
+	a.tel.marksRecovered = reg.Counter("arbiter_overload_recovered_total")
 	a.tel.jobsRunning = reg.Gauge("arbiter_jobs_running")
 	a.tel.ionsDown = reg.Gauge("arbiter_ions_down")
 	a.tel.ionsLive = reg.Gauge("arbiter_ions_live")
+	a.tel.ionsOverload = reg.Gauge("arbiter_ions_overloaded")
 	a.tel.ionsLive.Set(int64(len(a.pool)))
 	a.tel.solveLatency = reg.Histogram("arbiter_solve_latency_seconds", telemetry.LatencyBuckets())
 	return a
@@ -213,10 +219,26 @@ func (a *Arbiter) Down() []string {
 	return out
 }
 
-// updatePoolGauges refreshes the live/down gauges. Caller holds the lock.
+// Overloaded returns the addresses currently marked overloaded, in stable
+// pool order.
+func (a *Arbiter) Overloaded() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.overloaded))
+	for _, addr := range a.pool {
+		if a.overloaded[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// updatePoolGauges refreshes the live/down/overloaded gauges. Caller holds
+// the lock.
 func (a *Arbiter) updatePoolGauges() {
 	a.tel.ionsDown.Set(int64(len(a.down)))
 	a.tel.ionsLive.Set(int64(len(a.pool) - len(a.down)))
+	a.tel.ionsOverload.Set(int64(len(a.overloaded)))
 }
 
 // without returns addrs with every occurrence of addr removed (the slice
@@ -313,6 +335,64 @@ func (a *Arbiter) MarkUp(addr string) error {
 	return nil
 }
 
+// MarkOverloaded records that addr is shedding load (a health prober saw
+// sustained queue depth or busy responses) and re-arbitrates so jobs drift
+// off it. Overload is softer than down: the node stays in the live pool —
+// the arbitration invariant "no job maps to a down node" does NOT extend
+// to overloaded ones, because a saturated node still completes work and
+// removing its capacity under peak load would make the overload worse.
+// The solver merely prefers every other live node first, so an overloaded
+// node keeps serving only when the pool is too small to avoid it. Marking
+// an already-overloaded node is a no-op; marks on down nodes are recorded
+// (they take effect when the node comes back up).
+func (a *Arbiter) MarkOverloaded(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if a.overloaded[addr] {
+		return nil
+	}
+	a.overloaded[addr] = true
+	a.tel.marksOverloaded.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		// The previous mapping is still valid — overloaded nodes are
+		// degraded, not gone — so keep it rather than publish nothing.
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s marked overloaded, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// MarkRecovered clears addr's overload mark and re-arbitrates so jobs can
+// spread back onto it. Marking a node that is not overloaded is a no-op.
+func (a *Arbiter) MarkRecovered(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if !a.overloaded[addr] {
+		return nil
+	}
+	delete(a.overloaded, addr)
+	a.tel.marksRecovered.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s recovered from overload, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
 // rearbitrate recomputes counts with the policy and maps them to concrete
 // addresses. Caller holds the lock.
 func (a *Arbiter) rearbitrate() error {
@@ -338,7 +418,10 @@ func (a *Arbiter) rearbitrate() error {
 	a.lastSolve = time.Since(start)
 
 	// Phase 1: shrink or keep — retain a stable prefix of each app's
-	// current addresses, skipping any node marked down in the meantime.
+	// current addresses, skipping any node marked down or overloaded in
+	// the meantime. Dropping overloaded nodes from the kept prefix is
+	// what steers load away: the app re-grows in phase 2, which hands
+	// out healthy capacity first.
 	next := make(map[string][]string, len(alloc))
 	used := map[string]bool{}
 	for _, app := range apps {
@@ -349,7 +432,7 @@ func (a *Arbiter) rearbitrate() error {
 			if len(keep) == want {
 				break
 			}
-			if !a.down[addr] {
+			if !a.down[addr] && !a.overloaded[addr] {
 				keep = append(keep, addr)
 			}
 		}
@@ -358,10 +441,18 @@ func (a *Arbiter) rearbitrate() error {
 			used[addr] = true
 		}
 	}
-	// Phase 2: grow from the free live pool, in stable pool order.
+	// Phase 2: grow from the free live pool in stable pool order, healthy
+	// nodes first — overloaded ones are appended last so they absorb load
+	// only when the healthy pool cannot cover the allocation (capacity is
+	// deprioritized, never destroyed).
 	free := make([]string, 0, len(live))
 	for _, addr := range live {
-		if !used[addr] {
+		if !used[addr] && !a.overloaded[addr] {
+			free = append(free, addr)
+		}
+	}
+	for _, addr := range live {
+		if !used[addr] && a.overloaded[addr] {
 			free = append(free, addr)
 		}
 	}

@@ -60,6 +60,11 @@ type Config struct {
 	// breaker. The zero value keeps the transport's legacy behaviour
 	// (block forever, no retries, no breaker).
 	RPC rpc.Options
+	// Throttle configures per-I/O-node adaptive admission (AIMD window,
+	// hint-paced busy retries, degrade-to-direct under sustained
+	// saturation). The zero value disables throttling; busy responses are
+	// then still honoured with hint-paced retries before degrading.
+	Throttle ThrottleConfig
 	// Telemetry receives the client's metrics (app-labeled series:
 	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
 	// connections it dials. Nil selects a private registry so Stats()
@@ -75,6 +80,8 @@ type Stats struct {
 	ForwardedOps  int64
 	DirectOps     int64
 	FailoverOps   int64
+	ShedResponses int64 // busy responses observed (server-side sheds)
+	DegradedOps   int64 // ops satisfied on the direct path due to overload
 	BytesOut      int64
 	BytesIn       int64
 	RemapsApplied int64
@@ -87,6 +94,7 @@ type Client struct {
 	mu    sync.RWMutex
 	addrs []string               // current allocation (empty = direct)
 	conns map[string]*rpc.Client // address → pooled connection, kept across remaps
+	gates map[string]*ionGate    // address → AIMD throttle gate, kept across remaps
 	ver   uint64
 
 	// Counters live on reg (app-labeled); coupled counters are updated in
@@ -95,6 +103,7 @@ type Client struct {
 	reg   *telemetry.Registry
 	stats struct {
 		forwarded, direct, failover, bytesOut, bytesIn, remaps *telemetry.Counter
+		shed, degraded                                         *telemetry.Counter
 	}
 
 	watchStop func()
@@ -115,7 +124,8 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = DefaultChunkSize
 	}
-	c := &Client{cfg: cfg, conns: make(map[string]*rpc.Client)}
+	cfg.Throttle = cfg.Throttle.withDefaults()
+	c := &Client{cfg: cfg, conns: make(map[string]*rpc.Client), gates: make(map[string]*ionGate)}
 	c.reg = cfg.Telemetry
 	if c.reg == nil {
 		c.reg = telemetry.New()
@@ -127,6 +137,8 @@ func NewClient(cfg Config) (*Client, error) {
 	c.stats.bytesOut = c.reg.Counter("fwd_bytes_out_total" + label)
 	c.stats.bytesIn = c.reg.Counter("fwd_bytes_in_total" + label)
 	c.stats.remaps = c.reg.Counter("fwd_remaps_applied_total" + label)
+	c.stats.shed = c.reg.Counter("fwd_shed_responses_total" + label)
+	c.stats.degraded = c.reg.Counter("fwd_degraded_ops_total" + label)
 	return c, nil
 }
 
@@ -142,6 +154,12 @@ func (c *Client) SetIONs(addrs []string) {
 			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize).
 				WithOptions(c.cfg.RPC).
 				Instrument(c.cfg.Telemetry, c.cfg.Tracer)
+		}
+		if c.cfg.Throttle.Enabled {
+			if _, ok := c.gates[a]; !ok {
+				c.gates[a] = newIonGate(c.cfg.Throttle,
+					c.reg.Gauge(fmt.Sprintf("fwd_throttle_window_x1000{app=%q,ion=%q}", c.cfg.AppID, a)))
+			}
 		}
 	}
 	c.stats.remaps.Add(1)
@@ -223,6 +241,8 @@ func (c *Client) Stats() Stats {
 			ForwardedOps:  c.stats.forwarded.Value(),
 			DirectOps:     c.stats.direct.Value(),
 			FailoverOps:   c.stats.failover.Value(),
+			ShedResponses: c.stats.shed.Value(),
+			DegradedOps:   c.stats.degraded.Value(),
 			BytesOut:      c.stats.bytesOut.Value(),
 			BytesIn:       c.stats.bytesIn.Value(),
 			RemapsApplied: c.stats.remaps.Value(),
@@ -319,6 +339,70 @@ func (c *Client) chunkSpan(off, n int64, fn func(chunkIdx, off, n int64) error) 
 	return nil
 }
 
+// gateFor returns the throttle gate for addr (nil when throttling is off
+// or the address is unknown — both mean "send unthrottled").
+func (c *Client) gateFor(addr string) *ionGate {
+	if !c.cfg.Throttle.Enabled {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gates[addr]
+}
+
+// callION issues one RPC through the overload-protection path: the per-ION
+// AIMD gate (when throttling is enabled), busy responses paced by the
+// server's retry-after hint with jitter, and — after BusyRetries sheds, or
+// immediately while the node is marked saturated — degradation to the
+// direct PFS path. degraded=true means the request was never accepted by
+// the I/O node and the caller must satisfy it directly; resp and err are
+// then meaningless. Transport and application errors pass through
+// untouched so the existing failover and error semantics are unchanged.
+func (c *Client) callION(t *rpc.Client, req *rpc.Message) (resp *rpc.Message, err error, degraded bool) {
+	g := c.gateFor(t.Addr())
+	retries := c.cfg.Throttle.BusyRetries
+	if retries <= 0 {
+		retries = 2 // throttle disabled: still honour hints before degrading
+	}
+	for attempt := 0; ; attempt++ {
+		if g != nil && !g.acquire() {
+			c.stats.degraded.Inc()
+			return nil, nil, true
+		}
+		resp, err = t.Call(req)
+		if err != nil && errors.Is(err, rpc.ErrBusy) {
+			c.stats.shed.Inc()
+			hint, _ := rpc.RetryAfterHint(err)
+			if g != nil {
+				g.onBusy(hint)
+			}
+			if attempt >= retries {
+				c.stats.degraded.Inc()
+				return nil, nil, true
+			}
+			if g == nil {
+				// No gate to pace the retry: sleep the jittered hint here.
+				d := hint
+				if d <= 0 {
+					d = time.Millisecond
+				}
+				time.Sleep(equalJitter(d))
+			}
+			continue
+		}
+		if g != nil {
+			if err != nil && errors.Is(err, rpc.ErrUnavailable) {
+				g.onError()
+			} else {
+				// Success or application error: either way the server took
+				// the request on, so the window may grow.
+				g.onSuccess()
+			}
+		}
+		return resp, err, false
+	}
+}
+
 // errIfClosed guards every file operation: a closed client must fail
 // loudly rather than silently fall back to the direct path.
 func (c *Client) errIfClosed() error {
@@ -336,7 +420,12 @@ func (c *Client) Create(path string) error {
 	tr := c.trace("create", path)
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err := t.Call(&rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		if degraded {
+			err = c.cfg.Direct.Create(path)
+			tr.done(0, "degraded")
+			return err
+		}
 		if errors.Is(err, rpc.ErrUnavailable) {
 			c.stats.failover.Inc()
 			err = c.cfg.Direct.Create(path)
@@ -389,7 +478,17 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 				c.stats.forwarded.Inc()
 				c.stats.bytesOut.Add(e.n)
 			})
-			resp, err := t.Call(&rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()})
+			resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()})
+			if degraded {
+				// The I/O node shed this chunk past the retry budget (or
+				// is marked saturated): write it directly. bytesOut was
+				// already counted for this extent above, and the shed
+				// request was never enqueued, so the byte lands exactly
+				// once.
+				k, derr := c.cfg.Direct.Write(path, e.off, payload)
+				written[i] = k
+				return derr
+			}
 			if err == nil {
 				written[i] = int(resp.Size)
 				return nil
@@ -470,7 +569,18 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 		rel := e.off - off
 		if t := c.route(path, e.idx); t != nil {
 			c.stats.forwarded.Inc()
-			resp, err := t.Call(&rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n, Trace: tr.id()})
+			resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n, Trace: tr.id()})
+			if degraded {
+				// Shed past the retry budget: satisfy this chunk from the
+				// PFS directly with the usual short-read semantics.
+				k, derr := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
+				counts[i] = k
+				c.stats.bytesIn.Add(int64(k))
+				if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
+					return derr
+				}
+				return nil
+			}
 			if resp != nil {
 				counts[i] = copy(p[rel:rel+e.n], resp.Data)
 				c.stats.bytesIn.Add(int64(counts[i]))
@@ -531,7 +641,10 @@ func (c *Client) Stat(path string) (pfs.FileInfo, error) {
 	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err := t.Call(&rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
+		if degraded {
+			return c.cfg.Direct.Stat(path)
+		}
 		if err != nil {
 			if errors.Is(err, rpc.ErrUnavailable) {
 				c.stats.failover.Inc()
@@ -554,7 +667,10 @@ func (c *Client) Remove(path string) error {
 	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err := t.Call(&rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		if degraded {
+			return c.cfg.Direct.Remove(path)
+		}
 		if errors.Is(err, rpc.ErrUnavailable) {
 			c.stats.failover.Inc()
 			return c.cfg.Direct.Remove(path)
@@ -574,7 +690,10 @@ func (c *Client) Fsync(path string) error {
 	defer tr.done(0, "")
 	if t := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err := t.Call(&rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		if degraded {
+			return c.cfg.Direct.Fsync(path)
+		}
 		if errors.Is(err, rpc.ErrUnavailable) {
 			c.stats.failover.Inc()
 			return c.cfg.Direct.Fsync(path)

@@ -17,6 +17,7 @@ package health
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -30,6 +31,17 @@ type Transition struct {
 	Addr string
 	// Up is the new state.
 	Up bool
+}
+
+// Overload is one overloaded/recovered state change of a probed node.
+// Overload is orthogonal to liveness: an overloaded node still answers
+// pings (possibly with a busy response) and keeps serving its current
+// load — it must be *deprioritized* by the arbiter, not removed.
+type Overload struct {
+	// Addr is the I/O-node address whose state changed.
+	Addr string
+	// Overloaded is the new state.
+	Overloaded bool
 }
 
 // Config parameterizes a prober.
@@ -55,15 +67,51 @@ type Config struct {
 	// OnTransition, when non-nil, is invoked synchronously from the probe
 	// goroutine for every up/down transition (e.g. arbiter.MarkDown).
 	OnTransition func(Transition)
+
+	// OverloadQueueDepth marks a sweep as overloaded when the daemon's
+	// reported queue depth is at least this value; ≤0 disables the
+	// depth signal. Daemons report their depth in the ping response
+	// (Size field), so overload detection costs no extra RPCs.
+	OverloadQueueDepth int
+	// OverloadShedDelta marks a sweep as overloaded when the daemon's
+	// cumulative reject counter (ping response Offset field) grew by at
+	// least this much since the previous sweep; ≤0 disables the shed
+	// signal. Overload detection as a whole is active only when at least
+	// one of the two signals is enabled; a ping answered with a busy
+	// response always counts as an overloaded sweep while active (and as
+	// a *successful* probe either way — shedding proves the node alive).
+	OverloadShedDelta int
+	// OverloadThreshold consecutive overloaded sweeps mark a node
+	// overloaded; ≤0 selects 2.
+	OverloadThreshold int
+	// OverloadRecovery consecutive healthy sweeps clear the mark; ≤0
+	// selects 2.
+	OverloadRecovery int
+	// OnOverload, when non-nil, is invoked synchronously from the probe
+	// goroutine for every overloaded/recovered transition (e.g.
+	// arbiter.MarkOverloaded).
+	OnOverload func(Overload)
+
 	// Telemetry receives probe metrics; nil disables them.
 	Telemetry *telemetry.Registry
 }
 
-// nodeState tracks one address's debounced liveness.
+// overloadActive reports whether any overload signal is configured.
+func (c Config) overloadActive() bool {
+	return c.OverloadQueueDepth > 0 || c.OverloadShedDelta > 0
+}
+
+// nodeState tracks one address's debounced liveness and overload.
 type nodeState struct {
 	up    bool
 	fails int // consecutive failures while up
 	rises int // consecutive successes while down
+
+	overloaded  bool
+	hotSweeps   int   // consecutive overloaded sweeps while healthy
+	coolSweeps  int   // consecutive healthy sweeps while overloaded
+	lastRejects int64 // cumulative reject counter from the last sweep
+	sawRejects  bool  // lastRejects holds a real sample (not the zero value)
 }
 
 // Prober pings a fixed set of I/O nodes and reports transitions.
@@ -80,9 +128,12 @@ type Prober struct {
 	done      chan struct{}
 
 	tel struct {
-		probes, failures *telemetry.Counter
-		downs, ups       *telemetry.Counter
-		nodesUp          *telemetry.Gauge
+		probes, failures     *telemetry.Counter
+		downs, ups           *telemetry.Counter
+		overloads, recovers  *telemetry.Counter
+		nodesUp              *telemetry.Gauge
+		nodesOverloaded      *telemetry.Gauge
+		queueDepth, shedRate map[string]*telemetry.Gauge // per ION
 	}
 }
 
@@ -107,6 +158,12 @@ func New(cfg Config) (*Prober, error) {
 	if cfg.RiseThreshold <= 0 {
 		cfg.RiseThreshold = 1
 	}
+	if cfg.OverloadThreshold <= 0 {
+		cfg.OverloadThreshold = 2
+	}
+	if cfg.OverloadRecovery <= 0 {
+		cfg.OverloadRecovery = 2
+	}
 	p := &Prober{
 		cfg:     cfg,
 		clients: make(map[string]*rpc.Client, len(cfg.Addrs)),
@@ -128,8 +185,17 @@ func New(cfg Config) (*Prober, error) {
 	p.tel.failures = reg.Counter("health_probe_failures_total")
 	p.tel.downs = reg.Counter("health_transitions_down_total")
 	p.tel.ups = reg.Counter("health_transitions_up_total")
+	p.tel.overloads = reg.Counter("health_transitions_overloaded_total")
+	p.tel.recovers = reg.Counter("health_transitions_recovered_total")
 	p.tel.nodesUp = reg.Gauge("health_ions_up")
 	p.tel.nodesUp.Set(int64(len(cfg.Addrs)))
+	p.tel.nodesOverloaded = reg.Gauge("health_ions_overloaded")
+	p.tel.queueDepth = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
+	p.tel.shedRate = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
+	for _, addr := range cfg.Addrs {
+		p.tel.queueDepth[addr] = reg.Gauge(fmt.Sprintf("health_ion_queue_depth{ion=%q}", addr))
+		p.tel.shedRate[addr] = reg.Gauge(fmt.Sprintf("health_ion_shed_delta{ion=%q}", addr))
+	}
 	return p, nil
 }
 
@@ -170,7 +236,18 @@ func (p *Prober) Stop() {
 // tests (and callers that want probe timing under their own control) can
 // drive the prober deterministically.
 func (p *Prober) ProbeOnce() {
-	results := make(map[string]bool, len(p.clients))
+	// probeResult is one ping's outcome. A busy (shed) ping proves the
+	// node alive — only transport errors count as probe failures — but it
+	// carries no load sample, so depth/rejects are valid only when loaded
+	// is set.
+	type probeResult struct {
+		ok      bool
+		busy    bool
+		loaded  bool
+		depth   int64
+		rejects int64
+	}
+	results := make(map[string]probeResult, len(p.clients))
 	var (
 		rmu sync.Mutex
 		wg  sync.WaitGroup
@@ -179,24 +256,35 @@ func (p *Prober) ProbeOnce() {
 		wg.Add(1)
 		go func(addr string, cli *rpc.Client) {
 			defer wg.Done()
-			_, err := cli.Call(&rpc.Message{Op: rpc.OpPing})
+			resp, err := cli.Call(&rpc.Message{Op: rpc.OpPing})
+			var r probeResult
+			switch {
+			case err == nil:
+				r = probeResult{ok: true, loaded: true, depth: resp.Size, rejects: resp.Offset}
+			case errors.Is(err, rpc.ErrBusy):
+				r = probeResult{ok: true, busy: true}
+			}
 			rmu.Lock()
-			results[addr] = err == nil
+			results[addr] = r
 			rmu.Unlock()
 		}(addr, cli)
 	}
 	wg.Wait()
 
-	var fired []Transition
+	var (
+		fired     []Transition
+		hotFired  []Overload
+		detecting = p.cfg.overloadActive()
+	)
 	p.mu.Lock()
-	for addr, ok := range results {
+	for addr, r := range results {
 		p.tel.probes.Inc()
-		if !ok {
+		if !r.ok {
 			p.tel.failures.Inc()
 		}
 		st := p.state[addr]
 		switch {
-		case st.up && !ok:
+		case st.up && !r.ok:
 			st.fails++
 			if st.fails >= p.cfg.FailThreshold {
 				st.up = false
@@ -206,9 +294,9 @@ func (p *Prober) ProbeOnce() {
 				p.tel.nodesUp.Add(-1)
 				fired = append(fired, Transition{Addr: addr, Up: false})
 			}
-		case st.up && ok:
+		case st.up && r.ok:
 			st.fails = 0
-		case !st.up && ok:
+		case !st.up && r.ok:
 			st.rises++
 			if st.rises >= p.cfg.RiseThreshold {
 				st.up = true
@@ -221,6 +309,54 @@ func (p *Prober) ProbeOnce() {
 		default: // down and still failing
 			st.rises = 0
 		}
+
+		// Load bookkeeping and overload debouncing: export the sampled
+		// depth and per-sweep shed delta unconditionally, transition
+		// state only while a signal is configured.
+		var shedDelta int64
+		if r.loaded {
+			p.tel.queueDepth[addr].Set(r.depth)
+			if st.sawRejects && r.rejects >= st.lastRejects {
+				shedDelta = r.rejects - st.lastRejects
+			}
+			st.lastRejects = r.rejects
+			st.sawRejects = true
+			p.tel.shedRate[addr].Set(shedDelta)
+		}
+		if !detecting {
+			continue
+		}
+		hot := r.busy ||
+			(r.loaded && p.cfg.OverloadQueueDepth > 0 && r.depth >= int64(p.cfg.OverloadQueueDepth)) ||
+			(r.loaded && p.cfg.OverloadShedDelta > 0 && shedDelta >= int64(p.cfg.OverloadShedDelta))
+		switch {
+		case !r.ok:
+			// Dead-looking sweeps feed the liveness thresholds, not the
+			// overload ones; hold the overload state as-is.
+		case !st.overloaded && hot:
+			st.coolSweeps = 0
+			st.hotSweeps++
+			if st.hotSweeps >= p.cfg.OverloadThreshold {
+				st.overloaded = true
+				st.hotSweeps = 0
+				p.tel.overloads.Inc()
+				p.tel.nodesOverloaded.Add(1)
+				hotFired = append(hotFired, Overload{Addr: addr, Overloaded: true})
+			}
+		case !st.overloaded:
+			st.hotSweeps = 0
+		case st.overloaded && !hot:
+			st.coolSweeps++
+			if st.coolSweeps >= p.cfg.OverloadRecovery {
+				st.overloaded = false
+				st.coolSweeps = 0
+				p.tel.recovers.Inc()
+				p.tel.nodesOverloaded.Add(-1)
+				hotFired = append(hotFired, Overload{Addr: addr, Overloaded: false})
+			}
+		default: // overloaded and still hot
+			st.coolSweeps = 0
+		}
 	}
 	p.mu.Unlock()
 
@@ -231,6 +367,11 @@ func (p *Prober) ProbeOnce() {
 			p.cfg.OnTransition(tr)
 		}
 	}
+	if p.cfg.OnOverload != nil {
+		for _, ov := range hotFired {
+			p.cfg.OnOverload(ov)
+		}
+	}
 }
 
 // IsUp reports the debounced state of addr (false for unknown addresses).
@@ -239,6 +380,28 @@ func (p *Prober) IsUp(addr string) bool {
 	defer p.mu.Unlock()
 	st, ok := p.state[addr]
 	return ok && st.up
+}
+
+// IsOverloaded reports the debounced overload state of addr (false for
+// unknown addresses).
+func (p *Prober) IsOverloaded(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[addr]
+	return ok && st.overloaded
+}
+
+// Overloaded returns the addresses currently marked overloaded.
+func (p *Prober) Overloaded() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for addr, st := range p.state {
+		if st.overloaded {
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // Down returns the addresses currently marked down.

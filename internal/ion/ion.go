@@ -7,6 +7,7 @@
 package ion
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -51,6 +52,23 @@ type Config struct {
 	// Dispatchers is the PFS worker-pool width; ≤0 selects 2 (matching
 	// the performance model's DispatchWidth).
 	Dispatchers int
+	// QueueCap bounds the AGIOS queue: at QueueCap pending requests the
+	// daemon sheds new data requests with a busy response (retry-after
+	// hint attached) instead of enqueueing, until dispatch drains the
+	// queue to QueueLowWater. ≤0 keeps the historical unbounded queue.
+	QueueCap int
+	// QueueLowWater is the resume-admission threshold for a bounded
+	// queue; ≤0 selects QueueCap/2.
+	QueueLowWater int
+	// RetryAfterHint is attached to queue-full busy responses so clients
+	// can pace their retries; ≤0 selects 2ms.
+	RetryAfterHint time.Duration
+	// MaxInflight caps requests concurrently inside the RPC handler
+	// (shed with a busy response above it); ≤0 means unlimited.
+	MaxInflight int
+	// MaxConns caps concurrently served RPC connections (closed at accept
+	// above it); ≤0 means unlimited.
+	MaxConns int
 	// Telemetry receives the daemon's metrics (per-node labeled series:
 	// ion_writes_total{node="…"}, …). Nil selects a private registry so
 	// Stats() always works; pass the stack-wide registry to aggregate
@@ -95,11 +113,17 @@ func New(cfg Config, backend Backend) *Daemon {
 	if cfg.Dispatchers <= 0 {
 		cfg.Dispatchers = 2
 	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = 2 * time.Millisecond
+	}
 	d := &Daemon{
 		cfg:     cfg,
 		backend: backend,
 		queue:   agios.NewQueue(cfg.Scheduler),
 		tracer:  cfg.Tracer,
+	}
+	if cfg.QueueCap > 0 {
+		d.queue.SetCapacity(cfg.QueueCap, cfg.QueueLowWater)
 	}
 	d.reg = cfg.Telemetry
 	if d.reg == nil {
@@ -117,7 +141,13 @@ func New(cfg Config, backend Backend) *Daemon {
 	d.tel.dispatchLatency = d.reg.Histogram("ion_dispatch_latency_seconds"+label, telemetry.LatencyBuckets())
 	d.tel.requestBytes = d.reg.Histogram("ion_request_bytes"+label, telemetry.SizeBuckets())
 	d.queue.Instrument(d.reg, label)
-	d.server = rpc.NewServer(d.handle)
+	d.server = rpc.NewServer(d.handle).
+		WithLimits(rpc.ServerLimits{
+			MaxConns:    cfg.MaxConns,
+			MaxInflight: cfg.MaxInflight,
+			RetryAfter:  cfg.RetryAfterHint,
+		}).
+		Instrument(d.reg, label)
 	return d
 }
 
@@ -160,6 +190,12 @@ func (d *Daemon) ID() string { return d.cfg.ID }
 
 // SchedulerName reports which AGIOS scheduler the daemon runs.
 func (d *Daemon) SchedulerName() string { return d.queue.SchedulerName() }
+
+// QueueDepth reports the pending requests in the scheduler queue.
+func (d *Daemon) QueueDepth() int { return d.queue.Len() }
+
+// QueueSaturated reports whether the bounded queue is currently shedding.
+func (d *Daemon) QueueSaturated() bool { return d.queue.Saturated() }
 
 // Close stops the RPC server, drains the queue, and waits for dispatchers.
 func (d *Daemon) Close() error {
@@ -211,14 +247,14 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 	resp := &rpc.Message{Op: m.Op, Path: m.Path, Trace: m.Trace}
 	switch m.Op {
 	case rpc.OpPing:
+		// Pings double as load reports: Size carries the scheduler queue
+		// depth and Offset the cumulative queue rejects, so the health
+		// prober can observe saturation without a second op or RPC.
 		resp.Data = []byte(d.cfg.ID)
+		resp.Size = int64(d.queue.Len())
+		resp.Offset = d.tel.rejects.Value()
 
 	case rpc.OpWrite:
-		d.reg.Update(func() {
-			d.tel.writes.Inc()
-			d.tel.bytesIn.Add(int64(len(m.Data)))
-		})
-		d.tel.requestBytes.Observe(float64(len(m.Data)))
 		done := make(chan error, 1)
 		req := &agios.Request{
 			Path:   m.Path,
@@ -232,10 +268,16 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 			},
 		}
 		if err := d.queue.Push(req); err != nil {
-			d.tel.rejects.Inc()
-			resp.Err = err.Error()
-			return resp
+			return d.pushFailed(resp, err)
 		}
+		// Admission succeeded: only now does the request count as
+		// ingested (a shed write was never taken on, so its bytes must
+		// not appear in the daemon's intake).
+		d.reg.Update(func() {
+			d.tel.writes.Inc()
+			d.tel.bytesIn.Add(int64(len(m.Data)))
+		})
+		d.tel.requestBytes.Observe(float64(len(m.Data)))
 		if err := <-done; err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -243,8 +285,6 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 		resp.Size = int64(len(m.Data))
 
 	case rpc.OpRead:
-		d.tel.reads.Inc()
-		d.tel.requestBytes.Observe(float64(m.Size))
 		done := make(chan error, 1)
 		req := &agios.Request{
 			Path:   m.Path,
@@ -257,10 +297,10 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 			},
 		}
 		if err := d.queue.Push(req); err != nil {
-			d.tel.rejects.Inc()
-			resp.Err = err.Error()
-			return resp
+			return d.pushFailed(resp, err)
 		}
+		d.tel.reads.Inc()
+		d.tel.requestBytes.Observe(float64(m.Size))
 		err := <-done
 		resp.Data = req.Data // dispatcher stored the bytes read
 		resp.Size = int64(len(req.Data))
@@ -299,6 +339,21 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 	default:
 		resp.Err = fmt.Sprintf("ion: unsupported op %s", m.Op)
 	}
+	return resp
+}
+
+// pushFailed turns a queue-admission failure into the right wire response:
+// a saturated queue sheds with a typed busy response (the client may retry
+// after the hint), a closed queue answers with a terminal error. Both
+// count as queue rejects.
+func (d *Daemon) pushFailed(resp *rpc.Message, err error) *rpc.Message {
+	d.tel.rejects.Inc()
+	if errors.Is(err, agios.ErrQueueFull) {
+		resp.Busy = true
+		resp.RetryAfter = d.cfg.RetryAfterHint
+		return resp
+	}
+	resp.Err = err.Error()
 	return resp
 }
 

@@ -64,10 +64,47 @@ type Config struct {
 	HealthFailThreshold int
 	HealthRiseThreshold int
 
+	// QueueCap bounds each daemon's AGIOS queue (requests); >0 enables
+	// bounded admission — past the cap, requests are answered with a busy
+	// response instead of queued. 0 keeps the legacy unbounded queue.
+	QueueCap int
+	// QueueLowWater is the drain level at which a saturated queue resumes
+	// admitting; ≤0 selects half of QueueCap.
+	QueueLowWater int
+	// MaxInflight bounds concurrently-handled requests per daemon (shed
+	// above it); 0 = unlimited.
+	MaxInflight int
+	// MaxConns bounds accepted client connections per daemon; 0 =
+	// unlimited.
+	MaxConns int
+	// RetryAfterHint is carried on busy responses; ≤0 selects the daemon
+	// default.
+	RetryAfterHint time.Duration
+	// Throttle configures adaptive per-ION client throttling (AIMD
+	// window) on every forwarding client this stack creates. The zero
+	// value disables throttling.
+	Throttle fwd.ThrottleConfig
+
+	// OverloadQueueDepth / OverloadShedDelta / OverloadThreshold /
+	// OverloadRecovery configure the prober's overload detection (see
+	// health.Config); detected transitions feed the arbiter
+	// (MarkOverloaded/MarkRecovered) so load is steered away from
+	// saturated I/O nodes without removing them from the pool. Overload
+	// detection requires HealthInterval > 0 and at least one of the two
+	// signal thresholds.
+	OverloadQueueDepth int
+	OverloadShedDelta  int
+	OverloadThreshold  int
+	OverloadRecovery   int
+
 	// WrapListener, when non-nil, interposes on each daemon's listener
 	// before it starts serving — the hook chaos tests use to inject
 	// network faults (faultnet.WrapListener) on a chosen I/O node.
 	WrapListener func(ionIndex int, ln net.Listener) net.Listener
+	// WrapBackend, when non-nil, interposes on each daemon's storage
+	// backend — the hook chaos tests use to slow one I/O node down
+	// (faultfs) and force it into overload.
+	WrapBackend func(ionIndex int, b ion.Backend) ion.Backend
 }
 
 // Stack is a running live system.
@@ -125,13 +162,22 @@ func Start(cfg Config) (*Stack, error) {
 			st.Close()
 			return nil, err
 		}
+		var backend ion.Backend = st.Store
+		if cfg.WrapBackend != nil {
+			backend = cfg.WrapBackend(i, backend)
+		}
 		d := ion.New(ion.Config{
-			ID:          fmt.Sprintf("ion%02d", i),
-			Scheduler:   sched,
-			Dispatchers: cfg.Dispatchers,
-			Telemetry:   reg,
-			Tracer:      tracer,
-		}, st.Store)
+			ID:             fmt.Sprintf("ion%02d", i),
+			Scheduler:      sched,
+			Dispatchers:    cfg.Dispatchers,
+			Telemetry:      reg,
+			Tracer:         tracer,
+			QueueCap:       cfg.QueueCap,
+			QueueLowWater:  cfg.QueueLowWater,
+			MaxInflight:    cfg.MaxInflight,
+			MaxConns:       cfg.MaxConns,
+			RetryAfterHint: cfg.RetryAfterHint,
+		}, backend)
 		addr, err := startDaemon(d, i, cfg.WrapListener)
 		if err != nil {
 			st.Close()
@@ -149,12 +195,16 @@ func Start(cfg Config) (*Stack, error) {
 
 	if cfg.HealthInterval > 0 {
 		prober, err := health.New(health.Config{
-			Addrs:         st.Addrs,
-			Interval:      cfg.HealthInterval,
-			Timeout:       cfg.HealthTimeout,
-			FailThreshold: cfg.HealthFailThreshold,
-			RiseThreshold: cfg.HealthRiseThreshold,
-			Telemetry:     reg,
+			Addrs:              st.Addrs,
+			Interval:           cfg.HealthInterval,
+			Timeout:            cfg.HealthTimeout,
+			FailThreshold:      cfg.HealthFailThreshold,
+			RiseThreshold:      cfg.HealthRiseThreshold,
+			OverloadQueueDepth: cfg.OverloadQueueDepth,
+			OverloadShedDelta:  cfg.OverloadShedDelta,
+			OverloadThreshold:  cfg.OverloadThreshold,
+			OverloadRecovery:   cfg.OverloadRecovery,
+			Telemetry:          reg,
 			OnTransition: func(tr health.Transition) {
 				// MarkDown/MarkUp errors are advisory here: even when a
 				// re-solve fails, the arbiter has already published a
@@ -163,6 +213,15 @@ func Start(cfg Config) (*Stack, error) {
 					arb.MarkUp(tr.Addr)
 				} else {
 					arb.MarkDown(tr.Addr)
+				}
+			},
+			OnOverload: func(ov health.Overload) {
+				// Errors are advisory for the same reason: an overloaded
+				// node is still valid to route to, just undesirable.
+				if ov.Overloaded {
+					arb.MarkOverloaded(ov.Addr)
+				} else {
+					arb.MarkRecovered(ov.Addr)
 				}
 			},
 		})
@@ -198,6 +257,7 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 		Direct:    s.Store,
 		ChunkSize: s.cfg.ChunkSize,
 		RPC:       s.cfg.RPC,
+		Throttle:  s.cfg.Throttle,
 		Telemetry: s.Telemetry,
 		Tracer:    s.Tracer,
 	})

@@ -1,0 +1,292 @@
+package livestack
+
+// Storm test: the overload-protection acceptance scenario. A 12-ION stack
+// with shallow bounded queues takes a client burst while one allocated ION
+// is slowed to a crawl (faultfs latency injection on its backend). The
+// properties asserted are the contract of this layer cake:
+//
+//   - byte conservation — every byte of both apps lands exactly once,
+//     whether a chunk was forwarded, shed-and-retried, or degraded to the
+//     direct PFS path;
+//   - sheds are not failures — with a hair-trigger breaker configured,
+//     zero breaker trips, zero failovers, zero down transitions;
+//   - the slow node is detected as overloaded (not dead) and the arbiter
+//     steers load away without shrinking the pool;
+//   - a well-behaved app keeps a bounded p99 while the burst rages;
+//   - the counters balance: busy responses received never exceed busy
+//     responses sent, and client-observed sheds never exceed receipts.
+//
+// `make storm` runs this twice under the race detector.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/fwd"
+	"repro/internal/ion"
+	"repro/internal/rpc"
+)
+
+// slowableBackend interposes a faultfs latency injector on an I/O node's
+// storage backend, armable after the stack is up — the test only knows
+// which ION to slow once the arbiter has allocated the burst app.
+type slowableBackend struct {
+	ion.Backend
+	slow  ion.Backend
+	armed atomic.Bool
+}
+
+func (s *slowableBackend) WriteAs(writer, path string, off int64, p []byte) (int, error) {
+	if s.armed.Load() {
+		return s.slow.WriteAs(writer, path, off, p)
+	}
+	return s.Backend.WriteAs(writer, path, off, p)
+}
+
+func TestStormSlowIONShedsThrottleAndSteer(t *testing.T) {
+	const ions = 12
+	backends := make([]*slowableBackend, ions)
+	st, err := Start(Config{
+		IONs:        ions,
+		Scheduler:   "FIFO",
+		ChunkSize:   4096,
+		Dispatchers: 1,
+		RPC: rpc.Options{
+			CallTimeout:  2 * time.Second,
+			MaxRetries:   1,
+			RetryBackoff: time.Millisecond,
+			// Hair-trigger breaker: a single shed misclassified as a
+			// transport failure would open it and fail the test.
+			BreakerThreshold: 2,
+			BreakerCooldown:  30 * time.Second,
+		},
+
+		QueueCap:       2,
+		QueueLowWater:  1,
+		MaxInflight:    24,
+		RetryAfterHint: time.Millisecond,
+		Throttle: fwd.ThrottleConfig{
+			Enabled:         true,
+			MinWindow:       1,
+			MaxWindow:       8,
+			BusyRetries:     1,
+			DegradeAfter:    3,
+			RetryAfterFloor: time.Millisecond,
+			RetryAfterCap:   4 * time.Millisecond,
+		},
+
+		HealthInterval:    10 * time.Millisecond,
+		HealthTimeout:     250 * time.Millisecond,
+		OverloadShedDelta: 1,
+		OverloadThreshold: 1,
+		OverloadRecovery:  5,
+
+		WrapBackend: func(i int, b ion.Backend) ion.Backend {
+			sb := &slowableBackend{
+				Backend: b,
+				slow: faultfs.Wrap(b, faultfs.Config{
+					DelayEvery: 1,
+					Delay:      4 * time.Millisecond,
+					Kind:       faultfs.KindWrite,
+				}),
+			}
+			backends[i] = sb
+			return sb
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	burst, err := st.NewClient("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := st.NewClient("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated, err := st.Arbiter.JobStarted(appFor(t, "IOR-MPI", "burst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocated) == 0 {
+		t.Fatal("no allocation for the burst app")
+	}
+	if _, err := st.Arbiter.JobStarted(appFor(t, "BT-C", "steady")); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForSomeAllocation(burst, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForSomeAllocation(steady, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow down one ION the burst app is actually mapped to.
+	slowAddr := allocated[0]
+	for i, a := range st.Addrs {
+		if a == slowAddr {
+			backends[i].armed.Store(true)
+		}
+	}
+
+	if err := burst.Create("/storm/burst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := steady.Create("/storm/steady"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: 8 concurrent writers hammer disjoint extents of one file
+	// while the well-behaved app writes sequentially, timing every call.
+	const (
+		writers     = 8
+		segsPer     = 16
+		segSize     = 16 * 1024 // 4 chunks per segment
+		burstTotal  = writers * segsPer * segSize
+		steadyOps   = 64
+		steadySize  = 4096 // single chunk: the polite citizen
+		steadyTotal = steadyOps * steadySize
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seg := make([]byte, segSize)
+			for s := 0; s < segsPer; s++ {
+				off := int64(w*segsPer+s) * segSize
+				fill(off, seg)
+				n, err := burst.Write("/storm/burst", off, seg)
+				if err != nil || n != segSize {
+					t.Errorf("burst writer %d seg %d: n=%d err=%v", w, s, n, err)
+					return
+				}
+			}
+		}(w)
+	}
+	latencies := make([]time.Duration, 0, steadyOps)
+	buf := make([]byte, steadySize)
+	for s := 0; s < steadyOps; s++ {
+		off := int64(s) * steadySize
+		fill(off, buf)
+		t0 := time.Now()
+		n, err := steady.Write("/storm/steady", off, buf)
+		latencies = append(latencies, time.Since(t0))
+		if err != nil || n != steadySize {
+			t.Fatalf("steady write %d: n=%d err=%v", s, n, err)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Byte conservation: both files complete and correct, through the
+	// clients and straight from the PFS.
+	for _, f := range []struct {
+		name   string
+		client interface {
+			Read(string, int64, []byte) (int, error)
+		}
+		total int
+	}{
+		{"/storm/burst", burst, burstTotal},
+		{"/storm/steady", steady, steadyTotal},
+	} {
+		got := make([]byte, f.total)
+		if n, err := f.client.Read(f.name, 0, got); err != nil || n != f.total {
+			t.Fatalf("read %s through client: n=%d err=%v", f.name, n, err)
+		}
+		for i := range got {
+			if got[i] != pat(int64(i)) {
+				t.Fatalf("%s byte %d corrupted: got %d want %d", f.name, i, got[i], pat(int64(i)))
+			}
+		}
+		direct := make([]byte, f.total)
+		if n, err := st.Store.Read(f.name, 0, direct); err != nil || n != f.total {
+			t.Fatalf("read %s from store: n=%d err=%v", f.name, n, err)
+		}
+	}
+
+	reg := st.Telemetry
+	// Snapshot receipt-side counters before send-side ones so that the
+	// "received ≤ sent" audit cannot be raced by an in-flight probe ping.
+	busyReceived := reg.Counter("rpc_busy_responses_total").Value()
+	shedBurst := reg.Counter(`fwd_shed_responses_total{app="burst"}`).Value()
+	shedSteady := reg.Counter(`fwd_shed_responses_total{app="steady"}`).Value()
+	var rejects, serverSheds int64
+	for i, d := range st.Daemons {
+		rejects += d.Stats().QueueRejects
+		serverSheds += reg.Counter(fmt.Sprintf("rpc_server_shed_total{node=%q}", fmt.Sprintf("ion%02d", i))).Value()
+	}
+
+	// Exactly-once accounting survived the sheds, retries, and degrades.
+	if v := reg.Counter(`fwd_bytes_out_total{app="burst"}`).Value(); v != burstTotal {
+		t.Fatalf(`fwd_bytes_out_total{app="burst"} = %d, want %d`, v, burstTotal)
+	}
+	if v := reg.Counter(`fwd_bytes_out_total{app="steady"}`).Value(); v != steadyTotal {
+		t.Fatalf(`fwd_bytes_out_total{app="steady"} = %d, want %d`, v, steadyTotal)
+	}
+
+	// Overload was real and was shed, not buffered.
+	if rejects == 0 {
+		t.Fatal("the slow ION never rejected a request: the storm did not saturate the bounded queue")
+	}
+	if shedBurst == 0 {
+		t.Fatal("the burst app never observed a shed response")
+	}
+	if shedBurst+shedSteady > busyReceived {
+		t.Fatalf("clients counted %d sheds but only %d busy responses were received", shedBurst+shedSteady, busyReceived)
+	}
+	if sent := rejects + serverSheds; busyReceived > sent {
+		t.Fatalf("%d busy responses received but only %d sent (%d queue rejects + %d server sheds)", busyReceived, sent, rejects, serverSheds)
+	}
+
+	// Sheds are backpressure, not failure: with BreakerThreshold=2 a single
+	// misclassification would trip a breaker, fail a chunk over, or mark a
+	// node down. None of that may happen.
+	if v := reg.Counter("rpc_breaker_open_total").Value(); v != 0 {
+		t.Fatalf("rpc_breaker_open_total = %d, want 0 — a shed tripped the circuit breaker", v)
+	}
+	if v := reg.Counter("rpc_deadline_expired_total").Value(); v != 0 {
+		t.Fatalf("rpc_deadline_expired_total = %d, want 0", v)
+	}
+	if v := reg.Counter(`fwd_failover_ops_total{app="burst"}`).Value() +
+		reg.Counter(`fwd_failover_ops_total{app="steady"}`).Value(); v != 0 {
+		t.Fatalf("fwd_failover_ops_total = %d, want 0 — sheds must degrade, not fail over", v)
+	}
+	if v := reg.Counter("health_transitions_down_total").Value(); v != 0 {
+		t.Fatalf("health_transitions_down_total = %d, want 0 — slow is not dead", v)
+	}
+	if v := reg.Counter("arbiter_marked_down_total").Value(); v != 0 {
+		t.Fatalf("arbiter_marked_down_total = %d, want 0", v)
+	}
+	if v := reg.Gauge("arbiter_ions_live").Value(); v != ions {
+		t.Fatalf("arbiter_ions_live = %d, want %d — overload must not shrink the pool", v, ions)
+	}
+
+	// The prober read the load reports and the arbiter steered.
+	if v := reg.Counter("health_transitions_overloaded_total").Value(); v == 0 {
+		t.Fatal("the slow ION was never detected as overloaded")
+	}
+	if v := reg.Counter("arbiter_marked_overloaded_total").Value(); v == 0 {
+		t.Fatal("the arbiter never steered load away from the overloaded ION")
+	}
+
+	// The polite app was never starved: generous but real p99 bound, far
+	// below the 2s call timeout (the pre-backpressure failure mode would be
+	// unbounded queueing behind the burst on the slow ION).
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if p99 > time.Second {
+		t.Fatalf("steady-app p99 write latency = %v, want ≤ 1s", p99)
+	}
+}

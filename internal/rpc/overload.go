@@ -1,0 +1,88 @@
+// Overload protection for the rpc layer. Two halves compose:
+//
+//   - server-side admission limits (ServerLimits): a cap on concurrent
+//     connections and a cap on in-flight requests. Above the in-flight cap
+//     the server answers with a typed *busy* response — a shed — carrying a
+//     retry-after hint, instead of queueing unbounded work behind the
+//     handler;
+//   - client-side classification: a busy response becomes a BusyError. It
+//     is deliberately neither a transport failure (the exchange completed;
+//     the server is provably alive, so it must never feed the circuit
+//     breaker or burn transport retries) nor an application error (the
+//     request was never attempted, so replaying it later is the right
+//     reaction, which the fwd layer's adaptive throttle does).
+//
+// Both caps are opt-in: the zero ServerLimits preserves the historical
+// accept-everything behavior exactly.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBusy is the sentinel every busy (shed) response wraps; match with
+// errors.Is. The concrete error is a *BusyError carrying the server's
+// retry-after hint.
+var ErrBusy = errors.New("rpc: server busy")
+
+// BusyError is the client-side form of a shed response.
+type BusyError struct {
+	// Addr is the server that shed the request.
+	Addr string
+	// RetryAfter is the server's hint for when to try again (0 = none).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("rpc: server busy: %s (retry after %v)", e.Addr, e.RetryAfter)
+	}
+	return fmt.Sprintf("rpc: server busy: %s", e.Addr)
+}
+
+// Is makes errors.Is(err, ErrBusy) match a *BusyError.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// RetryAfterHint extracts the server's retry-after hint from a busy error
+// chain (ok=false when err carries no busy response).
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return be.RetryAfter, true
+	}
+	return 0, false
+}
+
+// ServerLimits bounds a server's concurrent work. The zero value keeps the
+// historical behavior: every connection accepted, every request handled.
+type ServerLimits struct {
+	// MaxConns caps concurrently served connections; a connection arriving
+	// above the cap is closed at accept (counted, never handled). ≤0 means
+	// unlimited.
+	MaxConns int
+	// MaxInflight caps requests concurrently inside the handler; a request
+	// arriving above the cap is answered with a busy response instead of
+	// being dispatched. ≤0 means unlimited.
+	MaxInflight int
+	// RetryAfter is the hint attached to in-flight-cap busy responses;
+	// ≤0 selects 2ms.
+	RetryAfter time.Duration
+}
+
+// withDefaults fills derived defaults for enabled limits.
+func (l ServerLimits) withDefaults() ServerLimits {
+	if l.MaxInflight > 0 && l.RetryAfter <= 0 {
+		l.RetryAfter = 2 * time.Millisecond
+	}
+	return l
+}
+
+// busyResponse builds the shed response for req: same op and trace (so the
+// client's matching and tracing still line up), busy flag set, hint
+// attached.
+func busyResponse(req *Message, retryAfter time.Duration) *Message {
+	return &Message{Op: req.Op, Path: req.Path, Trace: req.Trace, Busy: true, RetryAfter: retryAfter}
+}

@@ -9,6 +9,8 @@
 //
 //	uint32  frame length (bytes after this field)
 //	uint8   opcode
+//	uint8   flags       (bit 0: busy — the server shed this request)
+//	uint32  retry-after (microseconds; busy responses only, else 0)
 //	uint64  trace id   (0 = untraced; see internal/telemetry)
 //	uint16  path length
 //	bytes   path
@@ -25,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 )
 
 // Op identifies the remote operation.
@@ -77,7 +81,20 @@ type Message struct {
 	// the wire so server-side layers can append hops to the same record.
 	// Zero means untraced; servers echo it back in responses.
 	Trace uint64
+	// Busy marks a shed response: the server is alive but refused to take
+	// the request on (queue above its high watermark, in-flight cap hit).
+	// A busy response is NOT a transport failure — the exchange completed
+	// — and NOT an application error: the request was never attempted.
+	// Clients surface it as a BusyError so the forwarding layer can
+	// throttle and retry instead of failing over or tripping breakers.
+	Busy bool
+	// RetryAfter is the server's hint for when to try again (busy
+	// responses only). Encoded on the wire as whole microseconds.
+	RetryAfter time.Duration
 }
+
+// Flag bits for the frame's flags byte.
+const flagBusy = 1 << 0
 
 // MaxFrame bounds a single frame (a forwarded request carries at most one
 // chunk, so this is generous).
@@ -118,12 +135,20 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if err := validateMessage(m); err != nil {
 		return err
 	}
-	n := 1 + 8 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
+	n := 1 + 1 + 4 + 8 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
 	buf := make([]byte, 4+n)
 	binary.BigEndian.PutUint32(buf[0:], uint32(n))
 	p := 4
 	buf[p] = byte(m.Op)
 	p++
+	var flags byte
+	if m.Busy {
+		flags |= flagBusy
+	}
+	buf[p] = flags
+	p++
+	binary.BigEndian.PutUint32(buf[p:], retryAfterMicros(m.RetryAfter))
+	p += 4
 	binary.BigEndian.PutUint64(buf[p:], m.Trace)
 	p += 8
 	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Path)))
@@ -165,11 +190,15 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		}
 		return nil
 	}
-	if err := need(11); err != nil {
+	if err := need(16); err != nil {
 		return nil, err
 	}
 	m.Op = Op(buf[p])
 	p++
+	m.Busy = buf[p]&flagBusy != 0
+	p++
+	m.RetryAfter = time.Duration(binary.BigEndian.Uint32(buf[p:])) * time.Microsecond
+	p += 4
 	m.Trace = binary.BigEndian.Uint64(buf[p:])
 	p += 8
 	pathLen := int(binary.BigEndian.Uint16(buf[p:]))
@@ -202,4 +231,18 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		m.Err = string(buf[p : p+errLen])
 	}
 	return m, nil
+}
+
+// retryAfterMicros converts a retry-after hint to its wire encoding:
+// whole microseconds, saturating at the uint32 ceiling (~71 minutes —
+// far beyond any sane hint) and clamping negatives to zero.
+func retryAfterMicros(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	us := d.Microseconds()
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -18,17 +19,48 @@ type Handler func(*Message) *Message
 // Handler. The zero value is unusable; construct with NewServer.
 type Server struct {
 	handler Handler
+	limits  ServerLimits
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	inflight atomic.Int64
+
+	// Telemetry handles are nil on an uninstrumented server; every method
+	// on them is then a no-op (see internal/telemetry).
+	tel struct {
+		shed, connLimitCloses *telemetry.Counter
+		connsGauge, inflGauge *telemetry.Gauge
+	}
 }
 
 // NewServer returns a server that dispatches every request to handler.
 func NewServer(handler Handler) *Server {
 	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// WithLimits installs admission limits (see ServerLimits). Call before
+// Listen. Returns s for chaining.
+func (s *Server) WithLimits(l ServerLimits) *Server {
+	s.limits = l.withDefaults()
+	return s
+}
+
+// Instrument attaches overload metrics to the server: requests shed at the
+// in-flight cap, connections closed at the connection cap, and live
+// connection/in-flight gauges. label is an optional Prometheus label set
+// (e.g. `{node="ion00"}`) so per-daemon servers stay distinguishable in
+// one registry. Call before Listen; reg may be nil. Returns s for
+// chaining.
+func (s *Server) Instrument(reg *telemetry.Registry, label string) *Server {
+	s.tel.shed = reg.Counter("rpc_server_shed_total" + label)
+	s.tel.connLimitCloses = reg.Counter("rpc_server_conn_limit_closes_total" + label)
+	s.tel.connsGauge = reg.Gauge("rpc_server_conns" + label)
+	s.tel.inflGauge = reg.Gauge("rpc_server_inflight" + label)
+	return s
 }
 
 // Listen binds the server to addr ("host:port", empty port for ephemeral)
@@ -77,7 +109,19 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+			// Connection cap: a hard resource guard, closed before any
+			// bytes flow. Unlike a shed (which needs an accepted request
+			// to answer), this is indistinguishable from a transport
+			// failure to the peer — so it defaults off and request-level
+			// shedding (MaxInflight, queue caps) is the polite first line.
+			s.mu.Unlock()
+			s.tel.connLimitCloses.Inc()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
+		s.tel.connsGauge.Set(int64(len(s.conns)))
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
@@ -89,6 +133,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
+		s.tel.connsGauge.Set(int64(len(s.conns)))
 		s.mu.Unlock()
 		conn.Close()
 	}()
@@ -97,7 +142,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken connection
 		}
-		resp := s.handler(req)
+		resp := s.dispatch(req)
 		if resp == nil {
 			resp = &Message{Op: req.Op}
 		}
@@ -105,6 +150,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatch applies the in-flight cap around one handler invocation: a
+// request arriving above MaxInflight is shed with a busy response instead
+// of entering the handler, so a flood of connections cannot queue
+// unbounded work behind the daemon.
+func (s *Server) dispatch(req *Message) *Message {
+	if s.limits.MaxInflight <= 0 {
+		return s.handler(req)
+	}
+	if n := s.inflight.Add(1); n > int64(s.limits.MaxInflight) {
+		s.inflight.Add(-1)
+		s.tel.shed.Inc()
+		return busyResponse(req, s.limits.RetryAfter)
+	}
+	s.tel.inflGauge.Set(s.inflight.Load())
+	defer func() {
+		s.tel.inflGauge.Set(s.inflight.Add(-1))
+	}()
+	return s.handler(req)
 }
 
 // Close stops accepting, closes every open connection, and waits for the
@@ -151,6 +216,7 @@ type Client struct {
 		deadlineExpired, retries             *telemetry.Counter
 		breakerOpens, breakerProbes          *telemetry.Counter
 		breakerCloses, breakerRejects        *telemetry.Counter
+		busyResponses                        *telemetry.Counter
 		latency                              *telemetry.Histogram
 	}
 	tracer *telemetry.Tracer
@@ -213,6 +279,7 @@ func (c *Client) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) *
 	c.tel.breakerProbes = reg.Counter("rpc_breaker_half_open_probes_total")
 	c.tel.breakerCloses = reg.Counter("rpc_breaker_close_total")
 	c.tel.breakerRejects = reg.Counter("rpc_breaker_rejected_total")
+	c.tel.busyResponses = reg.Counter("rpc_busy_responses_total")
 	c.tel.latency = reg.Histogram("rpc_call_latency_seconds", telemetry.LatencyBuckets())
 	c.tracer = tracer
 	return c
@@ -390,6 +457,7 @@ type errClass int
 const (
 	classOK        errClass = iota
 	classApp                // server responded with an application error
+	classBusy               // server shed the request: alive, not retried here
 	classLocal              // client-side condition (closed, bad message): permanent
 	classTransport          // dial/exchange failure: retryable, trips the breaker
 )
@@ -414,6 +482,15 @@ func (c *Client) call(req *Message) (*Message, error) {
 			if c.brk != nil && c.brk.onSuccess() {
 				c.tel.breakerCloses.Inc()
 			}
+			return resp, err
+		case classBusy:
+			// A shed proves the server alive: a breaker success, never a
+			// transport retry. The caller (the fwd throttle) decides when
+			// — and whether — to replay, honoring the retry-after hint.
+			if c.brk != nil && c.brk.onSuccess() {
+				c.tel.breakerCloses.Inc()
+			}
+			c.tel.busyResponses.Inc()
 			return resp, err
 		case classLocal:
 			return resp, err
@@ -460,6 +537,9 @@ func (c *Client) attempt(req *Message) (*Message, error, errClass) {
 	}
 	if rtErr != nil {
 		return nil, rtErr, classTransport
+	}
+	if resp.Busy {
+		return resp, &BusyError{Addr: c.addr, RetryAfter: resp.RetryAfter}, classBusy
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err), classApp
