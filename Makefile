@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm bench bench-campaign
+.PHONY: verify build test test-race vet lint chaos storm torture fuzz bench bench-campaign
 
 verify: vet build test-race
 
@@ -50,6 +50,23 @@ chaos:
 		-run 'Chaos|Fault|Fail|Breaker|Deadline|Retr|Hang|Delay|Mark|Probe|Refuse|Reset|Drop' \
 		./internal/livestack ./internal/faultnet ./internal/faultfs \
 		./internal/rpc ./internal/health ./internal/arbiter ./internal/fwd
+
+# Data-integrity campaign, run twice under the race detector: a seeded
+# nemesis (kills, warm restarts, wire corruption, delays, resets, mid-frame
+# cuts) against a live 12-ION stack with wire checksums and exactly-once
+# write dedup on, checked by a byte-level oracle. Reproduce a failing
+# schedule with TORTURE_SEED=<n> make torture.
+torture:
+	$(GO) test -race -count=2 -timeout 300s -run 'TestTorture' \
+		./internal/torture
+
+# Wire-protocol fuzzers (frame decoder and encode/decode round-trip).
+# FUZZTIME bounds each fuzzer; CI runs a short smoke, leave it running
+# longer locally to dig.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run - -fuzz FuzzReadMessage -fuzztime $(FUZZTIME) ./internal/rpc
+	$(GO) test -run - -fuzz FuzzMessageRoundTrip -fuzztime $(FUZZTIME) ./internal/rpc
 
 # Telemetry overhead on the forwarding hot path (instrumented vs tracing
 # off); writes BENCH_telemetry.json. Tunables: PAIRS, BENCHTIME.

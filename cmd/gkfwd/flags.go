@@ -50,6 +50,9 @@ type options struct {
 
 	overloadDepth int
 	overloadShed  int
+
+	wireChecksum bool
+	dedupWindow  int
 }
 
 // parseFlags registers every flag on the default FlagSet and parses the
@@ -79,6 +82,8 @@ func parseFlags() *options {
 	flag.IntVar(&o.throttleMax, "throttle-max", 0, "throttle window ceiling (0 = default)")
 	flag.IntVar(&o.overloadDepth, "overload-depth", 0, "queue depth at which the prober calls an I/O node overloaded (0 = off)")
 	flag.IntVar(&o.overloadShed, "overload-shed", 0, "sheds per probe sweep at which the prober calls an I/O node overloaded (0 = off)")
+	flag.BoolVar(&o.wireChecksum, "wire-checksum", false, "CRC32C trailers on every RPC frame, verified end to end")
+	flag.IntVar(&o.dedupWindow, "dedup-window", 0, "exactly-once writes: per-client outcomes each daemon retains for replay on transport retries (0 = off)")
 	flag.Parse()
 	return &o
 }
@@ -123,6 +128,7 @@ func (o *options) validate() error {
 		{"-throttle-max", o.throttleMax},
 		{"-overload-depth", o.overloadDepth},
 		{"-overload-shed", o.overloadShed},
+		{"-dedup-window", o.dedupWindow},
 	} {
 		if n.val < 0 {
 			return fmt.Errorf("%s must not be negative, got %d", n.name, n.val)
@@ -164,6 +170,8 @@ func (o *options) stackConfig() livestack.Config {
 		RetryAfterHint:     o.retryAfter,
 		OverloadQueueDepth: o.overloadDepth,
 		OverloadShedDelta:  o.overloadShed,
+		WireChecksum:       o.wireChecksum,
+		DedupWindow:        o.dedupWindow,
 		Throttle: fwd.ThrottleConfig{
 			Enabled:   o.throttle,
 			MinWindow: o.throttleMin,

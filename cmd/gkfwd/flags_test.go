@@ -40,6 +40,7 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		{"negative max conns", func(o *options) { o.maxConns = -1 }, "-max-conns"},
 		{"negative throttle min", func(o *options) { o.throttle = true; o.throttleMin = -1 }, "-throttle-min"},
 		{"negative overload depth", func(o *options) { o.overloadDepth = -1 }, "-overload-depth"},
+		{"negative dedup window", func(o *options) { o.dedupWindow = -1 }, "-dedup-window"},
 		{"min above max", func(o *options) { o.throttle = true; o.throttleMin = 8; o.throttleMax = 4 }, "-throttle-min"},
 		{"throttle knobs without throttle", func(o *options) { o.throttleMax = 16 }, "-throttle"},
 		{"overload without health", func(o *options) { o.overloadDepth = 10 }, "-health-interval"},
@@ -104,5 +105,27 @@ func TestStackConfigCarriesOverloadKnobs(t *testing.T) {
 	}
 	if cfg.ChunkSize != 1<<16 {
 		t.Fatalf("chunk size not carried: %d", cfg.ChunkSize)
+	}
+}
+
+func TestStackConfigCarriesIntegrityKnobs(t *testing.T) {
+	o := validOptions()
+	o.wireChecksum = true
+	o.dedupWindow = 128
+	if err := o.validate(); err != nil {
+		t.Fatalf("integrity knobs should validate: %v", err)
+	}
+	cfg := o.stackConfig()
+	if !cfg.WireChecksum {
+		t.Fatal("-wire-checksum not carried into the stack config")
+	}
+	if cfg.DedupWindow != 128 {
+		t.Fatalf("-dedup-window not carried: %d", cfg.DedupWindow)
+	}
+	// And the default remains fully off: zero-value wire compatibility.
+	def := validOptions()
+	d := def.stackConfig()
+	if d.WireChecksum || d.DedupWindow != 0 {
+		t.Fatalf("integrity features must default off: %+v", d)
 	}
 }

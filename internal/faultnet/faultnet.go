@@ -20,6 +20,7 @@ package faultnet
 
 import (
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -47,6 +48,12 @@ const (
 	// DropAfter lets Bytes flow (summed across reads and writes), then
 	// hangs — a failure mid-message, after the client committed to it.
 	DropAfter
+	// Corrupt flips a single bit in roughly one of every FlipOneIn I/O
+	// buffers, in both directions, drawn from a rand stream seeded by
+	// Seed — a flaky NIC or a bad switch port. Connections stay up and
+	// bytes keep flowing; only their content lies. This is the fault the
+	// CRC32C wire trailer (internal/rpc) exists to catch.
+	Corrupt
 )
 
 // String names the kind for test output.
@@ -64,6 +71,8 @@ func (k Kind) String() string {
 		return "delay"
 	case DropAfter:
 		return "drop-after"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return "unknown"
 	}
@@ -77,6 +86,14 @@ type Plan struct {
 	Delay time.Duration
 	// Bytes is the budget for Kind DropAfter.
 	Bytes int64
+	// Seed starts the deterministic rand stream for Kind Corrupt. The
+	// same seed yields the same flip decisions in the same draw order
+	// (concurrent connections interleave draws, so cross-run determinism
+	// holds per sequence of I/O calls, not per wall clock).
+	Seed int64
+	// FlipOneIn is the corruption rate for Kind Corrupt: one bit flipped
+	// in roughly 1 of every FlipOneIn buffers. ≤0 disables flipping.
+	FlipOneIn int
 }
 
 // ErrInjected marks errors produced by the injector, so tests can tell a
@@ -86,10 +103,12 @@ var ErrInjected = errors.New("faultnet: injected fault")
 // Injector holds the current plan, shared by a listener wrapper and all
 // its connections.
 type Injector struct {
-	mu     sync.Mutex
-	plan   Plan
-	budget int64         // remaining DropAfter bytes
-	wake   chan struct{} // closed (and replaced) on every Set, releasing hangs
+	mu      sync.Mutex
+	plan    Plan
+	budget  int64         // remaining DropAfter bytes
+	wake    chan struct{} // closed (and replaced) on every Set, releasing hangs
+	rng     *rand.Rand    // Corrupt flip decisions; non-nil only for that kind
+	flipped int64         // bits flipped since the Corrupt plan was installed
 }
 
 // NewInjector starts with the given plan.
@@ -112,6 +131,11 @@ func (inj *Injector) Set(plan Plan) {
 func (inj *Injector) install(plan Plan) {
 	inj.plan = plan
 	inj.budget = plan.Bytes
+	inj.rng = nil
+	if plan.Kind == Corrupt {
+		inj.rng = rand.New(rand.NewSource(plan.Seed))
+		inj.flipped = 0
+	}
 }
 
 // Plan returns the current plan.
@@ -142,6 +166,29 @@ func (inj *Injector) consume(n int) int {
 	}
 	inj.budget -= int64(n)
 	return n
+}
+
+// corrupt possibly flips one bit of p in place, per the Corrupt plan's
+// seeded rate, and reports whether it did.
+func (inj *Injector) corrupt(p []byte) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.plan.Kind != Corrupt || inj.plan.FlipOneIn <= 0 || len(p) == 0 {
+		return false
+	}
+	if inj.rng.Intn(inj.plan.FlipOneIn) != 0 {
+		return false
+	}
+	p[inj.rng.Intn(len(p))] ^= 1 << inj.rng.Intn(8)
+	inj.flipped++
+	return true
+}
+
+// Flipped reports how many bits the current Corrupt plan has flipped.
+func (inj *Injector) Flipped() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.flipped
 }
 
 // WrapListener interposes inj on every connection accepted from ln.
@@ -228,7 +275,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 		p = p[:n]
 	}
-	return c.Conn.Read(p)
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.inj.corrupt(p[:n])
+	}
+	return n, err
 }
 
 func (c *Conn) Write(p []byte) (int, error) {
@@ -249,6 +300,13 @@ func (c *Conn) Write(p []byte) (int, error) {
 			return k, c.starve()
 		}
 		return k, nil
+	}
+	if c.inj.Plan().Kind == Corrupt {
+		// Never mutate the caller's buffer: rpc reuses encode buffers.
+		dirty := make([]byte, len(p))
+		copy(dirty, p)
+		c.inj.corrupt(dirty)
+		return c.Conn.Write(dirty)
 	}
 	return c.Conn.Write(p)
 }

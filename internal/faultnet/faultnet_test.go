@@ -1,12 +1,14 @@
 package faultnet
 
 import (
+	"bytes"
 	"errors"
 	"net"
 	"testing"
 	"time"
 
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // startServer runs an rpc echo server behind the injector and returns its
@@ -175,10 +177,79 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		None: "none", Refuse: "refuse", Reset: "reset",
 		Hang: "hang", Delay: "delay", DropAfter: "drop-after",
-		Kind(99): "unknown",
+		Corrupt: "corrupt", Kind(99): "unknown",
 	} {
 		if got := k.String(); got != want {
 			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
 		}
+	}
+}
+
+// TestCorruptDetectedByChecksum: a seeded bit-flipper between a
+// checksumming client and server produces ErrChecksum transport failures,
+// never silently corrupted payloads — and the flip stream is deterministic
+// for a given seed.
+func TestCorruptDetectedByChecksum(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Corrupt, Seed: 7, FlipOneIn: 3})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	srv := rpc.NewServer(func(req *rpc.Message) *rpc.Message {
+		return &rpc.Message{Op: req.Op, Data: req.Data}
+	}).Instrument(reg, "ion0").WithChecksum(true)
+	if _, err := srv.ListenOn(WrapListener(ln, inj)); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := rpc.Dial(ln.Addr().String(), 1).WithOptions(rpc.Options{
+		CallTimeout:      80 * time.Millisecond,
+		MaxRetries:       4,
+		RetryBackoff:     time.Millisecond,
+		RetryBackoffMax:  2 * time.Millisecond,
+		BreakerThreshold: 1 << 30,
+		WireChecksum:     true,
+	})
+	defer c.Close()
+
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var failed int
+	for i := 0; i < 30; i++ {
+		resp, err := c.Call(&rpc.Message{Op: rpc.OpWrite, Path: "/x", Data: payload})
+		if err != nil {
+			failed++ // retries exhausted against repeated flips: transport error, fine
+			continue
+		}
+		for j := range resp.Data {
+			if resp.Data[j] != payload[j] {
+				t.Fatalf("call %d returned silently corrupted data at byte %d", i, j)
+			}
+		}
+	}
+	if inj.Flipped() == 0 {
+		t.Fatal("the injector never flipped a bit — the test exercised nothing")
+	}
+	if failed == 30 {
+		t.Fatal("no call ever succeeded at FlipOneIn=3 with retries")
+	}
+
+	// Determinism: the same seed replays the same flip decisions.
+	a := NewInjector(Plan{Kind: Corrupt, Seed: 42, FlipOneIn: 2})
+	b := NewInjector(Plan{Kind: Corrupt, Seed: 42, FlipOneIn: 2})
+	for i := 0; i < 200; i++ {
+		pa := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+		pb := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+		fa, fb := a.corrupt(pa), b.corrupt(pb)
+		if fa != fb || !bytes.Equal(pa, pb) {
+			t.Fatalf("draw %d diverged: %v/%v %x/%x", i, fa, fb, pa, pb)
+		}
+	}
+	if a.Flipped() != b.Flipped() {
+		t.Fatalf("flip counts diverged: %d vs %d", a.Flipped(), b.Flipped())
 	}
 }

@@ -1,0 +1,129 @@
+package fwd
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+)
+
+// stampRecorder is an rpc server that records the dedup identity of every
+// write it sees and optionally marks responses replayed.
+type stampRecorder struct {
+	mu       sync.Mutex
+	stamps   []rpc.Message // identity fields only
+	replayed bool
+}
+
+func (r *stampRecorder) handle(req *rpc.Message) *rpc.Message {
+	r.mu.Lock()
+	r.stamps = append(r.stamps, rpc.Message{ClientID: req.ClientID, Seq: req.Seq, Offset: req.Offset})
+	r.mu.Unlock()
+	return &rpc.Message{
+		Op: req.Op, Path: req.Path, Trace: req.Trace,
+		Size: int64(len(req.Data)), Replayed: r.replayed,
+	}
+}
+
+func startRecorder(t *testing.T, r *stampRecorder) string {
+	t.Helper()
+	srv := rpc.NewServer(r.handle)
+	addr, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestDedupStampsWrites: with Dedup on, every forwarded write chunk carries
+// the client's ID and a unique monotonically increasing seq.
+func TestDedupStampsWrites(t *testing.T) {
+	rec := &stampRecorder{}
+	addr := startRecorder(t, rec)
+	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+
+	if _, err := c.Write("/f", 0, make([]byte, 12)); err != nil { // 3 chunks
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.stamps) != 3 {
+		t.Fatalf("saw %d writes, want 3", len(rec.stamps))
+	}
+	seen := map[uint64]bool{}
+	for i, s := range rec.stamps {
+		if s.ClientID == "" {
+			t.Fatalf("write %d unstamped: %+v", i, s)
+		}
+		if s.ClientID != rec.stamps[0].ClientID {
+			t.Fatalf("client id varies: %q vs %q", s.ClientID, rec.stamps[0].ClientID)
+		}
+		if s.Seq == 0 || seen[s.Seq] {
+			t.Fatalf("write %d: seq %d zero or repeated", i, s.Seq)
+		}
+		seen[s.Seq] = true
+	}
+}
+
+// TestDedupOffByDefault: the zero-value config sends unstamped frames.
+func TestDedupOffByDefault(t *testing.T) {
+	rec := &stampRecorder{}
+	addr := startRecorder(t, rec)
+	c := newTestClient(t, pfs.NewStore(pfs.Config{}), 4)
+	c.SetIONs([]string{addr})
+	if _, err := c.Write("/f", 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for i, s := range rec.stamps {
+		if s.ClientID != "" || s.Seq != 0 {
+			t.Fatalf("write %d stamped without Dedup: %+v", i, s)
+		}
+	}
+}
+
+// TestDistinctClientsDistinctIdentity: two clients sharing an AppID must
+// not collide in a daemon's dedup window.
+func TestDistinctClientsDistinctIdentity(t *testing.T) {
+	cfg := Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), Dedup: true}
+	a, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.clientID == "" || a.clientID == b.clientID {
+		t.Fatalf("client ids must be unique and non-empty: %q vs %q", a.clientID, b.clientID)
+	}
+}
+
+// TestReplayedWritesCounted: responses marked Replayed land in the
+// fwd_replayed_writes_total counter and in Stats.
+func TestReplayedWritesCounted(t *testing.T) {
+	rec := &stampRecorder{replayed: true}
+	addr := startRecorder(t, rec)
+	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+	if _, err := c.Write("/f", 0, make([]byte, 8)); err != nil { // 2 chunks
+		t.Fatal(err)
+	}
+	if got := c.Stats().ReplayedWrites; got != 2 {
+		t.Fatalf("ReplayedWrites = %d, want 2", got)
+	}
+}

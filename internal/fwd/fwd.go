@@ -60,6 +60,13 @@ type Config struct {
 	// breaker. The zero value keeps the transport's legacy behaviour
 	// (block forever, no retries, no breaker).
 	RPC rpc.Options
+	// Dedup stamps every forwarded write with this client's (clientID,
+	// seq) identity so daemons with a dedup window can recognise
+	// transport-retried writes and replay the cached outcome instead of
+	// re-applying them (exactly-once; see DESIGN.md "Integrity model").
+	// Off by default: unstamped frames are wire-identical to the
+	// pre-integrity protocol.
+	Dedup bool
 	// Throttle configures per-I/O-node adaptive admission (AIMD window,
 	// hint-paced busy retries, degrade-to-direct under sustained
 	// saturation). The zero value disables throttling; busy responses are
@@ -80,16 +87,25 @@ type Stats struct {
 	ForwardedOps  int64
 	DirectOps     int64
 	FailoverOps   int64
-	ShedResponses int64 // busy responses observed (server-side sheds)
-	DegradedOps   int64 // ops satisfied on the direct path due to overload
-	BytesOut      int64
-	BytesIn       int64
-	RemapsApplied int64
+	ShedResponses  int64 // busy responses observed (server-side sheds)
+	DegradedOps    int64 // ops satisfied on the direct path due to overload
+	ReplayedWrites int64 // write responses served from a daemon's dedup window
+	BytesOut       int64
+	BytesIn        int64
+	RemapsApplied  int64
 }
 
 // Client is the forwarding client. It implements pfs.FileSystem.
 type Client struct {
 	cfg Config
+
+	// clientID and seq are the exactly-once write identity (set when
+	// cfg.Dedup is on). The ID is unique per Client instance so two
+	// clients sharing an AppID never collide in a daemon's dedup window;
+	// seq starts at 1 and a transport- or busy-retried chunk reuses the
+	// seq of its first attempt (the retry loops sit below the stamping).
+	clientID string
+	seq      atomic.Uint64
 
 	mu    sync.RWMutex
 	addrs []string               // current allocation (empty = direct)
@@ -103,7 +119,7 @@ type Client struct {
 	reg   *telemetry.Registry
 	stats struct {
 		forwarded, direct, failover, bytesOut, bytesIn, remaps *telemetry.Counter
-		shed, degraded                                         *telemetry.Counter
+		shed, degraded, replayed                               *telemetry.Counter
 	}
 
 	watchStop func()
@@ -139,8 +155,16 @@ func NewClient(cfg Config) (*Client, error) {
 	c.stats.remaps = c.reg.Counter("fwd_remaps_applied_total" + label)
 	c.stats.shed = c.reg.Counter("fwd_shed_responses_total" + label)
 	c.stats.degraded = c.reg.Counter("fwd_degraded_ops_total" + label)
+	c.stats.replayed = c.reg.Counter("fwd_replayed_writes_total" + label)
+	if cfg.Dedup {
+		c.clientID = fmt.Sprintf("%s#%d", cfg.AppID, clientInstance.Add(1))
+	}
 	return c, nil
 }
+
+// clientInstance distinguishes Client instances that share an AppID (e.g.
+// one per rank) so their dedup identities never collide within a process.
+var clientInstance atomic.Uint64
 
 // SetIONs installs a new allocation. Connections to previously used I/O
 // nodes are kept pooled so a later remap back is cheap and in-flight
@@ -241,11 +265,12 @@ func (c *Client) Stats() Stats {
 			ForwardedOps:  c.stats.forwarded.Value(),
 			DirectOps:     c.stats.direct.Value(),
 			FailoverOps:   c.stats.failover.Value(),
-			ShedResponses: c.stats.shed.Value(),
-			DegradedOps:   c.stats.degraded.Value(),
-			BytesOut:      c.stats.bytesOut.Value(),
-			BytesIn:       c.stats.bytesIn.Value(),
-			RemapsApplied: c.stats.remaps.Value(),
+			ShedResponses:  c.stats.shed.Value(),
+			DegradedOps:    c.stats.degraded.Value(),
+			ReplayedWrites: c.stats.replayed.Value(),
+			BytesOut:       c.stats.bytesOut.Value(),
+			BytesIn:        c.stats.bytesIn.Value(),
+			RemapsApplied:  c.stats.remaps.Value(),
 		}
 	})
 	return s
@@ -478,7 +503,16 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 				c.stats.forwarded.Inc()
 				c.stats.bytesOut.Add(e.n)
 			})
-			resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()})
+			req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()}
+			if c.cfg.Dedup {
+				// Stamp once per chunk: the transport retry (inside
+				// rpc.Client.Call) and the busy retry (inside callION)
+				// both resend this exact message, so a re-attempt carries
+				// the seq of the attempt it duplicates.
+				req.ClientID = c.clientID
+				req.Seq = c.seq.Add(1)
+			}
+			resp, err, degraded := c.callION(t, req)
 			if degraded {
 				// The I/O node shed this chunk past the retry budget (or
 				// is marked saturated): write it directly. bytesOut was
@@ -490,6 +524,9 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 				return derr
 			}
 			if err == nil {
+				if resp.Replayed {
+					c.stats.replayed.Inc()
+				}
 				written[i] = int(resp.Size)
 				return nil
 			}

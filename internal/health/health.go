@@ -92,6 +92,11 @@ type Config struct {
 	// arbiter.MarkOverloaded).
 	OnOverload func(Overload)
 
+	// WireChecksum makes probe pings carry a CRC32C trailer, matching a
+	// stack that runs with wire checksums on (daemons verify whatever
+	// arrives; the trailer keeps the probe path exercised end to end).
+	WireChecksum bool
+
 	// Telemetry receives probe metrics; nil disables them.
 	Telemetry *telemetry.Registry
 }
@@ -176,7 +181,7 @@ func New(cfg Config) (*Prober, error) {
 			return nil, errors.New("health: duplicate address " + addr)
 		}
 		p.clients[addr] = rpc.Dial(addr, 1).
-			WithOptions(rpc.Options{CallTimeout: cfg.Timeout}).
+			WithOptions(rpc.Options{CallTimeout: cfg.Timeout, WireChecksum: cfg.WireChecksum}).
 			Instrument(cfg.Telemetry, nil)
 		p.state[addr] = &nodeState{up: true}
 	}

@@ -1,0 +1,104 @@
+package ion
+
+import (
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// dedupTable gives a daemon exactly-once write semantics over an
+// at-least-once transport. Forwarded requests arrive stamped with a
+// (clientID, seq) identity; the table remembers, per client, a bounded
+// window of recently committed outcomes so a transport-retried request
+// whose first attempt was applied (but whose response was lost) replays
+// the cached response instead of re-executing.
+//
+// Three states per (clientID, seq):
+//
+//   - absent: the caller wins execution and receives a commit closure;
+//   - in flight: an earlier attempt is still executing — the caller waits
+//     on its done channel and re-claims, so concurrent duplicates coalesce
+//     onto one execution instead of racing it;
+//   - committed: the cached response is returned for replay.
+//
+// Outcomes that never reached execution (busy sheds, closed-queue
+// rejects) are committed with applied=false, which removes the entry: the
+// operation was not performed, so a retry must execute it for real.
+// Committed entries are evicted FIFO per client once the window is full;
+// in-flight entries are never evicted. Sizing and the guarantee's limits
+// are documented in DESIGN.md ("Integrity model").
+type dedupTable struct {
+	mu      sync.Mutex
+	window  int
+	clients map[string]*clientWindow
+}
+
+type clientWindow struct {
+	entries map[uint64]*dedupEntry
+	order   []uint64 // committed seqs in commit order, for FIFO eviction
+}
+
+type dedupEntry struct {
+	done chan struct{} // closed at commit
+	resp *rpc.Message  // cached outcome; nil when committed unapplied
+}
+
+func newDedupTable(window int) *dedupTable {
+	return &dedupTable{window: window, clients: make(map[string]*clientWindow)}
+}
+
+// claim resolves one attempt at (clientID, seq). Exactly one of the three
+// returns is non-nil: cached (replay it), inflight (wait, then claim
+// again), or commit (execute, then call it exactly once; applied=false
+// means the operation never ran and the seq must stay claimable).
+func (t *dedupTable) claim(clientID string, seq uint64) (cached *rpc.Message, inflight <-chan struct{}, commit func(resp *rpc.Message, applied bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cw := t.clients[clientID]
+	if cw == nil {
+		cw = &clientWindow{entries: make(map[uint64]*dedupEntry)}
+		t.clients[clientID] = cw
+	}
+	if e, ok := cw.entries[seq]; ok {
+		select {
+		case <-e.done:
+			// Committed with a cached outcome (unapplied commits delete the
+			// entry before closing done, so resp is always set here).
+			cp := *e.resp
+			return &cp, nil, nil
+		default:
+			return nil, e.done, nil
+		}
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	cw.entries[seq] = e
+	commit = func(resp *rpc.Message, applied bool) {
+		t.mu.Lock()
+		if applied {
+			cp := *resp
+			e.resp = &cp
+			cw.order = append(cw.order, seq)
+			for len(cw.order) > t.window {
+				old := cw.order[0]
+				cw.order = cw.order[1:]
+				delete(cw.entries, old)
+			}
+		} else {
+			delete(cw.entries, seq)
+		}
+		t.mu.Unlock()
+		close(e.done)
+	}
+	return nil, nil, commit
+}
+
+// size reports the total committed+in-flight entries (tests only).
+func (t *dedupTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, cw := range t.clients {
+		n += len(cw.entries)
+	}
+	return n
+}

@@ -39,6 +39,8 @@ type Stats struct {
 	Dispatches   int64 // PFS dispatches (aggregates count once)
 	Aggregated   int64 // client requests that were merged into aggregates
 	QueueRejects int64
+	DedupReplays int64 // write retries answered from the dedup window
+	Restarts     int64 // warm restarts since New
 }
 
 // Config parameterizes a daemon.
@@ -69,6 +71,16 @@ type Config struct {
 	// MaxConns caps concurrently served RPC connections (closed at accept
 	// above it); ≤0 means unlimited.
 	MaxConns int
+	// WireChecksum makes the daemon's RPC server append a CRC32C trailer
+	// to every response. Inbound frames are verified whenever they carry a
+	// trailer regardless of this setting. Off by default.
+	WireChecksum bool
+	// DedupWindow bounds the per-client exactly-once window: the daemon
+	// remembers the outcomes of the last DedupWindow stamped writes per
+	// forwarding client and replays them on transport retries instead of
+	// re-executing. ≤0 disables deduplication (stamped writes re-execute,
+	// the pre-integrity behavior).
+	DedupWindow int
 	// Telemetry receives the daemon's metrics (per-node labeled series:
 	// ion_writes_total{node="…"}, …). Nil selects a private registry so
 	// Stats() always works; pass the stack-wide registry to aggregate
@@ -84,9 +96,20 @@ type Config struct {
 type Daemon struct {
 	cfg     Config
 	backend Backend
-	queue   *agios.Queue
-	server  *rpc.Server
-	addr    string
+	label   string
+
+	// mu guards the per-generation state a warm restart replaces (queue,
+	// server, addr). Request handlers read queue without the lock: they
+	// only run while their generation's server is alive, and Close drains
+	// them before Restart swaps anything.
+	mu     sync.Mutex
+	queue  *agios.Queue
+	server *rpc.Server
+	addr   string
+
+	// dedup survives warm restarts by design: the retries it must absorb
+	// are exactly the ones a restart strands. Nil when DedupWindow ≤ 0.
+	dedup *dedupTable
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -100,6 +123,7 @@ type Daemon struct {
 	tel    struct {
 		writes, reads, meta, bytesIn, bytesOut *telemetry.Counter
 		dispatches, aggregated, rejects        *telemetry.Counter
+		dedupReplays, restarts                 *telemetry.Counter
 		dispatchLatency                        *telemetry.Histogram
 		requestBytes                           *telemetry.Histogram
 	}
@@ -119,17 +143,14 @@ func New(cfg Config, backend Backend) *Daemon {
 	d := &Daemon{
 		cfg:     cfg,
 		backend: backend,
-		queue:   agios.NewQueue(cfg.Scheduler),
 		tracer:  cfg.Tracer,
-	}
-	if cfg.QueueCap > 0 {
-		d.queue.SetCapacity(cfg.QueueCap, cfg.QueueLowWater)
 	}
 	d.reg = cfg.Telemetry
 	if d.reg == nil {
 		d.reg = telemetry.New()
 	}
 	label := fmt.Sprintf("{node=%q}", cfg.ID)
+	d.label = label
 	d.tel.writes = d.reg.Counter("ion_writes_total" + label)
 	d.tel.reads = d.reg.Counter("ion_reads_total" + label)
 	d.tel.meta = d.reg.Counter("ion_meta_ops_total" + label)
@@ -138,23 +159,48 @@ func New(cfg Config, backend Backend) *Daemon {
 	d.tel.dispatches = d.reg.Counter("ion_dispatches_total" + label)
 	d.tel.aggregated = d.reg.Counter("ion_aggregated_total" + label)
 	d.tel.rejects = d.reg.Counter("ion_queue_rejects_total" + label)
+	d.tel.dedupReplays = d.reg.Counter("ion_dedup_replays_total" + label)
+	d.tel.restarts = d.reg.Counter("ion_restarts_total" + label)
 	d.tel.dispatchLatency = d.reg.Histogram("ion_dispatch_latency_seconds"+label, telemetry.LatencyBuckets())
 	d.tel.requestBytes = d.reg.Histogram("ion_request_bytes"+label, telemetry.SizeBuckets())
-	d.queue.Instrument(d.reg, label)
+	if cfg.DedupWindow > 0 {
+		d.dedup = newDedupTable(cfg.DedupWindow)
+	}
+	d.build()
+	return d
+}
+
+// build constructs one generation of the daemon's serving state: a fresh
+// scheduler queue and RPC server. New calls it once; Restart calls it
+// again after Close drained the previous generation. The scheduler
+// instance, telemetry registry (counters are get-or-create, so series
+// stay monotonic across restarts), dedup table, and backend all carry
+// over.
+func (d *Daemon) build() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queue = agios.NewQueue(d.cfg.Scheduler)
+	if d.cfg.QueueCap > 0 {
+		d.queue.SetCapacity(d.cfg.QueueCap, d.cfg.QueueLowWater)
+	}
+	d.queue.Instrument(d.reg, d.label)
 	d.server = rpc.NewServer(d.handle).
 		WithLimits(rpc.ServerLimits{
-			MaxConns:    cfg.MaxConns,
-			MaxInflight: cfg.MaxInflight,
-			RetryAfter:  cfg.RetryAfterHint,
+			MaxConns:    d.cfg.MaxConns,
+			MaxInflight: d.cfg.MaxInflight,
+			RetryAfter:  d.cfg.RetryAfterHint,
 		}).
-		Instrument(d.reg, label)
-	return d
+		WithChecksum(d.cfg.WireChecksum).
+		Instrument(d.reg, d.label)
 }
 
 // Start binds the daemon to addr (empty for an ephemeral localhost port),
 // launches the dispatcher pool, and returns the bound address.
 func (d *Daemon) Start(addr string) (string, error) {
-	bound, err := d.server.Listen(addr)
+	d.mu.Lock()
+	server := d.server
+	d.mu.Unlock()
+	bound, err := server.Listen(addr)
 	if err != nil {
 		return "", err
 	}
@@ -166,7 +212,10 @@ func (d *Daemon) Start(addr string) (string, error) {
 // This is the seam fault-injection wrappers (faultnet) and tests use to
 // interpose on the daemon's network path.
 func (d *Daemon) StartOn(ln net.Listener) (string, error) {
-	bound, err := d.server.ListenOn(ln)
+	d.mu.Lock()
+	server := d.server
+	d.mu.Unlock()
+	bound, err := server.ListenOn(ln)
 	if err != nil {
 		return "", err
 	}
@@ -175,35 +224,102 @@ func (d *Daemon) StartOn(ln net.Listener) (string, error) {
 }
 
 func (d *Daemon) launch(bound string) {
+	d.mu.Lock()
 	d.addr = bound
+	queue := d.queue
+	d.mu.Unlock()
 	for i := 0; i < d.cfg.Dispatchers; i++ {
 		d.wg.Add(1)
-		go d.dispatchLoop()
+		go d.dispatchLoop(queue)
 	}
 }
 
+// Restart warm-starts a previously Closed daemon on the address it last
+// served: same identity, same backend, same dedup window (so retries
+// stranded by the crash still deduplicate), fresh scheduler queue and RPC
+// server. It returns the bound address. Restarting a running daemon is an
+// error; Close it first.
+func (d *Daemon) Restart() (string, error) {
+	d.mu.Lock()
+	addr := d.addr
+	d.mu.Unlock()
+	if addr == "" {
+		return "", errors.New("ion: restart before first Start")
+	}
+	// The previous listener's port can linger briefly after Close on some
+	// platforms; retry the bind rather than failing the whole rejoin.
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return "", fmt.Errorf("ion: restart rebind %s: %w", addr, err)
+	}
+	return d.RestartOn(ln)
+}
+
+// RestartOn is Restart on a caller-provided listener — the seam livestack
+// uses to re-apply its fault-injection wrapper on the restarted daemon's
+// network path.
+func (d *Daemon) RestartOn(ln net.Listener) (string, error) {
+	if !d.closed.Load() {
+		ln.Close()
+		return "", errors.New("ion: restart of a running daemon")
+	}
+	d.build()
+	d.closed.Store(false)
+	bound, err := d.StartOn(ln)
+	if err != nil {
+		d.closed.Store(true)
+		return "", err
+	}
+	d.tel.restarts.Inc()
+	return bound, nil
+}
+
 // Addr returns the daemon's bound address (empty before Start).
-func (d *Daemon) Addr() string { return d.addr }
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
 
 // ID returns the daemon's identity.
 func (d *Daemon) ID() string { return d.cfg.ID }
 
 // SchedulerName reports which AGIOS scheduler the daemon runs.
-func (d *Daemon) SchedulerName() string { return d.queue.SchedulerName() }
+func (d *Daemon) SchedulerName() string { return d.q().SchedulerName() }
 
 // QueueDepth reports the pending requests in the scheduler queue.
-func (d *Daemon) QueueDepth() int { return d.queue.Len() }
+func (d *Daemon) QueueDepth() int { return d.q().Len() }
 
 // QueueSaturated reports whether the bounded queue is currently shedding.
-func (d *Daemon) QueueSaturated() bool { return d.queue.Saturated() }
+func (d *Daemon) QueueSaturated() bool { return d.q().Saturated() }
+
+// q returns the current generation's queue for external observers, who
+// may race a restart (request handlers use d.queue directly: they cannot
+// outlive their generation's server).
+func (d *Daemon) q() *agios.Queue {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queue
+}
 
 // Close stops the RPC server, drains the queue, and waits for dispatchers.
+// A Closed daemon can come back with Restart.
 func (d *Daemon) Close() error {
 	if d.closed.Swap(true) {
 		return nil
 	}
-	err := d.server.Close()
-	d.queue.Close()
+	d.mu.Lock()
+	server, queue := d.server, d.queue
+	d.mu.Unlock()
+	err := server.Close()
+	queue.Close()
 	d.wg.Wait()
 	return err
 }
@@ -225,6 +341,8 @@ func (d *Daemon) Stats() Stats {
 			Dispatches:   d.tel.dispatches.Value(),
 			Aggregated:   d.tel.aggregated.Value(),
 			QueueRejects: d.tel.rejects.Value(),
+			DedupReplays: d.tel.dedupReplays.Value(),
+			Restarts:     d.tel.restarts.Value(),
 		}
 	})
 	return s
@@ -244,7 +362,10 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 }
 
 func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
-	resp := &rpc.Message{Op: m.Op, Path: m.Path, Trace: m.Trace}
+	// Responses echo the request's identity fields (path, trace, dedup
+	// stamp) and nothing else: flags and payload are set per-outcome, so
+	// no response path can leak stale request state onto the wire.
+	resp := &rpc.Message{Op: m.Op, Path: m.Path, Trace: m.Trace, ClientID: m.ClientID, Seq: m.Seq}
 	switch m.Op {
 	case rpc.OpPing:
 		// Pings double as load reports: Size carries the scheduler queue
@@ -255,34 +376,31 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 		resp.Offset = d.tel.rejects.Value()
 
 	case rpc.OpWrite:
-		done := make(chan error, 1)
-		req := &agios.Request{
-			Path:   m.Path,
-			Offset: m.Offset,
-			Size:   int64(len(m.Data)),
-			Op:     agios.OpWrite,
-			Data:   m.Data,
-			Trace:  m.Trace,
-			OnComplete: func(err error) {
-				done <- err
-			},
-		}
-		if err := d.queue.Push(req); err != nil {
-			return d.pushFailed(resp, err)
-		}
-		// Admission succeeded: only now does the request count as
-		// ingested (a shed write was never taken on, so its bytes must
-		// not appear in the daemon's intake).
-		d.reg.Update(func() {
-			d.tel.writes.Inc()
-			d.tel.bytesIn.Add(int64(len(m.Data)))
-		})
-		d.tel.requestBytes.Observe(float64(len(m.Data)))
-		if err := <-done; err != nil {
-			resp.Err = err.Error()
+		if d.dedup == nil || m.Seq == 0 {
+			resp, _ = d.applyWrite(m, resp)
 			return resp
 		}
-		resp.Size = int64(len(m.Data))
+		for {
+			cached, inflight, commit := d.dedup.claim(m.ClientID, m.Seq)
+			switch {
+			case cached != nil:
+				// Already applied: repeat the outcome, do not re-execute.
+				cached.Trace = m.Trace
+				cached.Replayed = true
+				d.tel.dedupReplays.Inc()
+				return cached
+			case inflight != nil:
+				// Another attempt at this seq is mid-execution (a retry
+				// racing its original). Wait for its commit and re-claim:
+				// either its outcome becomes replayable or (busy/closed,
+				// never applied) the seq is claimable again.
+				<-inflight
+			default:
+				result, applied := d.applyWrite(m, resp)
+				commit(result, applied)
+				return result
+			}
+		}
 
 	case rpc.OpRead:
 		done := make(chan error, 1)
@@ -342,6 +460,43 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 	return resp
 }
 
+// applyWrite pushes one write through the scheduler queue and waits for
+// its dispatch. applied reports whether the operation reached execution:
+// false for queue-admission failures (busy sheds and closed-queue
+// rejects), which must stay replayable-by-execution in the dedup window;
+// true once the dispatcher ran it, whatever the outcome.
+func (d *Daemon) applyWrite(m *rpc.Message, resp *rpc.Message) (_ *rpc.Message, applied bool) {
+	done := make(chan error, 1)
+	req := &agios.Request{
+		Path:   m.Path,
+		Offset: m.Offset,
+		Size:   int64(len(m.Data)),
+		Op:     agios.OpWrite,
+		Data:   m.Data,
+		Trace:  m.Trace,
+		OnComplete: func(err error) {
+			done <- err
+		},
+	}
+	if err := d.queue.Push(req); err != nil {
+		return d.pushFailed(resp, err), false
+	}
+	// Admission succeeded: only now does the request count as
+	// ingested (a shed write was never taken on, so its bytes must
+	// not appear in the daemon's intake).
+	d.reg.Update(func() {
+		d.tel.writes.Inc()
+		d.tel.bytesIn.Add(int64(len(m.Data)))
+	})
+	d.tel.requestBytes.Observe(float64(len(m.Data)))
+	if err := <-done; err != nil {
+		resp.Err = err.Error()
+		return resp, true
+	}
+	resp.Size = int64(len(m.Data))
+	return resp, true
+}
+
 // pushFailed turns a queue-admission failure into the right wire response:
 // a saturated queue sheds with a typed busy response (the client may retry
 // after the hint), a closed queue answers with a terminal error. Both
@@ -374,10 +529,12 @@ func (d *Daemon) hopEach(req *agios.Request, layer string, start time.Time, note
 }
 
 // dispatchLoop pops scheduled requests and executes them against the PFS.
-func (d *Daemon) dispatchLoop() {
+// It holds its generation's queue by value: a warm restart swaps d.queue,
+// but this loop must drain the queue it was launched for.
+func (d *Daemon) dispatchLoop(queue *agios.Queue) {
 	defer d.wg.Done()
 	for {
-		req, ok := d.queue.PopWait()
+		req, ok := queue.PopWait()
 		if !ok {
 			return
 		}
@@ -388,7 +545,7 @@ func (d *Daemon) dispatchLoop() {
 				d.tel.aggregated.Add(int64(n))
 			}
 		})
-		note := d.queue.SchedulerName()
+		note := queue.SchedulerName()
 		if n > 0 {
 			note = fmt.Sprintf("%s merged=%d", note, n)
 		}

@@ -85,6 +85,18 @@ type Config struct {
 	// value disables throttling.
 	Throttle fwd.ThrottleConfig
 
+	// WireChecksum turns on CRC32C frame trailers end to end: daemons
+	// checksum their responses, forwarding clients and the health prober
+	// checksum their requests, and every reader verifies trailers it
+	// sees. Off by default (zero-value wire compatibility).
+	WireChecksum bool
+	// DedupWindow enables exactly-once writes: forwarding clients stamp
+	// each write with a (clientID, seq) identity and every daemon keeps a
+	// window of that many committed outcomes per client, replaying them
+	// on transport retries instead of re-applying. 0 disables (the
+	// pre-integrity at-least-once behavior).
+	DedupWindow int
+
 	// OverloadQueueDepth / OverloadShedDelta / OverloadThreshold /
 	// OverloadRecovery configure the prober's overload detection (see
 	// health.Config); detected transitions feed the arbiter
@@ -177,6 +189,8 @@ func Start(cfg Config) (*Stack, error) {
 			MaxInflight:    cfg.MaxInflight,
 			MaxConns:       cfg.MaxConns,
 			RetryAfterHint: cfg.RetryAfterHint,
+			WireChecksum:   cfg.WireChecksum,
+			DedupWindow:    cfg.DedupWindow,
 		}, backend)
 		addr, err := startDaemon(d, i, cfg.WrapListener)
 		if err != nil {
@@ -204,6 +218,7 @@ func Start(cfg Config) (*Stack, error) {
 			OverloadShedDelta:  cfg.OverloadShedDelta,
 			OverloadThreshold:  cfg.OverloadThreshold,
 			OverloadRecovery:   cfg.OverloadRecovery,
+			WireChecksum:       cfg.WireChecksum,
 			Telemetry:          reg,
 			OnTransition: func(tr health.Transition) {
 				// MarkDown/MarkUp errors are advisory here: even when a
@@ -248,16 +263,52 @@ func startDaemon(d *ion.Daemon, idx int, wrap func(int, net.Listener) net.Listen
 	return d.StartOn(wrap(idx, ln))
 }
 
+// RestartION warm-restarts the i-th daemon on its original address,
+// re-applying the stack's fault-injection listener wrapper when one is
+// configured. The daemon must have been Closed first (a "kill"); once it
+// serves again, the health prober observes it and MarkUp re-admits it to
+// arbitration — the full crash→rejoin loop. The address is unchanged, so
+// existing mappings, client pools, and breaker state converge on their
+// own.
+func (s *Stack) RestartION(i int) error {
+	if i < 0 || i >= len(s.Daemons) {
+		return fmt.Errorf("livestack: no I/O node %d", i)
+	}
+	d := s.Daemons[i]
+	if s.cfg.WrapListener == nil {
+		_, err := d.Restart()
+		return err
+	}
+	// Rebind the original address ourselves so the wrapper can interpose,
+	// with the same lingering-port retry Restart applies.
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if ln, err = net.Listen("tcp", s.Addrs[i]); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("livestack: restart rebind %s: %w", s.Addrs[i], err)
+	}
+	_, err = d.RestartOn(s.cfg.WrapListener(i, ln))
+	return err
+}
+
 // NewClient creates a forwarding client for an application, subscribed to
 // the stack's mapping bus. The client starts in direct mode until the
 // arbiter assigns it I/O nodes (via JobStarted).
 func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
+	rpcOpts := s.cfg.RPC
+	rpcOpts.WireChecksum = rpcOpts.WireChecksum || s.cfg.WireChecksum
 	c, err := fwd.NewClient(fwd.Config{
 		AppID:     appID,
 		Direct:    s.Store,
 		ChunkSize: s.cfg.ChunkSize,
-		RPC:       s.cfg.RPC,
+		RPC:       rpcOpts,
 		Throttle:  s.cfg.Throttle,
+		Dedup:     s.cfg.DedupWindow > 0,
 		Telemetry: s.Telemetry,
 		Tracer:    s.Tracer,
 	})

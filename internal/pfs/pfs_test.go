@@ -295,6 +295,88 @@ func TestConcurrentSharedFile(t *testing.T) {
 	}
 }
 
+// TestConcurrentRemoveVsWriteRead hammers one path with concurrent
+// writers, readers and removers. The store must never tear: every Write
+// outcome is all-or-nothing (a file recreated by Write after a Remove
+// holds exactly one writer's full payload at the written range), every
+// Read either fails with ErrNotExist/ErrShortRead or returns bytes some
+// writer actually wrote, and nothing panics or races (run under -race).
+func TestConcurrentRemoveVsWriteRead(t *testing.T) {
+	s := newTestStore()
+	const (
+		workers = 4
+		rounds  = 200
+		size    = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + w)}, size)
+			for i := 0; i < rounds; i++ {
+				if _, err := s.Write("/contested", 0, payload); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < rounds; i++ {
+				n, err := s.Read("/contested", 0, buf)
+				if err != nil {
+					if errors.Is(err, ErrNotExist) || errors.Is(err, ErrShortRead) {
+						continue // removed, or read raced file creation
+					}
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if n != size {
+					t.Errorf("reader: short read %d without error", n)
+					return
+				}
+				first := buf[0]
+				if first < 'a' || first >= 'a'+workers {
+					t.Errorf("reader: byte not written by any writer: %q", first)
+					return
+				}
+				for j := range buf {
+					if buf[j] != first {
+						t.Errorf("torn read at byte %d: %q vs %q", j, buf[j], first)
+						return
+					}
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := s.Remove("/contested"); err != nil && !errors.Is(err, ErrNotExist) {
+					t.Errorf("remover: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The survivors settle: one final write must fully stick.
+	want := bytes.Repeat([]byte{'z'}, size)
+	if _, err := s.Write("/contested", 0, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	if _, err := s.Read("/contested", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("final state torn: %q", got)
+	}
+}
+
 func TestRandomWritesMatchReference(t *testing.T) {
 	s := NewStore(Config{StripeSize: 16, OSTs: 3})
 	rng := rand.New(rand.NewSource(11))

@@ -60,6 +60,12 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before allowing
 	// one half-open probe. ≤0 selects 1s when the breaker is on.
 	BreakerCooldown time.Duration
+	// WireChecksum appends a CRC32C trailer to every frame this client
+	// sends. Inbound frames are verified whenever they carry a trailer,
+	// regardless of this setting; a mismatch is a transport failure
+	// (connection discarded, retries and breaker apply). Off by default:
+	// the zero value is wire-identical to protocol version 1.
+	WireChecksum bool
 }
 
 // withDefaults fills the derived defaults for enabled mechanisms.

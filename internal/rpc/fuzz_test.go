@@ -1,0 +1,125 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReadMessage feeds arbitrary byte streams to the frame decoder. The
+// contract under fuzz: never panic, and fail only with one of the typed
+// protocol errors — io.EOF solely for an empty stream (clean end between
+// frames), io.ErrUnexpectedEOF for every truncation, ErrFrameTooLarge for
+// an oversized declared length, ErrChecksum for a bad trailer. A frame
+// that parses must survive a re-encode/re-decode round trip.
+func FuzzReadMessage(f *testing.F) {
+	seed := func(m *Message, sum bool) {
+		var buf bytes.Buffer
+		var err error
+		if sum {
+			err = WriteMessageChecksum(&buf, m)
+		} else {
+			err = WriteMessage(&buf, m)
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw := buf.Bytes()
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2])      // truncated mid-frame
+		f.Add(raw[:len(raw)-1])      // truncated by one byte
+		f.Add(append(raw, raw...))   // two frames back to back
+		cp := append([]byte(nil), raw...)
+		cp[len(cp)-1] ^= 0xFF
+		f.Add(cp) // corrupted tail
+	}
+	seed(&Message{Op: OpPing}, false)
+	seed(&Message{Op: OpWrite, Path: "/f", Offset: 64, Data: []byte("hello"), Trace: 3}, true)
+	seed(&Message{Op: OpWrite, Path: "/f", ClientID: "fwd-0", Seq: 17, Replayed: true}, true)
+	seed(&Message{Op: OpRead, Busy: true, RetryAfter: 500 * time.Microsecond}, false)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // oversized length
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})             // zero-length frame
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10, 0x01, 0x02}) // declared 16, got 2
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, 1<<20)
+	f.Add(append(huge, make([]byte, 1<<20)...)) // large all-zero body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			switch {
+			case err == io.EOF:
+				if len(data) != 0 {
+					t.Fatalf("io.EOF on non-empty input (%d bytes); want io.ErrUnexpectedEOF for truncation", len(data))
+				}
+			case errors.Is(err, io.ErrUnexpectedEOF),
+				errors.Is(err, ErrFrameTooLarge),
+				errors.Is(err, ErrChecksum):
+				// typed protocol errors: fine
+			default:
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A parsed frame must re-encode and re-decode to the same message.
+		var buf bytes.Buffer
+		if werr := WriteMessageChecksum(&buf, m); werr != nil {
+			t.Fatalf("re-encode of parsed frame failed: %v", werr)
+		}
+		m2, rerr := ReadMessage(&buf)
+		if rerr != nil {
+			t.Fatalf("re-decode failed: %v", rerr)
+		}
+		if m.Op != m2.Op || m.Path != m2.Path || m.Offset != m2.Offset ||
+			m.Size != m2.Size || m.Err != m2.Err || m.Trace != m2.Trace ||
+			m.Busy != m2.Busy || m.RetryAfter != m2.RetryAfter ||
+			m.ClientID != m2.ClientID || m.Seq != m2.Seq ||
+			m.Replayed != m2.Replayed || !bytes.Equal(m.Data, m2.Data) {
+			t.Fatalf("re-encode round trip mismatch:\n  first  %+v\n  second %+v", m, m2)
+		}
+	})
+}
+
+// FuzzMessageRoundTrip drives the encoder from arbitrary field values (with
+// and without the checksum trailer) and asserts a lossless round trip for
+// every message the validator accepts.
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add(uint8(OpWrite), "/data/f", int64(4096), int64(0), []byte("chunk"), "", uint64(1), false, uint32(0), "fwd-3", uint64(9), false, true)
+	f.Add(uint8(OpRead), "", int64(-1), int64(1<<40), []byte{}, "boom", uint64(0), true, uint32(250), "", uint64(0), true, false)
+	f.Fuzz(func(t *testing.T, op uint8, path string, offset, size int64, data []byte, errStr string, trace uint64, busy bool, retryUS uint32, clientID string, seq uint64, replayed, sum bool) {
+		m := &Message{
+			Op: Op(op), Path: path, Offset: offset, Size: size, Data: data,
+			Err: errStr, Trace: trace, Busy: busy,
+			RetryAfter: time.Duration(retryUS) * time.Microsecond,
+			ClientID:   clientID, Seq: seq, Replayed: replayed,
+		}
+		var buf bytes.Buffer
+		var err error
+		if sum {
+			err = WriteMessageChecksum(&buf, m)
+		} else {
+			err = WriteMessage(&buf, m)
+		}
+		if err != nil {
+			if len(path) >= maxPath || len(errStr) >= maxErr || len(clientID) >= maxPath || len(data) > maxData {
+				return // validator rejection: expected, nothing on the wire
+			}
+			t.Fatalf("write rejected a valid message: %v", err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if got.Op != m.Op || got.Path != m.Path || got.Offset != m.Offset ||
+			got.Size != m.Size || got.Err != m.Err || got.Trace != m.Trace ||
+			got.Busy != m.Busy || got.RetryAfter != m.RetryAfter ||
+			got.ClientID != m.ClientID || got.Seq != m.Seq ||
+			got.Replayed != m.Replayed || !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("round trip mismatch (sum=%v):\n  in  %+v\n  out %+v", sum, m, got)
+		}
+	})
+}

@@ -9,7 +9,11 @@
 //
 //	uint32  frame length (bytes after this field)
 //	uint8   opcode
-//	uint8   flags       (bit 0: busy — the server shed this request)
+//	uint8   flags       (bit 0: busy — the server shed this request;
+//	                     bit 1: a CRC32C trailer is present;
+//	                     bit 2: a dedup identity trailer is present;
+//	                     bit 3: replayed — the server answered from its
+//	                            dedup window instead of re-executing)
 //	uint32  retry-after (microseconds; busy responses only, else 0)
 //	uint64  trace id   (0 = untraced; see internal/telemetry)
 //	uint16  path length
@@ -20,16 +24,34 @@
 //	bytes   data       (write payload or read result)
 //	uint16  error length
 //	bytes   error      (responses only; empty means success)
+//	-- optional, bit 2 --
+//	uint16  client id length
+//	bytes   client id  (exactly-once identity; see internal/ion dedup)
+//	uint64  sequence   (per-client, starts at 1; 0 = unstamped)
+//	-- optional, bit 1, always last --
+//	uint32  CRC32C     (Castagnoli, over every body byte before it)
+//
+// Both trailers are flag-gated so a message that carries neither (and a
+// writer with checksums off) encodes byte-identically to protocol
+// version 1; version 2 readers accept both forms, which is the whole
+// negotiation.
 package rpc
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"time"
 )
+
+// ProtoVersion identifies the frame format: version 2 added the flag-gated
+// CRC32C and dedup-identity trailers. Version 1 frames are exactly the
+// version 2 frames with neither flag set, so readers need no version field
+// on the wire — presence bits are the negotiation.
+const ProtoVersion = 2
 
 // Op identifies the remote operation.
 type Op uint8
@@ -91,10 +113,32 @@ type Message struct {
 	// RetryAfter is the server's hint for when to try again (busy
 	// responses only). Encoded on the wire as whole microseconds.
 	RetryAfter time.Duration
+	// ClientID and Seq are the exactly-once identity of a forwarded
+	// request: ClientID names the issuing forwarding client instance, Seq
+	// is its per-client sequence number (starting at 1; 0 means
+	// unstamped). A daemon with a dedup window uses the pair to recognise
+	// a transport-retried request it already applied and replay the cached
+	// response instead of re-executing it.
+	ClientID string
+	Seq      uint64
+	// Replayed marks a response served from the daemon's dedup window:
+	// the operation was applied by an earlier attempt and this response
+	// repeats its outcome without re-executing.
+	Replayed bool
 }
 
 // Flag bits for the frame's flags byte.
-const flagBusy = 1 << 0
+const (
+	flagBusy     = 1 << 0
+	flagChecksum = 1 << 1
+	flagDedup    = 1 << 2
+	flagReplay   = 1 << 3
+)
+
+// castagnoli is the CRC32C polynomial table used for frame checksums
+// (the same polynomial iSCSI and ext4 use; hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // MaxFrame bounds a single frame (a forwarded request carries at most one
 // chunk, so this is generous).
@@ -112,6 +156,11 @@ var (
 	ErrFrameTooLarge = errors.New("rpc: frame too large")
 	// ErrClosed indicates use of a closed client or server.
 	ErrClosed = errors.New("rpc: closed")
+	// ErrChecksum indicates a frame whose CRC32C trailer does not match
+	// its body: the bytes were altered in flight. It is a transport
+	// failure — the connection that produced it must be discarded, since
+	// framing can no longer be trusted.
+	ErrChecksum = errors.New("rpc: frame checksum mismatch")
 )
 
 // validateMessage checks the frame-size limits before any byte touches the
@@ -124,18 +173,40 @@ func validateMessage(m *Message) error {
 	if len(m.Err) >= maxErr {
 		return fmt.Errorf("rpc: error string too long (%d bytes)", len(m.Err))
 	}
+	if len(m.ClientID) >= maxPath {
+		return fmt.Errorf("rpc: client id too long (%d bytes)", len(m.ClientID))
+	}
 	if len(m.Data) > maxData {
 		return fmt.Errorf("%w: %d-byte payload", ErrFrameTooLarge, len(m.Data))
 	}
 	return nil
 }
 
-// WriteMessage encodes m onto w as one frame.
+// WriteMessage encodes m onto w as one frame, without a checksum trailer
+// (the protocol-version-1 form; a dedup identity on m is still encoded).
 func WriteMessage(w io.Writer, m *Message) error {
+	return writeFrame(w, m, false)
+}
+
+// WriteMessageChecksum encodes m onto w as one frame with a CRC32C
+// trailer. Readers verify the trailer whenever it is present, so a
+// checksumming writer interoperates with any reader of this package.
+func WriteMessageChecksum(w io.Writer, m *Message) error {
+	return writeFrame(w, m, true)
+}
+
+func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if err := validateMessage(m); err != nil {
 		return err
 	}
+	hasDedup := m.ClientID != "" || m.Seq != 0
 	n := 1 + 1 + 4 + 8 + 2 + len(m.Path) + 8 + 8 + 4 + len(m.Data) + 2 + len(m.Err)
+	if hasDedup {
+		n += 2 + len(m.ClientID) + 8
+	}
+	if sum {
+		n += 4
+	}
 	buf := make([]byte, 4+n)
 	binary.BigEndian.PutUint32(buf[0:], uint32(n))
 	p := 4
@@ -144,6 +215,15 @@ func WriteMessage(w io.Writer, m *Message) error {
 	var flags byte
 	if m.Busy {
 		flags |= flagBusy
+	}
+	if sum {
+		flags |= flagChecksum
+	}
+	if hasDedup {
+		flags |= flagDedup
+	}
+	if m.Replayed {
+		flags |= flagReplay
 	}
 	buf[p] = flags
 	p++
@@ -163,12 +243,27 @@ func WriteMessage(w io.Writer, m *Message) error {
 	p += copy(buf[p:], m.Data)
 	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Err)))
 	p += 2
-	copy(buf[p:], m.Err)
+	p += copy(buf[p:], m.Err)
+	if hasDedup {
+		binary.BigEndian.PutUint16(buf[p:], uint16(len(m.ClientID)))
+		p += 2
+		p += copy(buf[p:], m.ClientID)
+		binary.BigEndian.PutUint64(buf[p:], m.Seq)
+		p += 8
+	}
+	if sum {
+		binary.BigEndian.PutUint32(buf[p:], crc32.Checksum(buf[4:p], castagnoli))
+	}
 	_, err := w.Write(buf)
 	return err
 }
 
-// ReadMessage decodes one frame from r.
+// ReadMessage decodes one frame from r. When the frame carries a CRC32C
+// trailer (flag bit 1), the trailer is verified before any field is
+// parsed; a mismatch returns ErrChecksum. Every truncation — a stream
+// that ends mid-frame as well as a frame whose declared length is too
+// short for its fields — surfaces as io.ErrUnexpectedEOF (possibly
+// wrapped); plain io.EOF means the stream ended cleanly between frames.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -180,15 +275,34 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			// The body never arrived at all: still a truncated frame, not
+			// a clean end of stream.
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
 	m := &Message{}
 	p := 0
 	need := func(k int) error {
 		if p+k > len(buf) {
-			return fmt.Errorf("rpc: truncated frame (need %d at %d of %d)", k, p, len(buf))
+			return fmt.Errorf("rpc: truncated frame (need %d at %d of %d): %w", k, p, len(buf), io.ErrUnexpectedEOF)
 		}
 		return nil
+	}
+	var flags byte
+	if len(buf) >= 2 {
+		flags = buf[1]
+	}
+	if flags&flagChecksum != 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("rpc: truncated frame (no room for checksum in %d bytes): %w", len(buf), io.ErrUnexpectedEOF)
+		}
+		body, want := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+		if crc32.Checksum(body, castagnoli) != want {
+			return nil, ErrChecksum
+		}
+		buf = body
 	}
 	if err := need(16); err != nil {
 		return nil, err
@@ -196,6 +310,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	m.Op = Op(buf[p])
 	p++
 	m.Busy = buf[p]&flagBusy != 0
+	m.Replayed = buf[p]&flagReplay != 0
 	p++
 	m.RetryAfter = time.Duration(binary.BigEndian.Uint32(buf[p:])) * time.Microsecond
 	p += 4
@@ -229,6 +344,20 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	if errLen > 0 {
 		m.Err = string(buf[p : p+errLen])
+	}
+	p += errLen
+	if flags&flagDedup != 0 {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		idLen := int(binary.BigEndian.Uint16(buf[p:]))
+		p += 2
+		if err := need(idLen + 8); err != nil {
+			return nil, err
+		}
+		m.ClientID = string(buf[p : p+idLen])
+		p += idLen
+		m.Seq = binary.BigEndian.Uint64(buf[p:])
 	}
 	return m, nil
 }

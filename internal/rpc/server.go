@@ -18,8 +18,9 @@ type Handler func(*Message) *Message
 // Server accepts framed-RPC connections and dispatches requests to a
 // Handler. The zero value is unusable; construct with NewServer.
 type Server struct {
-	handler Handler
-	limits  ServerLimits
+	handler  Handler
+	limits   ServerLimits
+	checksum bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -33,6 +34,7 @@ type Server struct {
 	// on them is then a no-op (see internal/telemetry).
 	tel struct {
 		shed, connLimitCloses *telemetry.Counter
+		checksumErrors        *telemetry.Counter
 		connsGauge, inflGauge *telemetry.Gauge
 	}
 }
@@ -49,6 +51,14 @@ func (s *Server) WithLimits(l ServerLimits) *Server {
 	return s
 }
 
+// WithChecksum makes the server append a CRC32C trailer to every response
+// it sends. Inbound frames are verified whenever they carry a trailer,
+// regardless of this setting. Call before Listen. Returns s for chaining.
+func (s *Server) WithChecksum(on bool) *Server {
+	s.checksum = on
+	return s
+}
+
 // Instrument attaches overload metrics to the server: requests shed at the
 // in-flight cap, connections closed at the connection cap, and live
 // connection/in-flight gauges. label is an optional Prometheus label set
@@ -58,6 +68,7 @@ func (s *Server) WithLimits(l ServerLimits) *Server {
 func (s *Server) Instrument(reg *telemetry.Registry, label string) *Server {
 	s.tel.shed = reg.Counter("rpc_server_shed_total" + label)
 	s.tel.connLimitCloses = reg.Counter("rpc_server_conn_limit_closes_total" + label)
+	s.tel.checksumErrors = reg.Counter("rpc_checksum_errors_total" + label)
 	s.tel.connsGauge = reg.Gauge("rpc_server_conns" + label)
 	s.tel.inflGauge = reg.Gauge("rpc_server_inflight" + label)
 	return s
@@ -140,13 +151,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		req, err := ReadMessage(conn)
 		if err != nil {
+			// A checksum mismatch means the frame reached us but its bytes
+			// are untrustworthy — including the opcode and offset, so no
+			// response can be built. Count it and discard the connection:
+			// the client sees a broken exchange (transport failure) and its
+			// retry/breaker accounting applies.
+			if errors.Is(err, ErrChecksum) {
+				s.tel.checksumErrors.Inc()
+			}
 			return // EOF or broken connection
 		}
 		resp := s.dispatch(req)
 		if resp == nil {
-			resp = &Message{Op: req.Op}
+			// Echo only identity fields; never stale flags or payload from
+			// the request (see the response-hygiene audit in ion).
+			resp = &Message{Op: req.Op, Path: req.Path, Trace: req.Trace}
 		}
-		if err := WriteMessage(conn, resp); err != nil {
+		if err := writeFrame(conn, resp, s.checksum); err != nil {
 			return
 		}
 	}
@@ -216,7 +237,7 @@ type Client struct {
 		deadlineExpired, retries             *telemetry.Counter
 		breakerOpens, breakerProbes          *telemetry.Counter
 		breakerCloses, breakerRejects        *telemetry.Counter
-		busyResponses                        *telemetry.Counter
+		busyResponses, checksumErrors        *telemetry.Counter
 		latency                              *telemetry.Histogram
 	}
 	tracer *telemetry.Tracer
@@ -280,6 +301,7 @@ func (c *Client) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) *
 	c.tel.breakerCloses = reg.Counter("rpc_breaker_close_total")
 	c.tel.breakerRejects = reg.Counter("rpc_breaker_rejected_total")
 	c.tel.busyResponses = reg.Counter("rpc_busy_responses_total")
+	c.tel.checksumErrors = reg.Counter("rpc_checksum_errors_total")
 	c.tel.latency = reg.Histogram("rpc_call_latency_seconds", telemetry.LatencyBuckets())
 	c.tracer = tracer
 	return c
@@ -404,13 +426,18 @@ func (c *Client) roundTrip(conn net.Conn, req *Message) (*Message, error) {
 			return nil, err
 		}
 	}
-	if err := WriteMessage(conn, req); err != nil {
+	if err := writeFrame(conn, req, c.opts.WireChecksum); err != nil {
 		c.noteTimeout(err)
 		c.putConn(conn, true)
 		return nil, err
 	}
 	resp, err := ReadMessage(conn)
 	if err != nil {
+		// A corrupted response is a transport failure like any other: the
+		// conn is discarded here and the retry/breaker loop takes over.
+		if errors.Is(err, ErrChecksum) {
+			c.tel.checksumErrors.Inc()
+		}
 		c.noteTimeout(err)
 		c.putConn(conn, true)
 		return nil, err

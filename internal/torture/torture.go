@@ -1,0 +1,463 @@
+// Package torture runs a Jepsen-style integrity campaign against the full
+// forwarding stack: a seeded nemesis schedules kills, warm restarts, bit
+// corruption, delays, resets and mid-frame cuts against a live 12-ION
+// stack while concurrent clients write known patterns, and a byte-level
+// oracle checks what actually reached storage.
+//
+// The oracle has three teeth:
+//
+//  1. Content: every file must read back byte-identical to the pattern the
+//     workload wrote, no matter what the nemesis did in flight.
+//  2. Exactly-once: for every segment acknowledged on its first attempt, no
+//     single I/O node may have applied any of its bytes more than once —
+//     transport retries must be absorbed by the dedup window, not
+//     re-executed. (Segments the application itself retried are exempt:
+//     an app-level retry is a new intent with a new sequence number, and
+//     re-application of identical bytes is the documented behaviour.)
+//  3. Liveness: at least one kill→warm-restart→rejoin cycle happens per
+//     run, so the campaign always exercises the recovery path.
+//
+// Every decision the nemesis and the workload make is drawn from rand
+// streams derived from Config.Seed, so a failing run is reproducible with
+// TORTURE_SEED (see the test and EXPERIMENTS.md).
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/fwd"
+	"repro/internal/ion"
+	"repro/internal/livestack"
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// Config parameterizes a campaign. The zero value of every field selects a
+// default sized for a CI run under the race detector.
+type Config struct {
+	// Seed drives every random decision (nemesis schedule, corruption
+	// streams, workload interleaving hints).
+	Seed int64
+	// IONs is the stack size; ≤0 selects 12 (the paper's deployment).
+	IONs int
+	// Clients is the number of concurrent writing applications; ≤0
+	// selects 3.
+	Clients int
+	// Segments is how many segments each client writes; ≤0 selects 20.
+	Segments int
+	// SegSize is the bytes per segment; ≤0 selects 8 KiB (two forwarding
+	// chunks, so every segment exercises splitting).
+	SegSize int
+	// Steps is the number of nemesis events; ≤0 selects 14.
+	Steps int
+	// Timeout bounds the whole campaign; ≤0 selects 90s.
+	Timeout time.Duration
+	// Log, when non-nil, receives progress lines (wire it to t.Logf).
+	Log func(format string, args ...any)
+}
+
+// Report summarizes a campaign that passed its oracle.
+type Report struct {
+	Seed           int64
+	Events         []string // the nemesis schedule, in order
+	Restarts       int      // kill→warm-restart cycles performed
+	BitsFlipped    int64    // bits the Corrupt plans flipped on the wire
+	ChecksumErrors int64    // frames the CRC trailer rejected, stack-wide
+	DedupReplays   int64    // writes answered from a dedup window
+	AppRetries     int      // segments the workload had to re-issue
+	CleanSegments  int      // segments acknowledged on the first attempt
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"seed=%d events=%d restarts=%d flipped=%d crc_rejects=%d replays=%d app_retries=%d clean=%d",
+		r.Seed, len(r.Events), r.Restarts, r.BitsFlipped, r.ChecksumErrors,
+		r.DedupReplays, r.AppRetries, r.CleanSegments)
+}
+
+// oracle wraps one I/O node's storage backend and counts, per byte of
+// every file, how many times this node applied a write covering it. The
+// shared store still does the real work; the oracle only watches.
+type oracle struct {
+	ion.Backend
+	mu    sync.Mutex
+	cover map[string][]uint8
+}
+
+func newOracle(b ion.Backend) *oracle {
+	return &oracle{Backend: b, cover: make(map[string][]uint8)}
+}
+
+func (o *oracle) record(path string, off int64, n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.cover[path]
+	if need := int(off) + n; len(s) < need {
+		s = append(s, make([]uint8, need-len(s))...)
+	}
+	for i := 0; i < n; i++ {
+		if s[int(off)+i] < 255 {
+			s[int(off)+i]++
+		}
+	}
+	o.cover[path] = s
+}
+
+func (o *oracle) Write(path string, off int64, p []byte) (int, error) {
+	o.record(path, off, len(p))
+	return o.Backend.Write(path, off, p)
+}
+
+func (o *oracle) WriteAs(writer, path string, off int64, p []byte) (int, error) {
+	o.record(path, off, len(p))
+	return o.Backend.WriteAs(writer, path, off, p)
+}
+
+// maxCover returns the highest per-byte apply count this node recorded in
+// [off, off+n) of path.
+func (o *oracle) maxCover(path string, off int64, n int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.cover[path]
+	max := 0
+	for i := int(off); i < int(off)+n && i < len(s); i++ {
+		if int(s[i]) > max {
+			max = int(s[i])
+		}
+	}
+	return max
+}
+
+// pattern is the expected byte at offset off of client c's file: a rolling
+// sequence offset by the client index so cross-file mixups can't cancel
+// out.
+func pattern(c int, off int64) byte { return byte((off + int64(c)*13) % 251) }
+
+func filename(c int) string { return fmt.Sprintf("/torture/c%d", c) }
+
+// Run executes one campaign and checks the oracle. A nil error means every
+// invariant held; the Report is returned in both cases (partially filled
+// on failure) so callers can log what the schedule did.
+func Run(cfg Config) (*Report, error) {
+	if cfg.IONs <= 0 {
+		cfg.IONs = 12
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Segments <= 0 {
+		cfg.Segments = 20
+	}
+	if cfg.SegSize <= 0 {
+		cfg.SegSize = 8 << 10
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 14
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 90 * time.Second
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	rep := &Report{Seed: cfg.Seed}
+
+	injectors := make([]*faultnet.Injector, cfg.IONs)
+	oracles := make([]*oracle, cfg.IONs)
+	for i := range injectors {
+		injectors[i] = faultnet.NewInjector(faultnet.Plan{})
+	}
+	st, err := livestack.Start(livestack.Config{
+		IONs:      cfg.IONs,
+		Scheduler: "FIFO",
+		ChunkSize: 4 << 10,
+
+		WireChecksum: true,
+		DedupWindow:  256,
+
+		RPC: rpc.Options{
+			CallTimeout:      250 * time.Millisecond,
+			MaxRetries:       3,
+			RetryBackoff:     time.Millisecond,
+			RetryBackoffMax:  10 * time.Millisecond,
+			BreakerThreshold: 4,
+			BreakerCooldown:  100 * time.Millisecond,
+		},
+		HealthInterval:      20 * time.Millisecond,
+		HealthTimeout:       250 * time.Millisecond,
+		HealthFailThreshold: 3,
+		HealthRiseThreshold: 2,
+
+		QueueCap:       64,
+		RetryAfterHint: 2 * time.Millisecond,
+		Throttle:       fwd.ThrottleConfig{Enabled: true},
+
+		WrapListener: func(i int, ln net.Listener) net.Listener {
+			return faultnet.WrapListener(ln, injectors[i])
+		},
+		WrapBackend: func(i int, b ion.Backend) ion.Backend {
+			oracles[i] = newOracle(b)
+			return oracles[i]
+		},
+	})
+	if err != nil {
+		return rep, fmt.Errorf("torture: start stack: %w", err)
+	}
+	defer st.Close()
+
+	// Phase 0 (clean network): clients, arbitration, file creation. Setup
+	// faults are the chaos tests' business; the campaign starts at a known
+	// state so the oracle has no excuses.
+	// The clients are ranks of one application (distinct dedup identities,
+	// shared allocation) — with several identical apps the arbitration
+	// policy is free to give one of them direct PFS access, which would
+	// silently exempt it from the campaign.
+	clients := make([]*fwd.Client, cfg.Clients)
+	spec, err := perfmodel.AppByLabel("IOR-MPI")
+	if err != nil {
+		return rep, err
+	}
+	for c := range clients {
+		cl, err := st.NewClient("torture")
+		if err != nil {
+			return rep, err
+		}
+		clients[c] = cl
+	}
+	if alloc, err := st.Arbiter.JobStarted(policy.FromAppSpec("torture", spec)); err != nil {
+		return rep, err
+	} else if len(alloc) == 0 {
+		return rep, fmt.Errorf("torture: the arbiter allocated no I/O nodes")
+	}
+	for c, cl := range clients {
+		for len(cl.IONs()) == 0 {
+			if time.Now().After(deadline) {
+				return rep, fmt.Errorf("torture: client %d never observed an allocation", c)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := cl.Create(filename(c)); err != nil {
+			return rep, fmt.Errorf("torture: create %s: %v", filename(c), err)
+		}
+	}
+
+	// Workload: each client writes its segments in order, retrying a
+	// failed segment until it lands (each retry is a new intent — those
+	// segments are exempted from the exactly-once check), and
+	// occasionally reads back a segment it already completed. Reads go
+	// through the faulted stack too: a successful read must return
+	// exactly what was acknowledged.
+	attempts := make([][]int, cfg.Clients) // per client, per segment
+	var readbacks int64
+	workErr := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	workloadDone := make(chan struct{})
+	for c := range clients {
+		attempts[c] = make([]int, cfg.Segments)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			crng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x9e3779b9*(c+1))))
+			seg := make([]byte, cfg.SegSize)
+			for s := 0; s < cfg.Segments; s++ {
+				// Pace the stream so writes stay in flight across most of
+				// the nemesis schedule instead of racing past it.
+				time.Sleep(time.Duration(40+crng.Intn(60)) * time.Millisecond)
+				off := int64(s) * int64(cfg.SegSize)
+				for i := range seg {
+					seg[i] = pattern(c, off+int64(i))
+				}
+				for {
+					attempts[c][s]++
+					if _, err := cl.Write(filename(c), off, seg); err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						workErr <- fmt.Errorf("torture: client %d segment %d never landed", c, s)
+						return
+					}
+					time.Sleep(time.Duration(5+crng.Intn(10)) * time.Millisecond)
+				}
+				if s > 0 && crng.Intn(4) == 0 {
+					prev := crng.Intn(s)
+					poff := int64(prev) * int64(cfg.SegSize)
+					buf := make([]byte, cfg.SegSize)
+					if n, err := cl.Read(filename(c), poff, buf); err == nil && n == len(buf) {
+						for i := range buf {
+							if buf[i] != pattern(c, poff+int64(i)) {
+								workErr <- fmt.Errorf(
+									"torture: client %d read back corrupt byte %d of segment %d: got %d want %d",
+									c, i, prev, buf[i], pattern(c, poff+int64(i)))
+								return
+							}
+						}
+						atomic.AddInt64(&readbacks, 1)
+					}
+				}
+			}
+		}(c)
+	}
+	go func() { wg.Wait(); close(workloadDone) }()
+
+	// Nemesis: a single goroutine draws a deterministic schedule from the
+	// seed and applies one fault at a time, always cleaning up after
+	// itself. It stops early if the workload finishes first.
+	nrng := rand.New(rand.NewSource(cfg.Seed))
+	sleep := func(d time.Duration) bool { // false = workload finished
+		select {
+		case <-workloadDone:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	killRestart := func() error {
+		i := nrng.Intn(cfg.IONs)
+		hold := time.Duration(50+nrng.Intn(100)) * time.Millisecond
+		rep.Events = append(rep.Events, fmt.Sprintf("kill ion%02d hold %v", i, hold))
+		logf("nemesis: kill ion%02d, restart after %v", i, hold)
+		st.Daemons[i].Close()
+		time.Sleep(hold)
+		if err := st.RestartION(i); err != nil {
+			return fmt.Errorf("torture: restart ion%02d: %w", i, err)
+		}
+		rep.Restarts++
+		return nil
+	}
+	nemesis := func() error {
+		for step := 0; step < cfg.Steps; step++ {
+			select {
+			case <-workloadDone:
+				return nil
+			default:
+			}
+			i := nrng.Intn(cfg.IONs)
+			hold := time.Duration(30+nrng.Intn(60)) * time.Millisecond
+			switch pick := nrng.Intn(100); {
+			case pick < 25:
+				if err := killRestart(); err != nil {
+					return err
+				}
+			case pick < 55:
+				seed := nrng.Int63()
+				rep.Events = append(rep.Events, fmt.Sprintf("corrupt ion%02d seed %d hold %v", i, seed, hold))
+				logf("nemesis: corrupt ion%02d for %v", i, hold)
+				injectors[i].Set(faultnet.Plan{Kind: faultnet.Corrupt, Seed: seed, FlipOneIn: 4})
+				sleep(hold)
+				rep.BitsFlipped += injectors[i].Flipped()
+				injectors[i].Set(faultnet.Plan{})
+			case pick < 70:
+				d := time.Duration(2+nrng.Intn(8)) * time.Millisecond
+				rep.Events = append(rep.Events, fmt.Sprintf("delay ion%02d %v hold %v", i, d, hold))
+				logf("nemesis: delay ion%02d by %v for %v", i, d, hold)
+				injectors[i].Set(faultnet.Plan{Kind: faultnet.Delay, Delay: d})
+				sleep(hold)
+				injectors[i].Set(faultnet.Plan{})
+			case pick < 85:
+				rep.Events = append(rep.Events, fmt.Sprintf("reset ion%02d hold %v", i, hold))
+				logf("nemesis: reset ion%02d for %v", i, hold)
+				injectors[i].Set(faultnet.Plan{Kind: faultnet.Reset})
+				sleep(hold)
+				injectors[i].Set(faultnet.Plan{})
+			default:
+				budget := int64(200 + nrng.Intn(4000))
+				rep.Events = append(rep.Events, fmt.Sprintf("drop-after ion%02d %dB hold %v", i, budget, hold))
+				logf("nemesis: cut ion%02d mid-frame after %dB for %v", i, budget, hold)
+				injectors[i].Set(faultnet.Plan{Kind: faultnet.DropAfter, Bytes: budget})
+				sleep(hold)
+				injectors[i].Set(faultnet.Plan{})
+			}
+			if !sleep(time.Duration(20+nrng.Intn(60)) * time.Millisecond) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := nemesis(); err != nil {
+		return rep, err
+	}
+	// The liveness invariant: every campaign exercises at least one
+	// kill→restart→rejoin, whatever the dice said.
+	if rep.Restarts == 0 {
+		if err := killRestart(); err != nil {
+			return rep, err
+		}
+	}
+	for i := range injectors {
+		injectors[i].Set(faultnet.Plan{})
+	}
+
+	select {
+	case <-workloadDone:
+	case <-time.After(time.Until(deadline)):
+		return rep, fmt.Errorf("torture: workload did not finish before the deadline")
+	}
+	close(workErr)
+	if err := <-workErr; err != nil {
+		return rep, err
+	}
+
+	// Oracle 1 — content: every file reads back byte-identical from the
+	// backing store (no forwarding layer between us and the truth).
+	total := cfg.Segments * cfg.SegSize
+	for c := range clients {
+		buf := make([]byte, total)
+		if n, err := st.Store.Read(filename(c), 0, buf); err != nil || n != total {
+			return rep, fmt.Errorf("torture: store read %s: n=%d err=%v", filename(c), n, err)
+		}
+		for i := range buf {
+			if buf[i] != pattern(c, int64(i)) {
+				return rep, fmt.Errorf("torture: %s byte %d corrupted: got %d want %d",
+					filename(c), i, buf[i], pattern(c, int64(i)))
+			}
+		}
+	}
+
+	// Oracle 2 — exactly-once: a segment acknowledged on its first
+	// attempt must not have any byte applied more than once by any single
+	// I/O node; a duplicate there means a transport retry re-executed
+	// instead of replaying from the dedup window.
+	for c := range clients {
+		for s := 0; s < cfg.Segments; s++ {
+			if attempts[c][s] > 1 {
+				rep.AppRetries += attempts[c][s] - 1
+				continue
+			}
+			rep.CleanSegments++
+			off := int64(s) * int64(cfg.SegSize)
+			for i, o := range oracles {
+				if m := o.maxCover(filename(c), off, cfg.SegSize); m > 1 {
+					return rep, fmt.Errorf(
+						"torture: ion%02d applied bytes of %s segment %d (one acknowledged attempt) %d times — dedup failed",
+						i, filename(c), s, m)
+				}
+			}
+		}
+	}
+	if rep.CleanSegments == 0 {
+		return rep, fmt.Errorf("torture: every segment needed app-level retries — the exactly-once oracle checked nothing")
+	}
+
+	// Bookkeeping for the report: stack-wide integrity counters.
+	for _, d := range st.Daemons {
+		rep.DedupReplays += d.Stats().DedupReplays
+	}
+	for name, v := range st.Telemetry.Snapshot().Counters {
+		if strings.HasPrefix(name, "rpc_checksum_errors_total") {
+			rep.ChecksumErrors += v
+		}
+	}
+	logf("torture: %s readbacks=%d", rep, atomic.LoadInt64(&readbacks))
+	return rep, nil
+}

@@ -1,0 +1,48 @@
+package torture
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestTorture runs one seeded campaign. The seed comes from TORTURE_SEED
+// when set (reproduce a failure with `TORTURE_SEED=<n> make torture`);
+// otherwise it defaults to 1 so CI runs are deterministic.
+func TestTorture(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("TORTURE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("TORTURE_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	rep, err := Run(Config{Seed: seed, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("campaign failed (reproduce with TORTURE_SEED=%d): %v\nschedule: %v", seed, err, rep.Events)
+	}
+	if rep.Restarts < 1 {
+		t.Fatalf("no restart-rejoin cycle ran: %s", rep)
+	}
+	t.Logf("campaign passed: %s", rep)
+}
+
+// TestTortureSecondSeed runs a different schedule, so a single `go test`
+// covers two distinct fault interleavings even without -count.
+func TestTortureSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one campaign is enough")
+	}
+	if os.Getenv("TORTURE_SEED") != "" {
+		t.Skip("TORTURE_SEED pins a specific schedule; skipping the second seed")
+	}
+	rep, err := Run(Config{Seed: 20260806, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("campaign failed (reproduce with TORTURE_SEED=20260806): %v\nschedule: %v", err, rep.Events)
+	}
+	if rep.Restarts < 1 {
+		t.Fatalf("no restart-rejoin cycle ran: %s", rep)
+	}
+	t.Logf("campaign passed: %s", rep)
+}
