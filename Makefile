@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm torture fuzz bench bench-campaign
+.PHONY: verify build test test-race vet lint chaos storm torture fuzz bench bench-campaign bench-hotpath
 
 verify: vet build test-race
 
@@ -77,3 +77,10 @@ bench:
 # pool); results are byte-identical at every worker count.
 bench-campaign:
 	$(GO) test -run - -bench BenchmarkCampaignWorkers -benchtime 1x .
+
+# Forwarded-write hot path after the zero-allocation rewrite: end-to-end
+# ns/op vs the committed seed baseline, plus the rpc wire path's
+# allocs/op budget (the target FAILS if the budget is exceeded); writes
+# BENCH_hotpath.json. Tunables: PAIRS, BENCHTIME, ALLOC_BUDGET.
+bench-hotpath:
+	sh scripts/bench_hotpath.sh

@@ -28,8 +28,9 @@ type options struct {
 	queue     bool
 	rate      float64
 
-	metricsAddr string
-	chunkSize   int64
+	metricsAddr   string
+	chunkSize     int64
+	coalesceLimit int64
 
 	callTimeout      time.Duration
 	rpcRetries       int
@@ -67,6 +68,7 @@ func parseFlags() *options {
 	flag.Float64Var(&o.rate, "ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /trace/recent on this address (e.g. :9090; empty = off)")
 	flag.Int64Var(&o.chunkSize, "chunk-size", 0, "forwarding request-splitting unit in bytes (0 = default)")
+	flag.Int64Var(&o.coalesceLimit, "coalesce-limit", 0, "max contiguous same-node bytes merged into one wire request (0 = default)")
 	flag.DurationVar(&o.callTimeout, "call-timeout", 0, "per-RPC deadline (0 = block forever, the legacy behaviour)")
 	flag.IntVar(&o.rpcRetries, "rpc-retries", 0, "transport-failure retries per RPC")
 	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive transport failures that open a circuit breaker (0 = breaker off)")
@@ -100,6 +102,12 @@ func (o *options) validate() error {
 	}
 	if o.chunkSize < 0 {
 		return fmt.Errorf("-chunk-size must not be negative, got %d", o.chunkSize)
+	}
+	if o.coalesceLimit < 0 {
+		return fmt.Errorf("-coalesce-limit must not be negative, got %d", o.coalesceLimit)
+	}
+	if o.coalesceLimit > 0 && o.chunkSize > 0 && o.coalesceLimit < o.chunkSize {
+		return fmt.Errorf("-coalesce-limit (%d) must not be below -chunk-size (%d)", o.coalesceLimit, o.chunkSize)
 	}
 	for _, d := range []struct {
 		name string
@@ -152,10 +160,11 @@ func (o *options) validate() error {
 // stackConfig assembles the livestack configuration from validated options.
 func (o *options) stackConfig() livestack.Config {
 	cfg := livestack.Config{
-		IONs:      o.ions,
-		Scheduler: o.scheduler,
-		Policy:    policy.MCKP{},
-		ChunkSize: o.chunkSize,
+		IONs:          o.ions,
+		Scheduler:     o.scheduler,
+		Policy:        policy.MCKP{},
+		ChunkSize:     o.chunkSize,
+		CoalesceLimit: o.coalesceLimit,
 		RPC: rpc.Options{
 			CallTimeout:      o.callTimeout,
 			MaxRetries:       o.rpcRetries,

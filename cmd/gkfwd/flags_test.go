@@ -28,6 +28,8 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		{"negative ions", func(o *options) { o.ions = -3 }, "-ions"},
 		{"negative ost rate", func(o *options) { o.rate = -1 }, "-ost-mbps"},
 		{"negative chunk size", func(o *options) { o.chunkSize = -4096 }, "-chunk-size"},
+		{"negative coalesce limit", func(o *options) { o.coalesceLimit = -1 }, "-coalesce-limit"},
+		{"coalesce limit below chunk size", func(o *options) { o.chunkSize = 4096; o.coalesceLimit = 1024 }, "-coalesce-limit"},
 		{"negative call timeout", func(o *options) { o.callTimeout = -time.Second }, "-call-timeout"},
 		{"negative breaker cooldown", func(o *options) { o.breakerCooldown = -1 }, "-breaker-cooldown"},
 		{"negative health interval", func(o *options) { o.healthInterval = -time.Millisecond }, "-health-interval"},
@@ -90,6 +92,7 @@ func TestStackConfigCarriesOverloadKnobs(t *testing.T) {
 	o.throttleMin = 2
 	o.throttleMax = 16
 	o.chunkSize = 1 << 16
+	o.coalesceLimit = 1 << 20
 	cfg := o.stackConfig()
 	if cfg.QueueCap != 64 || cfg.MaxInflight != 16 || cfg.MaxConns != 8 {
 		t.Fatalf("admission knobs not carried: %+v", cfg)
@@ -105,6 +108,9 @@ func TestStackConfigCarriesOverloadKnobs(t *testing.T) {
 	}
 	if cfg.ChunkSize != 1<<16 {
 		t.Fatalf("chunk size not carried: %d", cfg.ChunkSize)
+	}
+	if cfg.CoalesceLimit != 1<<20 {
+		t.Fatalf("coalesce limit not carried: %d", cfg.CoalesceLimit)
 	}
 }
 

@@ -42,7 +42,9 @@ func startRecorder(t *testing.T, r *stampRecorder) string {
 func TestDedupStampsWrites(t *testing.T) {
 	rec := &stampRecorder{}
 	addr := startRecorder(t, rec)
-	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, Dedup: true})
+	// CoalesceLimit == ChunkSize keeps every chunk its own wire request,
+	// so the per-request stamping contract is observable chunk by chunk.
+	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, CoalesceLimit: 4, Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestDistinctClientsDistinctIdentity(t *testing.T) {
 func TestReplayedWritesCounted(t *testing.T) {
 	rec := &stampRecorder{replayed: true}
 	addr := startRecorder(t, rec)
-	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, Dedup: true})
+	c, err := NewClient(Config{AppID: "app", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 4, CoalesceLimit: 4, Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}

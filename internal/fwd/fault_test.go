@@ -79,7 +79,9 @@ func TestPartialWriteFailureLeavesConsistentPrefix(t *testing.T) {
 	}
 	defer d.Close()
 
-	c, err := NewClient(Config{AppID: "app", Direct: store, ChunkSize: 128})
+	// CoalesceLimit == ChunkSize: each chunk stays its own dispatched
+	// write, so the 3rd-write fault lands mid-operation as intended.
+	c, err := NewClient(Config{AppID: "app", Direct: store, ChunkSize: 128, CoalesceLimit: 128})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,10 @@
 //   - requests are split into fixed-size chunks;
 //   - each chunk is routed to one of the application's allocated I/O nodes
 //     by hashing the file path and chunk index (GekkoFS's distribution,
-//     restricted to the allocation as in GekkoFWD);
+//     restricted to the allocation as in GekkoFWD); contiguous chunks that
+//     land on the same I/O node are coalesced into one wire request (up to
+//     CoalesceLimit), so a large sequential write costs one RPC per
+//     responsible node, not one per chunk;
 //   - the allocation can change at any time without disrupting the
 //     application: a background watcher applies mapping updates, and
 //     in-flight requests complete on the old routes;
@@ -20,12 +23,17 @@
 //     exhausted, or its circuit breaker open) degrades that node's chunks
 //     to direct PFS access — counted as fwd_failover_ops_total — until a
 //     fresh mapping re-routes them.
+//
+// The data path is built to stay allocation-free per operation: the path
+// is FNV-hashed once per op and extended per chunk index without
+// constructing a hasher (see fnvString/fnvChunk), the route table is an
+// immutable snapshot loaded with one atomic read (no lock, no map lookup
+// per chunk), and span building works in a caller-provided stack buffer.
 package fwd
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +49,12 @@ import (
 // DefaultChunkSize is the GekkoFS chunking unit (512 KiB).
 const DefaultChunkSize = 512 * units.KiB
 
+// DefaultCoalesceLimit caps a coalesced span (one wire request) at 4 MiB:
+// large enough to amortize per-RPC overhead over eight default chunks,
+// small enough that one span cannot monopolize an I/O node's queue or
+// defeat the chunk-level fan-out across nodes.
+const DefaultCoalesceLimit = 4 * units.MiB
+
 // Config parameterizes a client.
 type Config struct {
 	// AppID is the application identity used to look up allocations in
@@ -52,6 +66,12 @@ type Config struct {
 	// ChunkSize is the request-splitting unit; ≤0 selects
 	// DefaultChunkSize.
 	ChunkSize int64
+	// CoalesceLimit caps how many contiguous bytes routed to the same I/O
+	// node are merged into a single wire request; ≤0 selects
+	// DefaultCoalesceLimit, and any value is clamped to rpc.MaxData so a
+	// span always fits one frame. A limit below ChunkSize effectively
+	// disables coalescing (every span is a single chunk).
+	CoalesceLimit int64
 	// PoolSize is the RPC connection pool per I/O node; ≤0 selects the
 	// transport default.
 	PoolSize int
@@ -84,15 +104,26 @@ type Config struct {
 
 // Stats counts client-side activity.
 type Stats struct {
-	ForwardedOps  int64
-	DirectOps     int64
-	FailoverOps   int64
+	ForwardedOps   int64 // wire requests issued (coalesced spans count once)
+	DirectOps      int64
+	FailoverOps    int64
 	ShedResponses  int64 // busy responses observed (server-side sheds)
 	DegradedOps    int64 // ops satisfied on the direct path due to overload
 	ReplayedWrites int64 // write responses served from a daemon's dedup window
 	BytesOut       int64
 	BytesIn        int64
 	RemapsApplied  int64
+}
+
+// routeView is an immutable snapshot of the routing state: the allocation
+// and, position-aligned with it, the connections and throttle gates. The
+// data path loads it with one atomic read per operation and never touches
+// a lock or a map; SetIONs/ApplyMap publish a fresh snapshot on every
+// remap.
+type routeView struct {
+	addrs []string
+	conns []*rpc.Client
+	gates []*ionGate // nil entries when throttling is disabled
 }
 
 // Client is the forwarding client. It implements pfs.FileSystem.
@@ -102,12 +133,17 @@ type Client struct {
 	// clientID and seq are the exactly-once write identity (set when
 	// cfg.Dedup is on). The ID is unique per Client instance so two
 	// clients sharing an AppID never collide in a daemon's dedup window;
-	// seq starts at 1 and a transport- or busy-retried chunk reuses the
+	// seq starts at 1 and a transport- or busy-retried span reuses the
 	// seq of its first attempt (the retry loops sit below the stamping).
 	clientID string
 	seq      atomic.Uint64
 
-	mu    sync.RWMutex
+	// view is the lock-free routing snapshot the data path reads; mu
+	// guards the slow-path state it is built from (the allocation, the
+	// pooled connection and gate maps, and the mapping version).
+	view atomic.Pointer[routeView]
+
+	mu    sync.Mutex
 	addrs []string               // current allocation (empty = direct)
 	conns map[string]*rpc.Client // address → pooled connection, kept across remaps
 	gates map[string]*ionGate    // address → AIMD throttle gate, kept across remaps
@@ -139,6 +175,12 @@ func NewClient(cfg Config) (*Client, error) {
 	}
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.CoalesceLimit <= 0 {
+		cfg.CoalesceLimit = DefaultCoalesceLimit
+	}
+	if cfg.CoalesceLimit > rpc.MaxData {
+		cfg.CoalesceLimit = rpc.MaxData
 	}
 	cfg.Throttle = cfg.Throttle.withDefaults()
 	c := &Client{cfg: cfg, conns: make(map[string]*rpc.Client), gates: make(map[string]*ionGate)}
@@ -172,51 +214,68 @@ var clientInstance atomic.Uint64
 func (c *Client) SetIONs(addrs []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.setIONsLocked(addrs)
+}
+
+// setIONsLocked installs an allocation and publishes the new route view.
+// Callers hold c.mu.
+func (c *Client) setIONsLocked(addrs []string) {
 	c.addrs = append([]string(nil), addrs...)
-	for _, a := range addrs {
+	v := &routeView{
+		addrs: c.addrs,
+		conns: make([]*rpc.Client, len(addrs)),
+		gates: make([]*ionGate, len(addrs)),
+	}
+	for i, a := range addrs {
 		if _, ok := c.conns[a]; !ok {
 			c.conns[a] = rpc.Dial(a, c.cfg.PoolSize).
 				WithOptions(c.cfg.RPC).
-				Instrument(c.cfg.Telemetry, c.cfg.Tracer)
+				Instrument(c.reg, c.cfg.Tracer)
 		}
+		v.conns[i] = c.conns[a]
 		if c.cfg.Throttle.Enabled {
 			if _, ok := c.gates[a]; !ok {
 				c.gates[a] = newIonGate(c.cfg.Throttle,
 					c.reg.Gauge(fmt.Sprintf("fwd_throttle_window_x1000{app=%q,ion=%q}", c.cfg.AppID, a)))
 			}
+			v.gates[i] = c.gates[a]
 		}
 	}
+	c.view.Store(v)
 	c.stats.remaps.Add(1)
 }
 
 // IONs returns the current allocation.
 func (c *Client) IONs() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]string(nil), c.addrs...)
 }
 
 // ApplyMap installs the allocation a mapping update assigns to this
-// application. Stale versions are ignored.
+// application. Stale versions are ignored. The version check and the
+// install happen under one critical section, so two updates delivered
+// out of order can never leave the older allocation installed with the
+// newer version recorded (the TOCTOU race the previous
+// check-release-reacquire sequence allowed).
 func (c *Client) ApplyMap(m mapping.Map) {
-	c.mu.RLock()
-	stale := m.Version != 0 && m.Version <= c.ver
-	c.mu.RUnlock()
-	if stale {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Version != 0 && m.Version <= c.ver {
 		return
 	}
-	c.SetIONs(m.For(c.cfg.AppID))
-	c.mu.Lock()
+	c.setIONsLocked(m.For(c.cfg.AppID))
 	c.ver = m.Version
-	c.mu.Unlock()
 }
 
 // Watch consumes mapping updates from ch (a mapping.Bus subscription or a
 // mapping.Watcher) in a background goroutine until cancel is called or the
-// channel closes. This is GekkoFWD's client-side remapping thread.
+// channel closes. This is GekkoFWD's client-side remapping thread. The
+// returned cancel is idempotent and safe to call concurrently.
 func (c *Client) Watch(ch <-chan mapping.Map) (cancel func()) {
 	stop := make(chan struct{})
 	done := make(chan struct{})
+	var once sync.Once
 	go func() {
 		defer close(done)
 		for {
@@ -232,11 +291,7 @@ func (c *Client) Watch(ch <-chan mapping.Map) (cancel func()) {
 		}
 	}()
 	return func() {
-		select {
-		case <-stop:
-		default:
-			close(stop)
-		}
+		once.Do(func() { close(stop) })
 		<-done
 	}
 }
@@ -248,6 +303,7 @@ func (c *Client) Close() error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.view.Store(nil)
 	for _, conn := range c.conns {
 		conn.Close()
 	}
@@ -262,9 +318,9 @@ func (c *Client) Stats() Stats {
 	var s Stats
 	c.reg.View(func() {
 		s = Stats{
-			ForwardedOps:  c.stats.forwarded.Value(),
-			DirectOps:     c.stats.direct.Value(),
-			FailoverOps:   c.stats.failover.Value(),
+			ForwardedOps:   c.stats.forwarded.Value(),
+			DirectOps:      c.stats.direct.Value(),
+			FailoverOps:    c.stats.failover.Value(),
 			ShedResponses:  c.stats.shed.Value(),
 			DegradedOps:    c.stats.degraded.Value(),
 			ReplayedWrites: c.stats.replayed.Value(),
@@ -323,27 +379,61 @@ func chunkNote(n int) string {
 	return fmt.Sprintf("chunks=%d", n)
 }
 
-// route returns the connection for a chunk, or nil for direct mode.
-func (c *Client) route(path string, chunkIdx int64) *rpc.Client {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if len(c.addrs) == 0 {
-		return nil
+// FNV-1a (64-bit) constants, inlined from hash/fnv so per-chunk routing
+// never constructs a hasher or materializes index bytes.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvString extends an FNV-1a state with the bytes of s. Seed with
+// fnvOffset64 for a fresh hash.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
 	}
-	h := fnv.New64a()
-	h.Write([]byte(path))
-	var idx [8]byte
-	for i := 0; i < 8; i++ {
-		idx[i] = byte(chunkIdx >> (8 * i))
-	}
-	h.Write(idx[:])
-	return c.conns[c.addrs[h.Sum64()%uint64(len(c.addrs))]]
+	return h
 }
 
-// metaTarget returns the connection for metadata ops on path (nil for
-// direct mode). Metadata always routes by path hash alone, like GekkoFS.
-func (c *Client) metaTarget(path string) *rpc.Client {
-	return c.route(path, 0)
+// fnvChunk extends a path hash with the chunk index, encoded as the same
+// eight little-endian bytes the original hash/fnv-based routing wrote —
+// TestRouteHashMatchesFNV pins the bit-for-bit equivalence, so chunk
+// placement is unchanged across the rewrite.
+func fnvChunk(h uint64, chunkIdx int64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(chunkIdx>>i))) * fnvPrime64
+	}
+	return h
+}
+
+// loadView returns the current routing snapshot (nil means direct mode).
+func (c *Client) loadView() *routeView {
+	v := c.view.Load()
+	if v == nil || len(v.addrs) == 0 {
+		return nil
+	}
+	return v
+}
+
+// route returns the connection for a chunk, or nil for direct mode.
+func (c *Client) route(path string, chunkIdx int64) *rpc.Client {
+	v := c.loadView()
+	if v == nil {
+		return nil
+	}
+	return v.conns[fnvChunk(fnvString(fnvOffset64, path), chunkIdx)%uint64(len(v.addrs))]
+}
+
+// metaTarget returns the connection and gate for metadata ops on path
+// (nil for direct mode). Metadata always routes by path hash alone, like
+// GekkoFS.
+func (c *Client) metaTarget(path string) (*rpc.Client, *ionGate) {
+	v := c.loadView()
+	if v == nil {
+		return nil, nil
+	}
+	i := fnvChunk(fnvString(fnvOffset64, path), 0) % uint64(len(v.addrs))
+	return v.conns[i], v.gates[i]
 }
 
 // chunkSpan iterates the chunk-aligned extents of [off, off+n).
@@ -364,14 +454,71 @@ func (c *Client) chunkSpan(off, n int64, fn func(chunkIdx, off, n int64) error) 
 	return nil
 }
 
+// chunkCount returns how many chunks [off, off+n) touches.
+func (c *Client) chunkCount(off, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	cs := c.cfg.ChunkSize
+	return int((off+n-1)/cs - off/cs + 1)
+}
+
+// / span is one coalesced wire request: a contiguous byte range whose chunks
+// all route to the same I/O node, capped at cfg.CoalesceLimit.
+type span struct {
+	off, n int64
+	chunks int
+	target int // index into the routeView arrays
+}
+
+// spanBufSize is the stack-buffer capacity callers pre-size for
+// buildSpans; requests that coalesce into more spans spill to the heap.
+const spanBufSize = 8
+
+// buildSpans splits [off, off+n) into chunk-aligned extents, routes each
+// chunk by the incremental FNV hash, and merges contiguous extents that
+// share a target into spans. The caller passes a (typically
+// stack-allocated) buffer to append into, so the common case allocates
+// nothing.
+func (c *Client) buildSpans(v *routeView, path string, off, n int64, out []span) []span {
+	cs := c.cfg.ChunkSize
+	limit := c.cfg.CoalesceLimit
+	ph := fnvString(fnvOffset64, path)
+	nAddrs := uint64(len(v.addrs))
+	var cur span
+	for n > 0 {
+		idx := off / cs
+		ext := cs - off%cs
+		if ext > n {
+			ext = n
+		}
+		t := int(fnvChunk(ph, idx) % nAddrs)
+		if cur.chunks > 0 && cur.target == t && cur.n+ext <= limit {
+			cur.n += ext
+			cur.chunks++
+		} else {
+			if cur.chunks > 0 {
+				out = append(out, cur)
+			}
+			cur = span{off: off, n: ext, chunks: 1, target: t}
+		}
+		off += ext
+		n -= ext
+	}
+	if cur.chunks > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
 // gateFor returns the throttle gate for addr (nil when throttling is off
 // or the address is unknown — both mean "send unthrottled").
 func (c *Client) gateFor(addr string) *ionGate {
 	if !c.cfg.Throttle.Enabled {
 		return nil
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.gates[addr]
 }
 
@@ -383,8 +530,11 @@ func (c *Client) gateFor(addr string) *ionGate {
 // the I/O node and the caller must satisfy it directly; resp and err are
 // then meaningless. Transport and application errors pass through
 // untouched so the existing failover and error semantics are unchanged.
-func (c *Client) callION(t *rpc.Client, req *rpc.Message) (resp *rpc.Message, err error, degraded bool) {
-	g := c.gateFor(t.Addr())
+//
+// The returned response owns pooled transport buffers: the caller must
+// copy what it needs out of resp and call resp.Release (busy responses
+// are consumed and released here).
+func (c *Client) callION(t *rpc.Client, g *ionGate, req *rpc.Message) (resp *rpc.Message, err error, degraded bool) {
 	retries := c.cfg.Throttle.BusyRetries
 	if retries <= 0 {
 		retries = 2 // throttle disabled: still honour hints before degrading
@@ -396,6 +546,8 @@ func (c *Client) callION(t *rpc.Client, req *rpc.Message) (resp *rpc.Message, er
 		}
 		resp, err = t.Call(req)
 		if err != nil && errors.Is(err, rpc.ErrBusy) {
+			resp.Release()
+			resp = nil
 			c.stats.shed.Inc()
 			hint, _ := rpc.RetryAfterHint(err)
 			if g != nil {
@@ -443,9 +595,10 @@ func (c *Client) Create(path string) error {
 		return err
 	}
 	tr := c.trace("create", path)
-	if t := c.metaTarget(path); t != nil {
+	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		resp.Release()
 		if degraded {
 			err = c.cfg.Direct.Create(path)
 			tr.done(0, "degraded")
@@ -466,120 +619,129 @@ func (c *Client) Create(path string) error {
 	return err
 }
 
-// maxParallelChunks bounds the per-request fan-out of chunk RPCs, like
+// maxParallelSpans bounds the per-request fan-out of span RPCs, like
 // GekkoFS's bounded in-flight chunk operations.
-const maxParallelChunks = 8
-
-// chunkExtent is one chunk-aligned piece of a request.
-type chunkExtent struct {
-	idx, off, n int64
-}
-
-// extents materializes the chunk extents of [off, off+n).
-func (c *Client) extents(off, n int64) []chunkExtent {
-	var out []chunkExtent
-	c.chunkSpan(off, n, func(idx, o, m int64) error {
-		out = append(out, chunkExtent{idx: idx, off: o, n: m})
-		return nil
-	})
-	return out
-}
+const maxParallelSpans = 8
 
 // Write implements pfs.FileSystem: the request is split into chunks, each
-// forwarded to its responsible I/O node (or written directly). Chunk RPCs
-// are issued concurrently, as the GekkoFS client does.
+// routed to its responsible I/O node; contiguous same-target chunks are
+// coalesced into one wire request. Span RPCs are issued concurrently, as
+// the GekkoFS client issues chunk RPCs.
 func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 	if err := c.errIfClosed(); err != nil {
 		return 0, err
 	}
+	if len(p) == 0 {
+		return 0, nil
+	}
 	tr := c.trace("write", path)
-	exts := c.extents(off, int64(len(p)))
-	written := make([]int, len(exts))
-	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
-		rel := e.off - off
-		payload := p[rel : rel+e.n]
-		if t := c.route(path, e.idx); t != nil {
-			c.reg.Update(func() {
-				c.stats.forwarded.Inc()
-				c.stats.bytesOut.Add(e.n)
-			})
-			req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: e.off, Data: payload, Trace: tr.id()}
-			if c.cfg.Dedup {
-				// Stamp once per chunk: the transport retry (inside
-				// rpc.Client.Call) and the busy retry (inside callION)
-				// both resend this exact message, so a re-attempt carries
-				// the seq of the attempt it duplicates.
-				req.ClientID = c.clientID
-				req.Seq = c.seq.Add(1)
-			}
-			resp, err, degraded := c.callION(t, req)
-			if degraded {
-				// The I/O node shed this chunk past the retry budget (or
-				// is marked saturated): write it directly. bytesOut was
-				// already counted for this extent above, and the shed
-				// request was never enqueued, so the byte lands exactly
-				// once.
-				k, derr := c.cfg.Direct.Write(path, e.off, payload)
-				written[i] = k
-				return derr
-			}
-			if err == nil {
-				if resp.Replayed {
-					c.stats.replayed.Inc()
-				}
-				written[i] = int(resp.Size)
-				return nil
-			}
-			if !errors.Is(err, rpc.ErrUnavailable) {
-				return err
-			}
-			// The responsible I/O node is unreachable (deadlines/retries
-			// exhausted or its breaker is open): degrade this chunk to the
-			// direct PFS path rather than failing the application's write.
-			// bytesOut was already counted for this extent above.
-			c.stats.failover.Inc()
-			k, derr := c.cfg.Direct.Write(path, e.off, payload)
-			written[i] = k
-			return derr
-		}
+	v := c.loadView()
+	if v == nil {
+		// Direct mode: no routing decision depends on chunk boundaries, so
+		// the write reaches the PFS in one call.
 		c.reg.Update(func() {
 			c.stats.direct.Inc()
-			c.stats.bytesOut.Add(e.n)
+			c.stats.bytesOut.Add(int64(len(p)))
 		})
-		k, err := c.cfg.Direct.Write(path, e.off, payload)
+		k, err := c.cfg.Direct.Write(path, off, p)
+		tr.done(int64(k), chunkNote(c.chunkCount(off, int64(len(p)))))
+		return k, err
+	}
+	var sbuf [spanBufSize]span
+	spans := c.buildSpans(v, path, off, int64(len(p)), sbuf[:0])
+	nchunks := 0
+	for _, s := range spans {
+		nchunks += s.chunks
+	}
+	if len(spans) == 1 {
+		k, err := c.writeSpan(v, path, off, p, spans[0], tr)
+		tr.done(int64(k), chunkNote(nchunks))
+		return k, err
+	}
+	written := make([]int, len(spans))
+	err := c.forEachSpan(spans, func(i int, s span) error {
+		k, werr := c.writeSpan(v, path, off, p, s, tr)
 		written[i] = k
-		return err
+		return werr
 	})
 	total := 0
 	for _, w := range written {
 		total += w
 	}
-	tr.done(int64(total), chunkNote(len(exts)))
+	tr.done(int64(total), chunkNote(nchunks))
 	return total, err
 }
 
-// forEachExtent runs fn over the extents, concurrently when there are
+// writeSpan forwards one coalesced span to its I/O node, falling back to
+// the direct path on shed-past-budget (degraded) and unreachable-node
+// (failover) conditions, exactly as the per-chunk path used to.
+func (c *Client) writeSpan(v *routeView, path string, off int64, p []byte, s span, tr opTrace) (int, error) {
+	rel := s.off - off
+	payload := p[rel : rel+s.n]
+	t, g := v.conns[s.target], v.gates[s.target]
+	c.reg.Update(func() {
+		c.stats.forwarded.Inc()
+		c.stats.bytesOut.Add(s.n)
+	})
+	req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: s.off, Data: payload, Trace: tr.id()}
+	if c.cfg.Dedup {
+		// Stamp once per wire request: the transport retry (inside
+		// rpc.Client.Call) and the busy retry (inside callION) both resend
+		// this exact message, so a re-attempt carries the seq of the
+		// attempt it duplicates.
+		req.ClientID = c.clientID
+		req.Seq = c.seq.Add(1)
+	}
+	resp, err, degraded := c.callION(t, g, req)
+	if degraded {
+		// The I/O node shed this span past the retry budget (or is marked
+		// saturated): write it directly. bytesOut was already counted for
+		// this span above, and the shed request was never enqueued, so the
+		// byte lands exactly once.
+		return c.cfg.Direct.Write(path, s.off, payload)
+	}
+	if err == nil {
+		k := int(resp.Size)
+		if resp.Replayed {
+			c.stats.replayed.Inc()
+		}
+		resp.Release()
+		return k, nil
+	}
+	resp.Release()
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		return 0, err
+	}
+	// The responsible I/O node is unreachable (deadlines/retries exhausted
+	// or its breaker is open): degrade this span to the direct PFS path
+	// rather than failing the application's write. bytesOut was already
+	// counted for this span above.
+	c.stats.failover.Inc()
+	return c.cfg.Direct.Write(path, s.off, payload)
+}
+
+// forEachSpan runs fn over the spans, concurrently when there are
 // several, and returns the first error.
-func (c *Client) forEachExtent(exts []chunkExtent, fn func(i int, e chunkExtent) error) error {
-	if len(exts) <= 1 {
-		for i, e := range exts {
-			if err := fn(i, e); err != nil {
+func (c *Client) forEachSpan(spans []span, fn func(i int, s span) error) error {
+	if len(spans) <= 1 {
+		for i, s := range spans {
+			if err := fn(i, s); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	sem := make(chan struct{}, maxParallelChunks)
-	errs := make(chan error, len(exts))
+	sem := make(chan struct{}, maxParallelSpans)
+	errs := make(chan error, len(spans))
 	var wg sync.WaitGroup
-	for i, e := range exts {
+	for i, s := range spans {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, e chunkExtent) {
+		go func(i int, s span) {
 			defer wg.Done()
-			errs <- fn(i, e)
+			errs <- fn(i, s)
 			<-sem
-		}(i, e)
+		}(i, s)
 	}
 	wg.Wait()
 	close(errs)
@@ -591,69 +753,62 @@ func (c *Client) forEachExtent(exts []chunkExtent, fn func(i int, e chunkExtent)
 	return nil
 }
 
-// Read implements pfs.FileSystem. Chunk RPCs are issued concurrently, like
+// Read implements pfs.FileSystem. Span RPCs are issued concurrently, like
 // writes. Reads past the end of the file return pfs.ErrShortRead with the
-// bytes that were available, like the store; chunks beyond EOF simply read
-// zero bytes, so the total is the contiguous prefix length.
+// bytes that were available, like the store. The returned count is the
+// contiguous prefix read from off: a span that comes back short stops the
+// count even when later spans returned data, so the count never covers a
+// hole.
 func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 	if err := c.errIfClosed(); err != nil {
 		return 0, err
 	}
-	tr := c.trace("read", path)
-	exts := c.extents(off, int64(len(p)))
-	counts := make([]int, len(exts))
-	err := c.forEachExtent(exts, func(i int, e chunkExtent) error {
-		rel := e.off - off
-		if t := c.route(path, e.idx); t != nil {
-			c.stats.forwarded.Inc()
-			resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: e.off, Size: e.n, Trace: tr.id()})
-			if degraded {
-				// Shed past the retry budget: satisfy this chunk from the
-				// PFS directly with the usual short-read semantics.
-				k, derr := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
-				counts[i] = k
-				c.stats.bytesIn.Add(int64(k))
-				if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
-					return derr
-				}
-				return nil
-			}
-			if resp != nil {
-				counts[i] = copy(p[rel:rel+e.n], resp.Data)
-				c.stats.bytesIn.Add(int64(counts[i]))
-			}
-			if err == nil || isShortRead(err) {
-				return nil
-			}
-			if !errors.Is(err, rpc.ErrUnavailable) {
-				return err
-			}
-			// Unreachable I/O node: satisfy this chunk from the PFS
-			// directly, honouring the same short-read semantics as the
-			// direct branch below.
-			c.stats.failover.Inc()
-			k, derr := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
-			counts[i] = k
-			c.stats.bytesIn.Add(int64(k))
-			if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
-				return derr
-			}
-			return nil
-		}
-		c.stats.direct.Inc()
-		k, err := c.cfg.Direct.Read(path, e.off, p[rel:rel+e.n])
-		counts[i] = k
-		c.stats.bytesIn.Add(int64(k))
-		if err != nil && !errors.Is(err, pfs.ErrShortRead) {
-			return err
-		}
-		return nil
-	})
-	total := 0
-	for _, k := range counts {
-		total += k
+	if len(p) == 0 {
+		return 0, nil
 	}
-	tr.done(int64(total), chunkNote(len(exts)))
+	tr := c.trace("read", path)
+	v := c.loadView()
+	if v == nil {
+		c.stats.direct.Inc()
+		k, err := c.cfg.Direct.Read(path, off, p)
+		c.stats.bytesIn.Add(int64(k))
+		tr.done(int64(k), chunkNote(c.chunkCount(off, int64(len(p)))))
+		if err != nil && !errors.Is(err, pfs.ErrShortRead) {
+			return k, err
+		}
+		if k < len(p) {
+			return k, pfs.ErrShortRead
+		}
+		return k, nil
+	}
+	var sbuf [spanBufSize]span
+	spans := c.buildSpans(v, path, off, int64(len(p)), sbuf[:0])
+	nchunks := 0
+	for _, s := range spans {
+		nchunks += s.chunks
+	}
+	var total int
+	var err error
+	if len(spans) == 1 {
+		total, err = c.readSpan(v, path, off, p, spans[0], tr)
+	} else {
+		counts := make([]int, len(spans))
+		err = c.forEachSpan(spans, func(i int, s span) error {
+			k, rerr := c.readSpan(v, path, off, p, s, tr)
+			counts[i] = k
+			return rerr
+		})
+		// Contiguous-prefix contract: sum span counts in order and stop at
+		// the first short span — bytes read beyond a hole must not inflate
+		// the count the application sees.
+		for i, s := range spans {
+			total += counts[i]
+			if int64(counts[i]) < s.n {
+				break
+			}
+		}
+	}
+	tr.done(int64(total), chunkNote(nchunks))
 	if err != nil {
 		return total, err
 	}
@@ -661,6 +816,50 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 		return total, pfs.ErrShortRead
 	}
 	return total, nil
+}
+
+// readSpan reads one coalesced span from its I/O node into the right
+// window of p, with the same degraded/failover fallbacks as writes and
+// the store's short-read semantics.
+func (c *Client) readSpan(v *routeView, path string, off int64, p []byte, s span, tr opTrace) (int, error) {
+	rel := s.off - off
+	dst := p[rel : rel+s.n]
+	t, g := v.conns[s.target], v.gates[s.target]
+	c.stats.forwarded.Inc()
+	resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: s.off, Size: s.n, Trace: tr.id()})
+	if degraded {
+		// Shed past the retry budget: satisfy this span from the PFS
+		// directly with the usual short-read semantics.
+		k, derr := c.cfg.Direct.Read(path, s.off, dst)
+		c.stats.bytesIn.Add(int64(k))
+		if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
+			return k, derr
+		}
+		return k, nil
+	}
+	k := 0
+	if resp != nil {
+		// Copy out of the pooled response buffer, then hand it back to the
+		// transport (the release seam — see internal/rpc).
+		k = copy(dst, resp.Data)
+		c.stats.bytesIn.Add(int64(k))
+		resp.Release()
+	}
+	if err == nil || isShortRead(err) {
+		return k, nil
+	}
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		return k, err
+	}
+	// Unreachable I/O node: satisfy this span from the PFS directly,
+	// honouring the same short-read semantics as the direct path.
+	c.stats.failover.Inc()
+	k, derr := c.cfg.Direct.Read(path, s.off, dst)
+	c.stats.bytesIn.Add(int64(k))
+	if derr != nil && !errors.Is(derr, pfs.ErrShortRead) {
+		return k, derr
+	}
+	return k, nil
 }
 
 // isShortRead recognizes the store's EOF condition after it crossed the
@@ -676,20 +875,23 @@ func (c *Client) Stat(path string) (pfs.FileInfo, error) {
 	}
 	tr := c.trace("stat", path)
 	defer tr.done(0, "")
-	if t := c.metaTarget(path); t != nil {
+	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
 		if degraded {
 			return c.cfg.Direct.Stat(path)
 		}
 		if err != nil {
+			resp.Release()
 			if errors.Is(err, rpc.ErrUnavailable) {
 				c.stats.failover.Inc()
 				return c.cfg.Direct.Stat(path)
 			}
 			return pfs.FileInfo{}, remapError(err, path)
 		}
-		return pfs.FileInfo{Path: path, Size: resp.Size}, nil
+		size := resp.Size
+		resp.Release()
+		return pfs.FileInfo{Path: path, Size: size}, nil
 	}
 	c.stats.direct.Inc()
 	return c.cfg.Direct.Stat(path)
@@ -702,9 +904,10 @@ func (c *Client) Remove(path string) error {
 	}
 	tr := c.trace("remove", path)
 	defer tr.done(0, "")
-	if t := c.metaTarget(path); t != nil {
+	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		resp.Release()
 		if degraded {
 			return c.cfg.Direct.Remove(path)
 		}
@@ -725,9 +928,10 @@ func (c *Client) Fsync(path string) error {
 	}
 	tr := c.trace("fsync", path)
 	defer tr.done(0, "")
-	if t := c.metaTarget(path); t != nil {
+	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		_, err, degraded := c.callION(t, &rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		resp.Release()
 		if degraded {
 			return c.cfg.Direct.Fsync(path)
 		}

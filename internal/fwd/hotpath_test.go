@@ -1,0 +1,275 @@
+package fwd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agios"
+	"repro/internal/ion"
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+)
+
+// TestRouteHashMatchesFNV pins the inlined incremental FNV-1a routing to
+// the original hash/fnv implementation bit for bit: the rewrite must not
+// move a single chunk to a different I/O node.
+func TestRouteHashMatchesFNV(t *testing.T) {
+	paths := []string{"", "/", "/a", "/some/long/path.bin", strings.Repeat("x", 300)}
+	idxs := []int64{0, 1, 7, 255, 256, 1 << 20, 1 << 62, -1}
+	for _, p := range paths {
+		for _, idx := range idxs {
+			h := fnv.New64a()
+			h.Write([]byte(p))
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(idx >> (8 * i))
+			}
+			h.Write(b[:])
+			want := h.Sum64()
+			if got := fnvChunk(fnvString(fnvOffset64, p), idx); got != want {
+				t.Fatalf("path %q idx %d: inline hash %#x, hash/fnv %#x", p, idx, got, want)
+			}
+		}
+	}
+}
+
+// TestBuildSpansProperties checks the span invariants over many request
+// shapes: spans tile [off, off+n) exactly, every chunk inside a span
+// routes to the span's target, no span exceeds the coalesce limit, and
+// adjacent spans are split for a reason (different target or the limit).
+func TestBuildSpansProperties(t *testing.T) {
+	c, err := NewClient(Config{
+		AppID: "app", Direct: pfs.NewStore(pfs.Config{}),
+		ChunkSize: 7, CoalesceLimit: 21, // three chunks per span at most
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v := &routeView{addrs: []string{"a", "b"}} // conns untouched by buildSpans
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		off := rng.Int63n(100)
+		n := 1 + rng.Int63n(200)
+		path := fmt.Sprintf("/p%d", trial%17)
+		spans := c.buildSpans(v, path, off, n, nil)
+		pos := off
+		for i, s := range spans {
+			if s.off != pos || s.n <= 0 || s.chunks <= 0 {
+				t.Fatalf("trial %d: span %d not contiguous: %+v at pos %d", trial, i, s, pos)
+			}
+			if s.n > c.cfg.CoalesceLimit && s.chunks > 1 {
+				t.Fatalf("trial %d: span %d exceeds coalesce limit: %+v", trial, i, s)
+			}
+			ph := fnvString(fnvOffset64, path)
+			if err := c.chunkSpan(s.off, s.n, func(idx, _, _ int64) error {
+				if got := int(fnvChunk(ph, idx) % 2); got != s.target {
+					return fmt.Errorf("chunk %d routes to %d, span target %d", idx, got, s.target)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("trial %d: span %d: %v", trial, i, err)
+			}
+			if i > 0 {
+				prev := spans[i-1]
+				if prev.target == s.target && prev.n+s.n <= c.cfg.CoalesceLimit {
+					t.Fatalf("trial %d: spans %d/%d should have merged: %+v %+v", trial, i-1, i, prev, s)
+				}
+			}
+			pos += s.n
+		}
+		if pos != off+n {
+			t.Fatalf("trial %d: spans cover [%d,%d), want [%d,%d)", trial, off, pos, off, off+n)
+		}
+	}
+}
+
+// TestCoalescingMergesContiguousSameTarget: with one I/O node every chunk
+// shares a target, so a multi-chunk write travels as ONE wire request —
+// and the data still round-trips intact.
+func TestCoalescingMergesContiguousSameTarget(t *testing.T) {
+	store, addrs, daemons := testStack(t, 1)
+	c := newTestClient(t, store, 1024)
+	c.SetIONs(addrs)
+
+	data := make([]byte, 16*1024) // 16 chunks
+	rand.New(rand.NewSource(5)).Read(data)
+	if n, err := c.Write("/coalesce", 0, data); err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if st := c.Stats(); st.ForwardedOps != 1 {
+		t.Fatalf("16 same-target chunks should coalesce to 1 wire request, got %d", st.ForwardedOps)
+	}
+	if ds := daemons[0].Stats(); ds.Writes != 1 || ds.BytesIn != int64(len(data)) {
+		t.Fatalf("daemon saw %d writes / %d bytes, want 1 / %d", ds.Writes, ds.BytesIn, len(data))
+	}
+	got := make([]byte, len(data))
+	if _, err := c.Read("/coalesce", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("coalesced round trip corrupted")
+	}
+}
+
+// TestCoalesceLimitSplitsSpans: the limit bounds a span even when every
+// chunk routes to the same node.
+func TestCoalesceLimitSplitsSpans(t *testing.T) {
+	rec := &stampRecorder{}
+	addr := startRecorder(t, rec)
+	c, err := NewClient(Config{
+		AppID: "app", Direct: pfs.NewStore(pfs.Config{}),
+		ChunkSize: 4, CoalesceLimit: 8, // two chunks per span
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+	if _, err := c.Write("/lim", 0, make([]byte, 20)); err != nil { // 5 chunks
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.stamps) != 3 { // 8 + 8 + 4
+		t.Fatalf("saw %d wire requests, want 3 (limit 8, 5 chunks of 4)", len(rec.stamps))
+	}
+}
+
+// TestApplyMapOutOfOrderConcurrent: mapping updates delivered concurrently
+// and out of order must converge on the highest version's allocation. The
+// old check-release-reacquire sequence could install an older allocation
+// over a newer one while recording the newer version.
+func TestApplyMapOutOfOrderConcurrent(t *testing.T) {
+	c := newTestClient(t, pfs.NewStore(pfs.Config{}), 0)
+	const versions = 64
+	var wg sync.WaitGroup
+	for v := 1; v <= versions; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			c.ApplyMap(mapping.Map{
+				Version: uint64(v),
+				IONs:    map[string][]string{"app": {fmt.Sprintf("127.0.0.1:%d", 10000+v)}},
+			})
+		}(v)
+	}
+	wg.Wait()
+	want := fmt.Sprintf("127.0.0.1:%d", 10000+versions)
+	if got := c.IONs(); len(got) != 1 || got[0] != want {
+		t.Fatalf("after concurrent out-of-order delivery: addrs=%v, want [%s]", got, want)
+	}
+	// A straggler with a stale version must change nothing.
+	c.ApplyMap(mapping.Map{Version: 1, IONs: map[string][]string{"app": {"127.0.0.1:1"}}})
+	if got := c.IONs(); len(got) != 1 || got[0] != want {
+		t.Fatalf("stale map applied: addrs=%v", got)
+	}
+}
+
+// TestWatchCancelConcurrent: the cancel func returned by Watch must be
+// safe to call from several goroutines (the old select-default guard let
+// two callers race into close(stop) and panic).
+func TestWatchCancelConcurrent(t *testing.T) {
+	c := newTestClient(t, pfs.NewStore(pfs.Config{}), 0)
+	ch := make(chan mapping.Map)
+	cancel := c.Watch(ch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancel()
+		}()
+	}
+	wg.Wait()
+	cancel() // and again, after the watcher is long gone
+}
+
+// TestRPCInstrumentedOnPrivateRegistry: with no Config.Telemetry the
+// client falls back to a private registry — and the rpc connections it
+// dials must land their series on that SAME registry, next to the fwd
+// series (the old code handed the rpc layer the nil config value, losing
+// every rpc series).
+func TestRPCInstrumentedOnPrivateRegistry(t *testing.T) {
+	_, addrs, _ := testStack(t, 1)
+	c := newTestClient(t, pfs.NewStore(pfs.Config{}), 0) // nil Telemetry
+	c.SetIONs(addrs)
+	if err := c.Create("/instrumented"); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.reg.Snapshot()
+	if snap.Counters["rpc_calls_total"] == 0 {
+		t.Fatalf("rpc series missing from the client registry: %v", snap.Counters)
+	}
+	if snap.Counters[`fwd_forwarded_ops_total{app="app"}`] == 0 {
+		t.Fatalf("fwd series missing from the client registry: %v", snap.Counters)
+	}
+}
+
+// TestReadHoleContiguousPrefix: a read whose middle chunk comes back
+// short must report only the contiguous prefix, even when later chunks
+// returned data — the count may never cover a hole. (The old code summed
+// every chunk's bytes, so 4 + 0 + 4 reported 8 "read" bytes with a hole
+// at [4,8).)
+func TestReadHoleContiguousPrefix(t *testing.T) {
+	fullStore := pfs.NewStore(pfs.Config{})
+	shortStore := pfs.NewStore(pfs.Config{})
+	addrs := make([]string, 2)
+	for i, st := range []*pfs.Store{fullStore, shortStore} {
+		d := ion.New(ion.Config{ID: fmt.Sprintf("hole%d", i), Scheduler: agios.NewFIFO()}, st)
+		addr, err := d.Start("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		addrs[i] = addr
+	}
+	c, err := NewClient(Config{
+		AppID: "app", Direct: pfs.NewStore(pfs.Config{}),
+		ChunkSize: 4, CoalesceLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs(addrs)
+
+	// Pick a path whose chunk 1 routes to the short daemon and chunk 2 to
+	// the full one, so the hole sits between two readable chunks.
+	var path string
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/hole%d", i)
+		if c.route(p, 1).Addr() == addrs[1] && c.route(p, 2).Addr() == addrs[0] {
+			path = p
+			break
+		}
+	}
+	data := bytes.Repeat([]byte{9}, 12)
+	if err := fullStore.Create(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fullStore.Write(path, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := shortStore.Create(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shortStore.Write(path, 0, data[:4]); err != nil { // chunk 1 missing
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 12)
+	n, err := c.Read(path, 0, buf)
+	if !errors.Is(err, pfs.ErrShortRead) {
+		t.Fatalf("want ErrShortRead for a holey read, got n=%d err=%v", n, err)
+	}
+	if n != 4 {
+		t.Fatalf("count %d covers the hole at [4,8); want the contiguous prefix 4", n)
+	}
+}

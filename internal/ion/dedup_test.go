@@ -231,19 +231,30 @@ func TestDedupBusyShedNotCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
+	// A Fatal below must not leave the dispatcher parked in the backend —
+	// Close waits for in-flight handlers, so an unreleased backend would
+	// hang the whole package.
+	releaseBackend := sync.OnceFunc(func() { close(backend.release) })
+	defer releaseBackend()
 	cli := rpc.Dial(addr, 4)
 	defer cli.Close()
 
-	// Occupy the dispatcher, then fill the queue to its cap of 1.
+	// Occupy the dispatcher, THEN fill the queue to its cap of 1. The
+	// second write may only be sent once the first is inside the backend:
+	// sent concurrently, it can reach the still-occupied queue first and
+	// be shed (or merged into the head), and the queue never fills.
 	var wg sync.WaitGroup
-	wg.Add(2)
-	for i := 0; i < 2; i++ {
-		go func(i int) {
-			defer wg.Done()
-			cli.Call(&rpc.Message{Op: rpc.OpWrite, Path: "/b", Offset: int64(i) * 4, Data: []byte("abcd"), ClientID: "fwd-D", Seq: uint64(100 + i)})
-		}(i)
-	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cli.Call(&rpc.Message{Op: rpc.OpWrite, Path: "/b", Offset: 0, Data: []byte("abcd"), ClientID: "fwd-D", Seq: 100})
+	}()
 	<-backend.entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cli.Call(&rpc.Message{Op: rpc.OpWrite, Path: "/b", Offset: 4, Data: []byte("abcd"), ClientID: "fwd-D", Seq: 101})
+	}()
 	deadline := time.Now().Add(2 * time.Second)
 	for d.QueueDepth() < 1 {
 		if time.Now().After(deadline) {
@@ -267,7 +278,7 @@ func TestDedupBusyShedNotCached(t *testing.T) {
 	}
 
 	// Drain the blocked writes, then retry the shed seq: it must execute.
-	close(backend.release)
+	releaseBackend()
 	wg.Wait()
 	resp, err = cli.Call(&rpc.Message{Op: rpc.OpWrite, Path: "/b", Offset: 64, Data: []byte("shed"), ClientID: "fwd-D", Seq: 999})
 	if err != nil {

@@ -414,13 +414,30 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 				done <- err
 			},
 		}
+		if m.Size > 0 {
+			// Pre-attach a pooled frame buffer as the read destination: the
+			// dispatcher fills it in place, and the response frame hands it
+			// back to the rpc pool once written, so a read reply costs no
+			// allocation and no extra copy.
+			req.Data = rpc.GetBuffer(int(m.Size))[:0]
+		}
 		if err := d.queue.Push(req); err != nil {
+			if cap(req.Data) > 0 {
+				rpc.PutBuffer(req.Data)
+			}
 			return d.pushFailed(resp, err)
 		}
 		d.tel.reads.Inc()
 		d.tel.requestBytes.Observe(float64(m.Size))
 		err := <-done
-		resp.Data = req.Data // dispatcher stored the bytes read
+		// The dispatcher stored the bytes read in req.Data (reusing the
+		// pooled capacity attached above). The transport releases the
+		// buffer after the response frame goes out.
+		if cap(req.Data) > 0 {
+			resp.SetPooledData(req.Data)
+		} else {
+			resp.Data = req.Data
+		}
 		resp.Size = int64(len(req.Data))
 		d.tel.bytesOut.Add(int64(len(req.Data)))
 		if err != nil {
@@ -558,7 +575,14 @@ func (d *Daemon) dispatchLoop(queue *agios.Queue) {
 			d.hopEach(req, "pfs", start, "write")
 			req.Complete(err)
 		case agios.OpRead:
-			buf := make([]byte, req.Size)
+			// Reuse the capacity the request arrived with (the RPC handler
+			// pre-attaches a pooled destination buffer); allocate only for
+			// requests that came in bare (tests, direct queue users).
+			buf := req.Data
+			if int64(cap(buf)) < req.Size {
+				buf = make([]byte, req.Size)
+			}
+			buf = buf[:req.Size]
 			n, err := d.backend.Read(req.Path, req.Offset, buf)
 			req.Data = buf[:n]
 			d.tel.dispatchLatency.ObserveDuration(time.Since(start))

@@ -46,6 +46,10 @@ type Config struct {
 	// ChunkSize is the forwarding clients' request-splitting unit; ≤0
 	// selects fwd.DefaultChunkSize.
 	ChunkSize int64
+	// CoalesceLimit caps how many contiguous same-target bytes a client
+	// merges into one wire request; ≤0 selects fwd.DefaultCoalesceLimit
+	// (values above the frame ceiling are clamped by the client).
+	CoalesceLimit int64
 	// RPC is the failure-tolerance configuration (per-call deadlines,
 	// retries, circuit breaker) applied to every forwarding client this
 	// stack creates. The zero value keeps the legacy block-forever
@@ -303,14 +307,15 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 	rpcOpts := s.cfg.RPC
 	rpcOpts.WireChecksum = rpcOpts.WireChecksum || s.cfg.WireChecksum
 	c, err := fwd.NewClient(fwd.Config{
-		AppID:     appID,
-		Direct:    s.Store,
-		ChunkSize: s.cfg.ChunkSize,
-		RPC:       rpcOpts,
-		Throttle:  s.cfg.Throttle,
-		Dedup:     s.cfg.DedupWindow > 0,
-		Telemetry: s.Telemetry,
-		Tracer:    s.Tracer,
+		AppID:         appID,
+		Direct:        s.Store,
+		ChunkSize:     s.cfg.ChunkSize,
+		CoalesceLimit: s.cfg.CoalesceLimit,
+		RPC:           rpcOpts,
+		Throttle:      s.cfg.Throttle,
+		Dedup:         s.cfg.DedupWindow > 0,
+		Telemetry:     s.Telemetry,
+		Tracer:        s.Tracer,
 	})
 	if err != nil {
 		return nil, err

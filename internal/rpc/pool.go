@@ -1,0 +1,181 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+)
+
+// Frame-buffer and message pooling for the data plane. The forwarding hot
+// path moves one chunk (512 KiB by default) per frame; without pooling,
+// every frame costs a frame-sized allocation on each side of the wire plus
+// a payload copy, and GC mark work becomes visible at high op rates (see
+// BENCH_hotpath.json). The pools below make the steady-state path
+// allocation-free:
+//
+//   - bodies: the raw frame buffers ReadMessage decodes from and handlers
+//     borrow for response payloads (GetBuffer), in three size classes so a
+//     ping response never pins a chunk-sized buffer;
+//   - messages: the *Message envelopes ReadMessage returns;
+//   - scratch: the per-writeFrame encode state (header/trailer bytes and
+//     the net.Buffers vector).
+//
+// Ownership rule (the "release seam"): a *Message produced by ReadMessage
+// owns its backing buffer. Whoever consumes the message — copies Data out,
+// or finishes writing the response it fed — calls Release exactly once;
+// a message that is never released is simply garbage-collected, so
+// correctness never depends on releasing. Never touch Data (or the
+// Message) after Release.
+
+// Body size classes. A getBody(n) request is served from the smallest
+// class that fits; buffers above the largest class are allocated directly
+// and never pooled, so one giant frame cannot pin memory.
+var bodyClasses = [...]int{4 << 10, 64 << 10, 1 << 20}
+
+var bodyPools = func() [len(bodyClasses)]*sync.Pool {
+	var pools [len(bodyClasses)]*sync.Pool
+	for i := range pools {
+		size := bodyClasses[i]
+		pools[i] = &sync.Pool{New: func() any {
+			b := make([]byte, size)
+			return &b
+		}}
+	}
+	return pools
+}()
+
+// getBody returns a pooled buffer with capacity ≥ n (or a fresh unpooled
+// allocation when n exceeds the largest class).
+func getBody(n int) *[]byte {
+	for i, size := range bodyClasses {
+		if n <= size {
+			return bodyPools[i].Get().(*[]byte)
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+// putBody returns a buffer to the largest class it can serve.
+func putBody(b *[]byte) {
+	c := cap(*b)
+	for i := len(bodyClasses) - 1; i >= 0; i-- {
+		if c >= bodyClasses[i] {
+			*b = (*b)[:c]
+			bodyPools[i].Put(b)
+			return
+		}
+	}
+}
+
+var messagePool = sync.Pool{New: func() any { return &Message{} }}
+
+// lenBufPool recycles the 4-byte frame-length prefix buffers ReadMessage
+// reads into (see the escape note there).
+var lenBufPool = sync.Pool{New: func() any { return new([4]byte) }}
+
+// GetBuffer returns a length-n byte slice drawn from the package's frame
+// buffer pool. Attach it to a response with Message.SetPooledData (the
+// transport returns it to the pool once the frame is written) or return
+// it manually with PutBuffer. The contents are not zeroed.
+func GetBuffer(n int) []byte {
+	b := getBody(n)
+	return (*b)[:n]
+}
+
+// PutBuffer returns a GetBuffer slice to the pool. Only call it when the
+// buffer was never attached to a message; after SetPooledData the
+// transport owns the release.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	putBody(&b)
+}
+
+// SetPooledData sets b as m's payload and marks it for release: after the
+// frame carrying m is written, the transport returns the buffer to the
+// pool. b should come from GetBuffer (any buffer is accepted — it joins
+// the pool on release).
+func (m *Message) SetPooledData(b []byte) {
+	m.Data = b
+	full := b[:cap(b)]
+	m.body = &full
+}
+
+// SharesBuffer reports whether m and o hold the same pooled frame buffer
+// — the shape a handler produces by shallow-copying a request into its
+// response. The server uses it to release such a shared buffer once.
+func (m *Message) SharesBuffer(o *Message) bool {
+	return m != nil && o != nil && m.body != nil && m.body == o.body
+}
+
+// DisownBuffer detaches m from its pooled frame buffer without returning
+// the buffer to the pool (another Message still owns it). Data is left
+// intact.
+func (m *Message) DisownBuffer() {
+	if m != nil {
+		m.body = nil
+	}
+}
+
+// Release returns the message's pooled resources (its backing frame
+// buffer, and the envelope itself when it came from ReadMessage) and must
+// be called at most once, after which neither the message nor its Data
+// may be touched. Safe on nil and on messages that own nothing (then a
+// no-op), so callers can release unconditionally. Releasing is optional:
+// an unreleased message is garbage-collected like any other value.
+func (m *Message) Release() {
+	if m == nil {
+		return
+	}
+	body, pooled := m.body, m.envelope
+	if body == nil && !pooled {
+		return
+	}
+	m.body, m.envelope = nil, false
+	if body != nil {
+		putBody(body)
+	}
+	if pooled {
+		*m = Message{}
+		messagePool.Put(m)
+	}
+}
+
+// frameScratch is the reusable encode state for one writeFrame call: the
+// header/trailer bytes (or the whole frame, for small payloads) plus the
+// 3-segment write vector. vec is always rebuilt from arr[:0] so the
+// backing array survives net.Buffers' consume-by-reslice.
+type frameScratch struct {
+	buf []byte
+	arr [3][]byte
+	vec net.Buffers
+}
+
+// maxScratch bounds the buffer capacity a pooled scratch may retain; the
+// encode side holds at most header + path + error + trailer plus a small
+// payload, so anything larger is a one-off and is left to the GC.
+const maxScratch = 256 << 10
+
+var scratchPool = sync.Pool{New: func() any {
+	return &frameScratch{buf: make([]byte, 512)}
+}}
+
+func getScratch(n int) *frameScratch {
+	s := scratchPool.Get().(*frameScratch)
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	s.buf = s.buf[:cap(s.buf)]
+	return s
+}
+
+func putScratch(s *frameScratch) {
+	if cap(s.buf) > maxScratch {
+		return
+	}
+	s.arr = [3][]byte{}
+	s.vec = nil
+	scratchPool.Put(s)
+}

@@ -44,6 +44,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"net"
 	"time"
 )
 
@@ -125,6 +126,13 @@ type Message struct {
 	// the operation was applied by an earlier attempt and this response
 	// repeats its outcome without re-executing.
 	Replayed bool
+
+	// body is the pooled frame buffer Data aliases (nil when the payload
+	// is caller-owned), and envelope marks a Message drawn from the
+	// message pool. Both are returned by Release; see pool.go for the
+	// ownership rules.
+	body     *[]byte
+	envelope bool
 }
 
 // Flag bits for the frame's flags byte.
@@ -141,14 +149,19 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // MaxFrame bounds a single frame (a forwarded request carries at most one
-// chunk, so this is generous).
+// coalesced span, so this is generous).
 const MaxFrame = 64 << 20
+
+// MaxData bounds one message payload: half a frame minus header room.
+// The forwarding layer clamps its span-coalescing limit to it so a merged
+// wire request can always be framed.
+const MaxData = MaxFrame/2 - 64
 
 // Frame size limits for the variable-length fields.
 const (
 	maxPath = 1 << 16 // uint16 length prefix
 	maxErr  = 1 << 16 // uint16 length prefix
-	maxData = MaxFrame/2 - 64
+	maxData = MaxData
 )
 
 var (
@@ -195,6 +208,14 @@ func WriteMessageChecksum(w io.Writer, m *Message) error {
 	return writeFrame(w, m, true)
 }
 
+// vectoredMin is the payload size at which writeFrame stops copying the
+// payload into its scratch buffer and instead hands the caller's bytes to
+// the connection directly as the middle segment of a vectored
+// net.Buffers write (one writev syscall on TCP, no copy-in). Below it a
+// single contiguous Write is cheaper than the extra iovecs, and control
+// frames (pings, metadata, busy responses) stay single-write.
+const vectoredMin = 8 << 10
+
 func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if err := validateMessage(m); err != nil {
 		return err
@@ -207,7 +228,16 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if sum {
 		n += 4
 	}
-	buf := make([]byte, 4+n)
+	// The scratch holds everything but the payload; small payloads are
+	// copied in so the frame goes out as one Write.
+	vectored := len(m.Data) >= vectoredMin
+	need := 4 + n
+	if vectored {
+		need -= len(m.Data)
+	}
+	s := getScratch(need)
+	defer putScratch(s)
+	buf := s.buf
 	binary.BigEndian.PutUint32(buf[0:], uint32(n))
 	p := 4
 	buf[p] = byte(m.Op)
@@ -240,7 +270,10 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	p += 8
 	binary.BigEndian.PutUint32(buf[p:], uint32(len(m.Data)))
 	p += 4
-	p += copy(buf[p:], m.Data)
+	if !vectored {
+		p += copy(buf[p:], m.Data)
+	}
+	tail := p // trailer segment start: everything after the payload
 	binary.BigEndian.PutUint16(buf[p:], uint16(len(m.Err)))
 	p += 2
 	p += copy(buf[p:], m.Err)
@@ -252,9 +285,22 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 		p += 8
 	}
 	if sum {
-		binary.BigEndian.PutUint32(buf[p:], crc32.Checksum(buf[4:p], castagnoli))
+		// The trailer covers every body byte before it, in wire order —
+		// fed segment-wise here, identical to a contiguous checksum.
+		crc := crc32.Update(0, castagnoli, buf[4:tail])
+		if vectored {
+			crc = crc32.Update(crc, castagnoli, m.Data)
+		}
+		crc = crc32.Update(crc, castagnoli, buf[tail:p])
+		binary.BigEndian.PutUint32(buf[p:], crc)
+		p += 4
 	}
-	_, err := w.Write(buf)
+	if !vectored {
+		_, err := w.Write(buf[:p])
+		return err
+	}
+	s.vec = append(net.Buffers(s.arr[:0]), buf[:tail], m.Data, buf[tail:p])
+	_, err := s.vec.WriteTo(w)
 	return err
 }
 
@@ -264,17 +310,30 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 // that ends mid-frame as well as a frame whose declared length is too
 // short for its fields — surfaces as io.ErrUnexpectedEOF (possibly
 // wrapped); plain io.EOF means the stream ended cleanly between frames.
+//
+// The returned message and its Data come from the package's frame pools:
+// a consumer that is done with the message may call Release to recycle
+// them (the transport's own call sites do); a message that is never
+// released is garbage-collected like any other value. Data aliases the
+// frame buffer — copy it out before Release.
 func ReadMessage(r io.Reader) (*Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// The length prefix is read through a pooled array: a stack [4]byte
+	// would escape through the io.Reader interface and cost an allocation
+	// per frame on both sides of the wire.
+	lb := lenBufPool.Get().(*[4]byte)
+	_, err := io.ReadFull(r, lb[:])
+	n := binary.BigEndian.Uint32(lb[:])
+	lenBufPool.Put(lb)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	body := getBody(int(n))
+	buf := (*body)[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
+		putBody(body)
 		if errors.Is(err, io.EOF) {
 			// The body never arrived at all: still a truncated frame, not
 			// a clean end of stream.
@@ -282,13 +341,13 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		}
 		return nil, err
 	}
-	m := &Message{}
+	m := messagePool.Get().(*Message)
+	*m = Message{body: body, envelope: true}
 	p := 0
-	need := func(k int) error {
-		if p+k > len(buf) {
-			return fmt.Errorf("rpc: truncated frame (need %d at %d of %d): %w", k, p, len(buf), io.ErrUnexpectedEOF)
-		}
-		return nil
+	fail := func(k int) (*Message, error) {
+		err := fmt.Errorf("rpc: truncated frame (need %d at %d of %d): %w", k, p, len(buf), io.ErrUnexpectedEOF)
+		m.Release()
+		return nil, err
 	}
 	var flags byte
 	if len(buf) >= 2 {
@@ -296,16 +355,19 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	if flags&flagChecksum != 0 {
 		if len(buf) < 4 {
-			return nil, fmt.Errorf("rpc: truncated frame (no room for checksum in %d bytes): %w", len(buf), io.ErrUnexpectedEOF)
+			err := fmt.Errorf("rpc: truncated frame (no room for checksum in %d bytes): %w", len(buf), io.ErrUnexpectedEOF)
+			m.Release()
+			return nil, err
 		}
-		body, want := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
-		if crc32.Checksum(body, castagnoli) != want {
+		payload, want := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+		if crc32.Checksum(payload, castagnoli) != want {
+			m.Release()
 			return nil, ErrChecksum
 		}
-		buf = body
+		buf = payload
 	}
-	if err := need(16); err != nil {
-		return nil, err
+	if p+16 > len(buf) {
+		return fail(16)
 	}
 	m.Op = Op(buf[p])
 	p++
@@ -318,8 +380,8 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	p += 8
 	pathLen := int(binary.BigEndian.Uint16(buf[p:]))
 	p += 2
-	if err := need(pathLen + 20); err != nil {
-		return nil, err
+	if p+pathLen+20 > len(buf) {
+		return fail(pathLen + 20)
 	}
 	m.Path = string(buf[p : p+pathLen])
 	p += pathLen
@@ -329,35 +391,43 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	p += 8
 	dataLen := int(binary.BigEndian.Uint32(buf[p:]))
 	p += 4
-	if err := need(dataLen + 2); err != nil {
-		return nil, err
+	if p+dataLen+2 > len(buf) {
+		return fail(dataLen + 2)
 	}
 	if dataLen > 0 {
-		m.Data = make([]byte, dataLen)
-		copy(m.Data, buf[p:p+dataLen])
+		// No copy: the payload aliases the pooled frame buffer, released
+		// by the consumer (the Release seam).
+		m.Data = buf[p : p+dataLen]
 	}
 	p += dataLen
 	errLen := int(binary.BigEndian.Uint16(buf[p:]))
 	p += 2
-	if err := need(errLen); err != nil {
-		return nil, err
+	if p+errLen > len(buf) {
+		return fail(errLen)
 	}
 	if errLen > 0 {
 		m.Err = string(buf[p : p+errLen])
 	}
 	p += errLen
 	if flags&flagDedup != 0 {
-		if err := need(2); err != nil {
-			return nil, err
+		if p+2 > len(buf) {
+			return fail(2)
 		}
 		idLen := int(binary.BigEndian.Uint16(buf[p:]))
 		p += 2
-		if err := need(idLen + 8); err != nil {
-			return nil, err
+		if p+idLen+8 > len(buf) {
+			return fail(idLen + 8)
 		}
 		m.ClientID = string(buf[p : p+idLen])
 		p += idLen
 		m.Seq = binary.BigEndian.Uint64(buf[p:])
+	}
+	if m.Data == nil {
+		// Dataless frames (metadata ops, write acks, busy sheds) have
+		// already copied every field out of the buffer; recycle it now so
+		// consumers that never release small messages cost nothing.
+		m.body = nil
+		putBody(body)
 	}
 	return m, nil
 }

@@ -13,6 +13,13 @@ import (
 
 // Handler processes one request and returns the response. Handlers must be
 // safe for concurrent use; the server runs one goroutine per connection.
+//
+// Ownership: the request (including its Data, which aliases a pooled
+// frame buffer) is valid only until the handler returns — a handler that
+// needs request bytes longer must copy them. The server releases the
+// request, and the response, back to the frame pools once the response
+// frame has been written; returning the request itself as the response is
+// allowed.
 type Handler func(*Message) *Message
 
 // Server accepts framed-RPC connections and dispatches requests to a
@@ -167,7 +174,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the request (see the response-hygiene audit in ion).
 			resp = &Message{Op: req.Op, Path: req.Path, Trace: req.Trace}
 		}
-		if err := writeFrame(conn, resp, s.checksum); err != nil {
+		err = writeFrame(conn, resp, s.checksum)
+		// The exchange is over: recycle both frames (the handler contract
+		// forbids it retaining either past this point). Handlers may return
+		// the request itself or a shallow copy of it — either way the
+		// shared frame buffer must go back to the pool exactly once.
+		if resp != req {
+			if resp.SharesBuffer(req) {
+				resp.DisownBuffer()
+			}
+			resp.Release()
+		}
+		req.Release()
+		if err != nil {
 			return
 		}
 	}
