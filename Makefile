@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm torture fuzz bench bench-campaign bench-hotpath
+.PHONY: verify build test test-race vet lint chaos storm torture qos fuzz bench bench-campaign bench-hotpath
 
 verify: vet build test-race
 
@@ -59,6 +59,17 @@ chaos:
 torture:
 	$(GO) test -race -count=2 -timeout 300s -run 'TestTorture' \
 		./internal/torture
+
+# Multi-tenant QoS suite, run twice under the race detector: the
+# noisy-neighbor scenario (12 IONs, one guaranteed tenant with an SLO vs a
+# scavenger at 10× traffic) plus the token-bucket, WFQ bounded-inversion/
+# no-starvation, weighted-arbitration, and wire-priority tests across every
+# layer the qos subsystem touches.
+qos:
+	$(GO) test -race -count=2 -timeout 300s \
+		-run 'QoS|Bucket|WFQ|Inversion|Starvation|Weight|Priority|ParseConfig|ParseBytes|ClassValidation|WriteFrameMatchesReferenceEncoder|ReadMessageRejects' \
+		./internal/qos ./internal/livestack ./internal/agios ./internal/fwd \
+		./internal/rpc ./internal/policy ./internal/arbiter ./cmd/gkfwd
 
 # Wire-protocol fuzzers (frame decoder and encode/decode round-trip).
 # FUZZTIME bounds each fuzzer; CI runs a short smoke, leave it running

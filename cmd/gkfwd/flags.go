@@ -13,6 +13,7 @@ import (
 	"repro/internal/fwd"
 	"repro/internal/livestack"
 	"repro/internal/policy"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -54,6 +55,13 @@ type options struct {
 
 	wireChecksum bool
 	dedupWindow  int
+
+	qosConfig string
+	qosInline string
+	// qosReg is the tenant policy parsed from -qos-config/-qos during
+	// validate, so a syntax error dies at startup and Start never sees an
+	// unvetted registry. nil when neither flag is set.
+	qosReg *qos.Registry
 }
 
 // parseFlags registers every flag on the default FlagSet and parses the
@@ -62,7 +70,7 @@ func parseFlags() *options {
 	var o options
 	flag.IntVar(&o.ions, "ions", 4, "I/O-node daemons to start")
 	flag.StringVar(&o.appList, "apps", "IOR-MPI,HACC", "comma-separated Table 3 labels to run concurrently")
-	flag.StringVar(&o.scheduler, "scheduler", "AIOLI", "AGIOS scheduler: FIFO|SJF|AIOLI|TWINS")
+	flag.StringVar(&o.scheduler, "scheduler", "", "AGIOS scheduler: FIFO|SJF|AIOLI|TWINS|WFQ (default AIOLI; WFQ when QoS is configured)")
 	flag.StringVar(&o.sweep, "sweep", "", "run one kernel at every feasible ION count instead")
 	flag.BoolVar(&o.queue, "queue", false, "run the paper's §5.3 queue live (14 tiny-scale jobs)")
 	flag.Float64Var(&o.rate, "ost-mbps", 0, "throttle each OST to this MB/s (0 = unthrottled)")
@@ -86,6 +94,8 @@ func parseFlags() *options {
 	flag.IntVar(&o.overloadShed, "overload-shed", 0, "sheds per probe sweep at which the prober calls an I/O node overloaded (0 = off)")
 	flag.BoolVar(&o.wireChecksum, "wire-checksum", false, "CRC32C trailers on every RPC frame, verified end to end")
 	flag.IntVar(&o.dedupWindow, "dedup-window", 0, "exactly-once writes: per-client outcomes each daemon retains for replay on transport retries (0 = off)")
+	flag.StringVar(&o.qosConfig, "qos-config", "", "tenant QoS policy file (class/app statements, see internal/qos)")
+	flag.StringVar(&o.qosInline, "qos", "", "inline QoS statements (';'-separated) applied after -qos-config")
 	flag.Parse()
 	return &o
 }
@@ -154,7 +164,54 @@ func (o *options) validate() error {
 	if o.queue && o.sweep != "" {
 		return fmt.Errorf("-queue and -sweep are mutually exclusive")
 	}
+	// Cross-flag requirements: each of these knobs tunes a feature some
+	// other flag switches on. Alone it is dead configuration — accepting
+	// it silently would tell the operator a protection is active when it
+	// is not.
+	if o.breakerCooldown > 0 && o.breakerThreshold == 0 {
+		return fmt.Errorf("-breaker-cooldown requires -breaker-threshold: without a threshold no breaker ever opens, so the cooldown never applies")
+	}
+	if o.healthTimeout > 0 && o.healthInterval == 0 {
+		return fmt.Errorf("-health-timeout requires -health-interval: without an interval no probe runs, so the ping deadline never applies")
+	}
+	if o.retryAfter > 0 && o.queueCap == 0 && o.maxInflight == 0 {
+		return fmt.Errorf("-retry-after requires -queue-cap or -max-inflight: without bounded admission no busy response carries the hint")
+	}
+	if o.overloadDepth > 0 && o.queueCap > 0 && o.overloadDepth > o.queueCap {
+		return fmt.Errorf("-overload-depth (%d) exceeds -queue-cap (%d): the queue sheds before it ever reaches that depth, so overload would never trigger", o.overloadDepth, o.queueCap)
+	}
+	if o.overloadShed > 0 && o.queueCap == 0 && o.maxInflight == 0 && o.maxConns == 0 {
+		return fmt.Errorf("-overload-shed requires a shed source (-queue-cap, -max-inflight, or -max-conns): an unbounded daemon never sheds, so the threshold would never trigger")
+	}
+	if o.qosConfig != "" || o.qosInline != "" {
+		var (
+			reg *qos.Registry
+			err error
+		)
+		if o.qosConfig != "" {
+			reg, err = qos.ParseFile(o.qosConfig, o.qosInline)
+		} else {
+			reg, err = qos.Parse(o.qosInline)
+		}
+		if err != nil {
+			return fmt.Errorf("-qos-config/-qos: %w", err)
+		}
+		o.qosReg = reg
+	}
 	return nil
+}
+
+// schedulerName reports the scheduler the stack will actually run, for
+// startup output: an explicit -scheduler wins, otherwise the livestack
+// default (WFQ under a QoS policy, AIOLI without one).
+func (o *options) schedulerName() string {
+	if o.scheduler != "" {
+		return o.scheduler
+	}
+	if o.qosReg != nil && !o.qosReg.Empty() {
+		return "WFQ"
+	}
+	return "AIOLI"
 }
 
 // stackConfig assembles the livestack configuration from validated options.
@@ -181,6 +238,7 @@ func (o *options) stackConfig() livestack.Config {
 		OverloadShedDelta:  o.overloadShed,
 		WireChecksum:       o.wireChecksum,
 		DedupWindow:        o.dedupWindow,
+		QoS:                o.qosReg,
 		Throttle: fwd.ThrottleConfig{
 			Enabled:   o.throttle,
 			MinWindow: o.throttleMin,

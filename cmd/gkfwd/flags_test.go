@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -8,7 +10,7 @@ import (
 
 // validOptions mirrors the flag defaults.
 func validOptions() options {
-	return options{ions: 4, appList: "IOR-MPI,HACC", scheduler: "AIOLI"}
+	return options{ions: 4, appList: "IOR-MPI,HACC"}
 }
 
 func TestValidateAcceptsDefaults(t *testing.T) {
@@ -47,6 +49,14 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		{"throttle knobs without throttle", func(o *options) { o.throttleMax = 16 }, "-throttle"},
 		{"overload without health", func(o *options) { o.overloadDepth = 10 }, "-health-interval"},
 		{"queue and sweep", func(o *options) { o.queue = true; o.sweep = "HACC" }, "mutually exclusive"},
+		{"breaker cooldown without threshold", func(o *options) { o.breakerCooldown = time.Second }, "-breaker-threshold"},
+		{"health timeout without interval", func(o *options) { o.healthTimeout = time.Second }, "-health-interval"},
+		{"retry after without admission bound", func(o *options) { o.retryAfter = time.Millisecond }, "-queue-cap or -max-inflight"},
+		{"overload depth beyond queue cap", func(o *options) { o.healthInterval = time.Second; o.queueCap = 8; o.overloadDepth = 32 }, "exceeds -queue-cap"},
+		{"overload shed without shed source", func(o *options) { o.healthInterval = time.Second; o.overloadShed = 4 }, "shed source"},
+		{"qos inline syntax error", func(o *options) { o.qosInline = "class gold tier=bogus" }, "-qos-config/-qos"},
+		{"qos unknown class reference", func(o *options) { o.qosInline = "app a missing" }, "-qos-config/-qos"},
+		{"qos missing file", func(o *options) { o.qosConfig = "/nonexistent/qos.conf" }, "-qos-config/-qos"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,6 +121,47 @@ func TestStackConfigCarriesOverloadKnobs(t *testing.T) {
 	}
 	if cfg.CoalesceLimit != 1<<20 {
 		t.Fatalf("coalesce limit not carried: %d", cfg.CoalesceLimit)
+	}
+}
+
+func TestQoSFlagsParseIntoStackConfig(t *testing.T) {
+	conf := filepath.Join(t.TempDir(), "qos.conf")
+	if err := os.WriteFile(conf, []byte("class gold tier=guaranteed rate=64MiB weight=4\napp ior gold\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := validOptions()
+	o.qosConfig = conf
+	o.qosInline = "class scav tier=scavenger rate=1MiB; app bg scav"
+	if err := o.validate(); err != nil {
+		t.Fatalf("qos flags should validate: %v", err)
+	}
+	cfg := o.stackConfig()
+	if cfg.QoS == nil {
+		t.Fatal("validated QoS registry not carried into the stack config")
+	}
+	if c := cfg.QoS.ClassFor("ior"); c == nil || c.Name != "gold" {
+		t.Fatalf("file-declared class not resolvable: %+v", c)
+	}
+	if c := cfg.QoS.ClassFor("bg"); c == nil || c.Name != "scav" {
+		t.Fatalf("inline override class not resolvable: %+v", c)
+	}
+	if got := o.schedulerName(); got != "WFQ" {
+		t.Fatalf("schedulerName with QoS = %q, want WFQ", got)
+	}
+	o.scheduler = "FIFO"
+	if got := o.schedulerName(); got != "FIFO" {
+		t.Fatalf("explicit -scheduler must win: %q", got)
+	}
+	// And the default remains fully off.
+	def := validOptions()
+	if err := def.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := def.stackConfig(); d.QoS != nil || d.Scheduler != "" {
+		t.Fatalf("QoS must default off: %+v", d)
+	}
+	if got := def.schedulerName(); got != "AIOLI" {
+		t.Fatalf("default scheduler name = %q, want AIOLI", got)
 	}
 }
 

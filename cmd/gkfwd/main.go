@@ -37,7 +37,7 @@ func main() {
 	}
 	defer st.Close()
 	fmt.Printf("started %d I/O nodes (%s scheduling) and the %s arbiter\n",
-		opts.ions, opts.scheduler, st.Arbiter.PolicyName())
+		opts.ions, opts.schedulerName(), st.Arbiter.PolicyName())
 
 	if opts.metricsAddr != "" {
 		ln, err := net.Listen("tcp", opts.metricsAddr)

@@ -60,6 +60,11 @@ type Request struct {
 	// untraced); the dispatcher uses it to attribute scheduling and PFS
 	// hops to the right trace record.
 	Trace uint64
+	// Priority is the request's QoS scheduling tier as carried on the
+	// wire (see internal/qos: 3 guaranteed, 2 standard, 1 scavenger,
+	// 0 unclassed — treated like standard). Only WFQ consults it; every
+	// other scheduler preserves pre-QoS ordering.
+	Priority uint8
 	// Children holds the original requests when this request is an
 	// aggregate produced by a merging scheduler.
 	Children []*Request
@@ -608,7 +613,7 @@ func (q *Queue) Close() {
 }
 
 // NewByName constructs a scheduler from its AGIOS-style name. Supported:
-// "FIFO", "SJF", "AIOLI", "TWINS", "HBRR".
+// "FIFO", "SJF", "AIOLI", "TWINS", "HBRR", "WFQ".
 func NewByName(name string) (Scheduler, error) {
 	switch name {
 	case "FIFO", "fifo", "":
@@ -621,6 +626,8 @@ func NewByName(name string) (Scheduler, error) {
 		return NewTWINS(0, 0), nil
 	case "HBRR", "hbrr":
 		return NewHBRR(0), nil
+	case "WFQ", "wfq":
+		return NewWFQ(0), nil
 	default:
 		return nil, fmt.Errorf("agios: unknown scheduler %q", name)
 	}

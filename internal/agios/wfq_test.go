@@ -1,0 +1,157 @@
+package agios
+
+import (
+	"fmt"
+	"testing"
+)
+
+// req builds a WFQ test request with the given wire priority and a
+// recognisable path.
+func wreq(prio uint8, n int) *Request {
+	return &Request{Path: fmt.Sprintf("/p%d-%d", prio, n), Priority: prio, Size: 1}
+}
+
+// popAll drains the scheduler and returns the priorities in service order.
+func popAll(t *testing.T, w *WFQ) []uint8 {
+	t.Helper()
+	var order []uint8
+	for {
+		r, ok := w.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, r.Priority)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("drained scheduler still reports Len %d", w.Len())
+	}
+	return order
+}
+
+// TestWFQBoundedInversion pins the headline property: a guaranteed
+// request admitted behind k queued scavenger requests is served within
+// k' < k slots — here k'=0, the very next dispatch, because nothing has
+// primed the escape counter.
+func TestWFQBoundedInversion(t *testing.T) {
+	const k = 16
+	w := NewWFQ(0)
+	for i := 0; i < k; i++ {
+		w.Push(wreq(1, i)) // scavenger burst
+	}
+	w.Push(wreq(3, 0)) // guaranteed arrives last
+	r, ok := w.Pop()
+	if !ok || r.Priority != 3 {
+		t.Fatalf("first dispatch after guaranteed arrival = %+v, want the guaranteed request", r)
+	}
+	// The burst then drains alone.
+	for i := 0; i < k; i++ {
+		if r, ok := w.Pop(); !ok || r.Priority != 1 {
+			t.Fatalf("drain slot %d = %+v, want scavenger", i, r)
+		}
+	}
+}
+
+// TestWFQWorstCaseInversionIsOneSlot primes the escape counter so the
+// guaranteed request arrives at the worst possible moment: the scheduler
+// owes the scavenger tier an escape dispatch. Even then the guaranteed
+// request waits exactly one slot — the bound is the escape debt (1), not
+// the burst length.
+func TestWFQWorstCaseInversionIsOneSlot(t *testing.T) {
+	w := NewWFQ(1)     // escape after every higher-tier dispatch
+	w.Push(wreq(1, 0)) // scavenger waiting below...
+	w.Push(wreq(2, 0)) // ...while standard traffic runs
+	if r, _ := w.Pop(); r.Priority != 2 {
+		t.Fatalf("setup pop = %d, want standard", r.Priority)
+	}
+	// Escape now owed. Guaranteed arrives with 1 scavenger still queued.
+	w.Push(wreq(3, 0))
+	first, _ := w.Pop()
+	second, _ := w.Pop()
+	if first.Priority != 1 || second.Priority != 3 {
+		t.Fatalf("worst case order = %d,%d; want one escape (1) then guaranteed (3)",
+			first.Priority, second.Priority)
+	}
+}
+
+// TestWFQDeterministicSchedule pins an exact mixed-tier service order so
+// any change to the arbitration rule shows up as a diff, not a flaky
+// latency shift.
+func TestWFQDeterministicSchedule(t *testing.T) {
+	w := NewWFQ(2)
+	for i := 0; i < 4; i++ {
+		w.Push(wreq(1, i)) // S1..S4
+	}
+	for i := 0; i < 3; i++ {
+		w.Push(wreq(3, i)) // G1..G3
+	}
+	got := popAll(t, w)
+	want := []uint8{3, 3, 1, 3, 1, 1, 1} // G G escape G then drain
+	if len(got) != len(want) {
+		t.Fatalf("schedule length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWFQScavengerNoStarvation is the starvation regression: under a
+// standing guaranteed backlog, the scavenger tier still drains at its
+// 1-in-(EscapeEvery+1) floor instead of waiting for an idle moment.
+func TestWFQScavengerNoStarvation(t *testing.T) {
+	w := NewWFQ(4)
+	const scav = 10
+	for i := 0; i < 50; i++ {
+		w.Push(wreq(3, i))
+	}
+	for i := 0; i < scav; i++ {
+		w.Push(wreq(1, i))
+	}
+	served := 0
+	for i := 1; i <= 50; i++ {
+		r, ok := w.Pop()
+		if !ok {
+			t.Fatalf("scheduler empty at pop %d", i)
+		}
+		if r.Priority == 1 {
+			served++
+			if i%5 != 0 {
+				t.Fatalf("scavenger served at slot %d, want only every 5th slot", i)
+			}
+		}
+	}
+	if served != scav {
+		t.Fatalf("scavenger backlog not drained under guaranteed flood: %d of %d served in 50 slots", served, scav)
+	}
+}
+
+// TestWFQUnclassedIsStandard pins the opt-in contract at the scheduler:
+// priority 0 (no QoS anywhere) and priority 2 (explicit standard) share
+// one FIFO tier, so turning QoS on for nobody changes nothing.
+func TestWFQUnclassedIsStandard(t *testing.T) {
+	w := NewWFQ(0)
+	w.Push(&Request{Path: "/a", Priority: 0})
+	w.Push(&Request{Path: "/b", Priority: 2})
+	w.Push(&Request{Path: "/c", Priority: 0})
+	for _, want := range []string{"/a", "/b", "/c"} {
+		r, ok := w.Pop()
+		if !ok || r.Path != want {
+			t.Fatalf("got %+v, want FIFO order %s", r, want)
+		}
+	}
+	if _, ok := w.Pop(); ok {
+		t.Fatal("empty scheduler returned a request")
+	}
+}
+
+// TestWFQByName covers the registry hookup.
+func TestWFQByName(t *testing.T) {
+	s, err := NewByName("WFQ")
+	if err != nil || s.Name() != "WFQ" {
+		t.Fatalf("NewByName(WFQ) = %v, %v", s, err)
+	}
+	if _, err := NewByName("wfq"); err != nil {
+		t.Fatal(err)
+	}
+}

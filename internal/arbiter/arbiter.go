@@ -39,6 +39,10 @@ type Arbiter struct {
 	bus  *mapping.Bus
 	pool []string
 
+	// weightOf, when set, supplies each application's QoS utility weight
+	// at solve time (see WithWeights); nil means unweighted arbitration.
+	weightOf func(id string) float64
+
 	mu         sync.Mutex
 	down       map[string]bool // addresses marked down (health transitions)
 	overloaded map[string]bool // addresses shedding load (overload transitions)
@@ -111,6 +115,20 @@ func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
 	a.tel.ionsOverload = reg.Gauge("arbiter_ions_overloaded")
 	a.tel.ionsLive.Set(int64(len(a.pool)))
 	a.tel.solveLatency = reg.Histogram("arbiter_solve_latency_seconds", telemetry.LatencyBuckets())
+	return a
+}
+
+// WithWeights installs a QoS weight source (typically qos.Registry.Weight):
+// on every solve, each application's Weight is stamped from it before the
+// policy runs, so class weights apply to jobs registered through any call
+// site without those call sites knowing about QoS. An application that
+// already carries an explicit non-zero Weight keeps it. Returns a for
+// chaining; w may be nil (no weighting). Call before the arbiter is
+// shared.
+func (a *Arbiter) WithWeights(w func(id string) float64) *Arbiter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.weightOf = w
 	return a
 }
 
@@ -398,6 +416,9 @@ func (a *Arbiter) MarkRecovered(addr string) error {
 func (a *Arbiter) rearbitrate() error {
 	apps := make([]policy.Application, 0, len(a.running))
 	for _, app := range a.running {
+		if a.weightOf != nil && app.Weight == 0 {
+			app.Weight = a.weightOf(app.ID)
+		}
 		apps = append(apps, app)
 	}
 	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })

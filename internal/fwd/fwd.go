@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/mapping"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -92,6 +93,14 @@ type Config struct {
 	// saturation). The zero value disables throttling; busy responses are
 	// then still honoured with hint-paced retries before degrading.
 	Throttle ThrottleConfig
+	// QoS is the service class this application's traffic belongs to
+	// (see internal/qos): its token bucket gates admission to the
+	// forwarding path ahead of span building, its tier rides every wire
+	// request as the frame priority byte, and scavenger-tier traffic
+	// degrades to the direct PFS path when its bucket is empty. Nil (the
+	// default) means unclassed: no admission check beyond one nil test,
+	// no priority byte, byte-for-byte pre-QoS behaviour.
+	QoS *qos.Class
 	// Telemetry receives the client's metrics (app-labeled series:
 	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
 	// connections it dials. Nil selects a private registry so Stats()
@@ -158,8 +167,51 @@ type Client struct {
 		shed, degraded, replayed                               *telemetry.Counter
 	}
 
+	// qos is the admission state built from cfg.QoS (nil when the app is
+	// unclassed — the forwarded data path then pays exactly one nil
+	// check), and wirePrio is the priority byte stamped on every
+	// forwarded request (0 = no trailer on the wire).
+	qos      *qosState
+	wirePrio uint8
+
 	watchStop func()
 	closed    atomic.Bool
+}
+
+// qosState is a classed client's admission machinery: the class, its
+// token bucket, and the per-tenant observability series.
+type qosState struct {
+	class  *qos.Class
+	bucket *qos.Bucket
+	sleep  func(time.Duration) // pacing seam (time.Sleep in production)
+
+	admitted *telemetry.Counter
+	deferred *telemetry.Counter
+	degraded *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// degradeOrPace applies the class's admission policy to an op of n bytes.
+// It reports true when the op must be satisfied on the direct PFS path
+// (scavenger tier with an empty bucket — no debt, no queueing behind the
+// bucket). Guaranteed and standard ops are never refused: an empty bucket
+// defers them for the bucket's repayment time instead (pacing), so their
+// admitted rate converges on the configured one while order is preserved.
+func (q *qosState) degradeOrPace(n int64) (degrade bool) {
+	if q.class.Tier == qos.TierScavenger {
+		if !q.bucket.TryTake(n) {
+			q.degraded.Inc()
+			return true
+		}
+		q.admitted.Inc()
+		return false
+	}
+	if d := q.bucket.Reserve(n); d > 0 {
+		q.deferred.Inc()
+		q.sleep(d)
+	}
+	q.admitted.Inc()
+	return false
 }
 
 var _ pfs.FileSystem = (*Client)(nil)
@@ -200,6 +252,20 @@ func NewClient(cfg Config) (*Client, error) {
 	c.stats.replayed = c.reg.Counter("fwd_replayed_writes_total" + label)
 	if cfg.Dedup {
 		c.clientID = fmt.Sprintf("%s#%d", cfg.AppID, clientInstance.Add(1))
+	}
+	if cfg.QoS != nil {
+		c.wirePrio = cfg.QoS.WirePriority()
+		c.qos = &qosState{
+			class:    cfg.QoS,
+			bucket:   qos.NewBucket(cfg.QoS.Rate, cfg.QoS.Burst, c.reg.Gauge("qos_tokens_x1000"+label)),
+			sleep:    time.Sleep,
+			admitted: c.reg.Counter("qos_admitted_total" + label),
+			deferred: c.reg.Counter("qos_deferred_total" + label),
+			degraded: c.reg.Counter("qos_degraded_total" + label),
+			latency: c.reg.Histogram(
+				fmt.Sprintf("qos_op_latency_seconds{class=%q}", cfg.QoS.Name),
+				telemetry.LatencyBuckets()),
+		}
 	}
 	return c, nil
 }
@@ -597,7 +663,7 @@ func (c *Client) Create(path string) error {
 	tr := c.trace("create", path)
 	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpCreate, Path: path, Trace: tr.id(), Priority: c.wirePrio})
 		resp.Release()
 		if degraded {
 			err = c.cfg.Direct.Create(path)
@@ -647,6 +713,24 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 		tr.done(int64(k), chunkNote(c.chunkCount(off, int64(len(p)))))
 		return k, err
 	}
+	if q := c.qos; q != nil {
+		// QoS admission sits ahead of span building so a degraded op never
+		// touches the wire. Unclassed clients pay exactly the nil check.
+		start := time.Now()
+		defer func() { q.latency.ObserveDuration(time.Since(start)) }()
+		if q.degradeOrPace(int64(len(p))) {
+			// Scavenger with an empty bucket: the whole op goes to the
+			// direct PFS path, same as a degrade under overload.
+			c.reg.Update(func() {
+				c.stats.degraded.Inc()
+				c.stats.direct.Inc()
+				c.stats.bytesOut.Add(int64(len(p)))
+			})
+			k, err := c.cfg.Direct.Write(path, off, p)
+			tr.done(int64(k), "degraded")
+			return k, err
+		}
+	}
 	var sbuf [spanBufSize]span
 	spans := c.buildSpans(v, path, off, int64(len(p)), sbuf[:0])
 	nchunks := 0
@@ -683,7 +767,7 @@ func (c *Client) writeSpan(v *routeView, path string, off int64, p []byte, s spa
 		c.stats.forwarded.Inc()
 		c.stats.bytesOut.Add(s.n)
 	})
-	req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: s.off, Data: payload, Trace: tr.id()}
+	req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: s.off, Data: payload, Trace: tr.id(), Priority: c.wirePrio}
 	if c.cfg.Dedup {
 		// Stamp once per wire request: the transport retry (inside
 		// rpc.Client.Call) and the busy retry (inside callION) both resend
@@ -781,6 +865,26 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 		}
 		return k, nil
 	}
+	if q := c.qos; q != nil {
+		start := time.Now()
+		defer func() { q.latency.ObserveDuration(time.Since(start)) }()
+		if q.degradeOrPace(int64(len(p))) {
+			c.reg.Update(func() {
+				c.stats.degraded.Inc()
+				c.stats.direct.Inc()
+			})
+			k, err := c.cfg.Direct.Read(path, off, p)
+			c.stats.bytesIn.Add(int64(k))
+			tr.done(int64(k), "degraded")
+			if err != nil && !errors.Is(err, pfs.ErrShortRead) {
+				return k, err
+			}
+			if k < len(p) {
+				return k, pfs.ErrShortRead
+			}
+			return k, nil
+		}
+	}
 	var sbuf [spanBufSize]span
 	spans := c.buildSpans(v, path, off, int64(len(p)), sbuf[:0])
 	nchunks := 0
@@ -826,7 +930,7 @@ func (c *Client) readSpan(v *routeView, path string, off int64, p []byte, s span
 	dst := p[rel : rel+s.n]
 	t, g := v.conns[s.target], v.gates[s.target]
 	c.stats.forwarded.Inc()
-	resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: s.off, Size: s.n, Trace: tr.id()})
+	resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: s.off, Size: s.n, Trace: tr.id(), Priority: c.wirePrio})
 	if degraded {
 		// Shed past the retry budget: satisfy this span from the PFS
 		// directly with the usual short-read semantics.
@@ -877,7 +981,7 @@ func (c *Client) Stat(path string) (pfs.FileInfo, error) {
 	defer tr.done(0, "")
 	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpStat, Path: path, Trace: tr.id(), Priority: c.wirePrio})
 		if degraded {
 			return c.cfg.Direct.Stat(path)
 		}
@@ -906,7 +1010,7 @@ func (c *Client) Remove(path string) error {
 	defer tr.done(0, "")
 	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRemove, Path: path, Trace: tr.id(), Priority: c.wirePrio})
 		resp.Release()
 		if degraded {
 			return c.cfg.Direct.Remove(path)
@@ -930,7 +1034,7 @@ func (c *Client) Fsync(path string) error {
 	defer tr.done(0, "")
 	if t, g := c.metaTarget(path); t != nil {
 		c.stats.forwarded.Inc()
-		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id()})
+		resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpFsync, Path: path, Trace: tr.id(), Priority: c.wirePrio})
 		resp.Release()
 		if degraded {
 			return c.cfg.Direct.Fsync(path)

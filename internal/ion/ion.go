@@ -405,11 +405,12 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 	case rpc.OpRead:
 		done := make(chan error, 1)
 		req := &agios.Request{
-			Path:   m.Path,
-			Offset: m.Offset,
-			Size:   m.Size,
-			Op:     agios.OpRead,
-			Trace:  m.Trace,
+			Path:     m.Path,
+			Offset:   m.Offset,
+			Size:     m.Size,
+			Op:       agios.OpRead,
+			Trace:    m.Trace,
+			Priority: m.Priority,
 			OnComplete: func(err error) {
 				done <- err
 			},
@@ -485,12 +486,13 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 func (d *Daemon) applyWrite(m *rpc.Message, resp *rpc.Message) (_ *rpc.Message, applied bool) {
 	done := make(chan error, 1)
 	req := &agios.Request{
-		Path:   m.Path,
-		Offset: m.Offset,
-		Size:   int64(len(m.Data)),
-		Op:     agios.OpWrite,
-		Data:   m.Data,
-		Trace:  m.Trace,
+		Path:     m.Path,
+		Offset:   m.Offset,
+		Size:     int64(len(m.Data)),
+		Op:       agios.OpWrite,
+		Data:     m.Data,
+		Trace:    m.Trace,
+		Priority: m.Priority,
 		OnComplete: func(err error) {
 			done <- err
 		},

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/policy"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
@@ -113,6 +114,14 @@ type Config struct {
 	OverloadThreshold  int
 	OverloadRecovery   int
 
+	// QoS, when non-nil, is the stack's tenant policy (internal/qos):
+	// clients created by NewClient get their app's class (token-bucket
+	// admission + wire priority), the arbiter weights contended
+	// allocations by class weight, and — unless Scheduler is set
+	// explicitly — daemons run the WFQ scheduler so priorities take
+	// effect. nil keeps the pre-QoS stack byte for byte.
+	QoS *qos.Registry
+
 	// WrapListener, when non-nil, interposes on each daemon's listener
 	// before it starts serving — the hook chaos tests use to inject
 	// network faults (faultnet.WrapListener) on a chosen I/O node.
@@ -156,7 +165,11 @@ func Start(cfg Config) (*Stack, error) {
 	}
 	schedName := cfg.Scheduler
 	if schedName == "" {
-		schedName = "AIOLI"
+		if cfg.QoS != nil && !cfg.QoS.Empty() {
+			schedName = "WFQ" // priorities are inert under a FIFO default
+		} else {
+			schedName = "AIOLI"
+		}
 	}
 
 	reg := cfg.Telemetry
@@ -210,6 +223,9 @@ func Start(cfg Config) (*Stack, error) {
 		return nil, err
 	}
 	st.Arbiter = arb.Instrument(reg)
+	if cfg.QoS != nil && !cfg.QoS.Empty() {
+		st.Arbiter.WithWeights(cfg.QoS.Weight)
+	}
 
 	if cfg.HealthInterval > 0 {
 		prober, err := health.New(health.Config{
@@ -314,6 +330,7 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 		RPC:           rpcOpts,
 		Throttle:      s.cfg.Throttle,
 		Dedup:         s.cfg.DedupWindow > 0,
+		QoS:           s.cfg.QoS.ClassFor(appID),
 		Telemetry:     s.Telemetry,
 		Tracer:        s.Tracer,
 	})

@@ -250,6 +250,40 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 	if audited < 20 {
 		t.Fatalf("audited only %d series — the stack should register far more", audited)
 	}
+
+	// Label-cardinality audit: count distinct label sets per metric family
+	// across all kinds. This stack has 2 I/O nodes and 1 application, so no
+	// family has a reason to exceed a handful of label sets; a layer that
+	// starts labeling by request, offset, or connection shows up here as
+	// drift long before it hurts a real deployment (and long before the
+	// registry's own DefaultMaxSeriesPerBase backstop coalesces it).
+	perFamily := map[string]int{}
+	countFamily := func(name string) {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			perFamily[name[:i]]++
+		}
+	}
+	for name := range snap.Counters {
+		countFamily(name)
+	}
+	for name := range snap.Gauges {
+		countFamily(name)
+	}
+	for name := range snap.Histograms {
+		countFamily(name)
+	}
+	const maxPerFamily = 4 // 2 nodes or 1 app, plus generous slack
+	for family, n := range perFamily {
+		if n > maxPerFamily {
+			t.Errorf("family %s has %d label sets on a 2-ION/1-app stack (cardinality drift)", family, n)
+		}
+		if n > telemetry.DefaultMaxSeriesPerBase {
+			t.Errorf("family %s exceeds the registry cap itself: %d", family, n)
+		}
+	}
+	if len(perFamily) == 0 {
+		t.Fatal("cardinality audit saw no labeled families — the stack labels per node and per app")
+	}
 }
 
 // benchmarkForward measures one client forwarding 64 KiB writes to one

@@ -38,6 +38,21 @@ type Application struct {
 	// the Equation-2 aggregate and by the dynamic-queue simulation.
 	WriteBytes int64
 	ReadBytes  int64
+	// Weight scales the job's utility in the MCKP objective (internal/qos
+	// class weight): a guaranteed tenant with weight w counts each MB/s of
+	// its curve w times, so it wins contended I/O-node allocations. ≤0
+	// means 1 — the unweighted pre-QoS objective. Only the MCKP policy
+	// consults it; bandwidth aggregates (SumBandwidth, Equation2) always
+	// use real bandwidth, never utility.
+	Weight float64
+}
+
+// utilityWeight returns the MCKP utility multiplier (1 when unset).
+func (a Application) utilityWeight() float64 {
+	if a.Weight <= 0 {
+		return 1
+	}
+	return a.Weight
 }
 
 // FromAppSpec converts a perfmodel application spec into an arbitration
@@ -439,8 +454,9 @@ func (p MCKP) Allocate(apps []Application, available int) (Allocation, error) {
 	for _, i := range order {
 		a := known[i]
 		cls := mckp.Class{Label: a.ID}
+		w := a.utilityWeight()
 		for _, pt := range a.Curve.Restrict(available).Points() {
-			cls.Items = append(cls.Items, mckp.Item{Weight: pt.IONs, Value: pt.Bandwidth.MBps()})
+			cls.Items = append(cls.Items, mckp.Item{Weight: pt.IONs, Value: pt.Bandwidth.MBps() * w})
 		}
 		if len(cls.Items) == 0 {
 			return nil, fmt.Errorf("policy: MCKP: %s has no option within %d I/O nodes", a.ID, available)

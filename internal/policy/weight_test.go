@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// contender builds an application whose only non-trivial option is a
+// single I/O node delivering the given bandwidth.
+func contender(id string, mbps float64) Application {
+	return Application{
+		ID: id, Nodes: 8, Processes: 8,
+		Curve: perfmodel.NewCurve(
+			perfmodel.Point{IONs: 0, Bandwidth: 0},
+			perfmodel.Point{IONs: 1, Bandwidth: units.BandwidthFromMBps(mbps)},
+		),
+	}
+}
+
+// TestMCKPWeightFlipsContendedAllocation pins the QoS weighting contract:
+// with one I/O node and two contenders, the unweighted objective gives the
+// node to the higher-bandwidth app, and a class weight large enough to
+// overcome the bandwidth gap flips the allocation to the weighted tenant.
+func TestMCKPWeightFlipsContendedAllocation(t *testing.T) {
+	fast := contender("fast", 10)
+	slow := contender("slow", 8)
+
+	alloc := mustAllocate(t, MCKP{}, []Application{fast, slow}, 1)
+	if alloc["fast"] != 1 || alloc["slow"] != 0 {
+		t.Fatalf("unweighted MCKP should favor raw bandwidth: %v", alloc)
+	}
+
+	slow.Weight = 2 // utility 16 MB/s beats fast's 10
+	alloc = mustAllocate(t, MCKP{}, []Application{fast, slow}, 1)
+	if alloc["slow"] != 1 || alloc["fast"] != 0 {
+		t.Fatalf("weight 2 should flip the contended node to slow: %v", alloc)
+	}
+}
+
+// TestWeightDoesNotInflateBandwidthAggregates: weight shapes the MCKP
+// objective only — SumBandwidth reports the real curve bandwidth of the
+// chosen allocation, never the weighted utility.
+func TestWeightDoesNotInflateBandwidthAggregates(t *testing.T) {
+	fast := contender("fast", 10)
+	slow := contender("slow", 8)
+	slow.Weight = 2
+
+	apps := []Application{fast, slow}
+	alloc := mustAllocate(t, MCKP{}, apps, 1)
+	sum, err := SumBandwidth(apps, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.MBps(); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("SumBandwidth = %.3f MB/s, want slow's real 8 (not utility 16)", got)
+	}
+}
+
+// TestWeightDefaultsPreserveObjective: zero and negative weights mean the
+// unweighted objective, so a mixed set with no explicit weights allocates
+// exactly as before the field existed.
+func TestWeightDefaultsPreserveObjective(t *testing.T) {
+	apps := fiveTwoApps(t)
+	baseline := mustAllocate(t, MCKP{}, apps, 12)
+	for i := range apps {
+		apps[i].Weight = -1 // explicit ≤0: same as unset
+	}
+	again := mustAllocate(t, MCKP{}, apps, 12)
+	for id, n := range baseline {
+		if again[id] != n {
+			t.Fatalf("≤0 weight changed the allocation: %s %d → %d", id, n, again[id])
+		}
+	}
+}

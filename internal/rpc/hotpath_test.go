@@ -33,6 +33,9 @@ func referenceEncode(m *Message, sum bool) []byte {
 	if m.Replayed {
 		flags |= flagReplay
 	}
+	if m.Priority != 0 {
+		flags |= flagPriority
+	}
 	body = append(body, flags)
 	body = binary.BigEndian.AppendUint32(body, retryAfterMicros(m.RetryAfter))
 	body = binary.BigEndian.AppendUint64(body, m.Trace)
@@ -49,6 +52,9 @@ func referenceEncode(m *Message, sum bool) []byte {
 		body = append(body, m.ClientID...)
 		body = binary.BigEndian.AppendUint64(body, m.Seq)
 	}
+	if m.Priority != 0 {
+		body = append(body, m.Priority)
+	}
 	if sum {
 		body = binary.BigEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
 	}
@@ -64,6 +70,8 @@ func TestWriteFrameMatchesReferenceEncoder(t *testing.T) {
 			{Op: OpRead, Path: "/r", Data: data, Err: "short read"},
 			{Op: OpWrite, Path: "/d", Data: data, ClientID: "client-7", Seq: 99},
 			{Op: OpWrite, Data: data, Busy: true, RetryAfter: 250 * time.Microsecond, Replayed: true, ClientID: "c", Seq: 1},
+			{Op: OpWrite, Path: "/q", Data: data, Priority: 3},
+			{Op: OpWrite, Path: "/q2", Data: data, Priority: 1, ClientID: "client-7", Seq: 4, Trace: 7},
 		}
 	}
 	for _, sz := range payloadSizes {

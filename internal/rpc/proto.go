@@ -13,7 +13,8 @@
 //	                     bit 1: a CRC32C trailer is present;
 //	                     bit 2: a dedup identity trailer is present;
 //	                     bit 3: replayed — the server answered from its
-//	                            dedup window instead of re-executing)
+//	                            dedup window instead of re-executing;
+//	                     bit 4: a QoS priority trailer is present)
 //	uint32  retry-after (microseconds; busy responses only, else 0)
 //	uint64  trace id   (0 = untraced; see internal/telemetry)
 //	uint16  path length
@@ -28,12 +29,15 @@
 //	uint16  client id length
 //	bytes   client id  (exactly-once identity; see internal/ion dedup)
 //	uint64  sequence   (per-client, starts at 1; 0 = unstamped)
+//	-- optional, bit 4 --
+//	uint8   priority   (QoS scheduling tier; see internal/qos. 0 is never
+//	                    encoded — an unclassed message carries no trailer)
 //	-- optional, bit 1, always last --
 //	uint32  CRC32C     (Castagnoli, over every body byte before it)
 //
-// Both trailers are flag-gated so a message that carries neither (and a
+// All trailers are flag-gated so a message that carries none (and a
 // writer with checksums off) encodes byte-identically to protocol
-// version 1; version 2 readers accept both forms, which is the whole
+// version 1; version 2 readers accept every form, which is the whole
 // negotiation.
 package rpc
 
@@ -126,6 +130,11 @@ type Message struct {
 	// the operation was applied by an earlier attempt and this response
 	// repeats its outcome without re-executing.
 	Replayed bool
+	// Priority is the request's QoS scheduling tier (see internal/qos:
+	// 3 guaranteed, 2 standard, 1 scavenger). Zero means unclassed — no
+	// priority trailer is encoded, keeping the frame byte-identical to a
+	// stack without QoS — and schedulers treat unclassed like standard.
+	Priority uint8
 
 	// body is the pooled frame buffer Data aliases (nil when the payload
 	// is caller-owned), and envelope marks a Message drawn from the
@@ -141,6 +150,7 @@ const (
 	flagChecksum = 1 << 1
 	flagDedup    = 1 << 2
 	flagReplay   = 1 << 3
+	flagPriority = 1 << 4
 )
 
 // castagnoli is the CRC32C polynomial table used for frame checksums
@@ -225,6 +235,9 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if hasDedup {
 		n += 2 + len(m.ClientID) + 8
 	}
+	if m.Priority != 0 {
+		n++
+	}
 	if sum {
 		n += 4
 	}
@@ -255,6 +268,9 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if m.Replayed {
 		flags |= flagReplay
 	}
+	if m.Priority != 0 {
+		flags |= flagPriority
+	}
 	buf[p] = flags
 	p++
 	binary.BigEndian.PutUint32(buf[p:], retryAfterMicros(m.RetryAfter))
@@ -283,6 +299,10 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 		p += copy(buf[p:], m.ClientID)
 		binary.BigEndian.PutUint64(buf[p:], m.Seq)
 		p += 8
+	}
+	if m.Priority != 0 {
+		buf[p] = m.Priority
+		p++
 	}
 	if sum {
 		// The trailer covers every body byte before it, in wire order —
@@ -421,6 +441,13 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		m.ClientID = string(buf[p : p+idLen])
 		p += idLen
 		m.Seq = binary.BigEndian.Uint64(buf[p:])
+		p += 8
+	}
+	if flags&flagPriority != 0 {
+		if p+1 > len(buf) {
+			return fail(1)
+		}
+		m.Priority = buf[p]
 	}
 	if m.Data == nil {
 		// Dataless frames (metadata ops, write acks, busy sheds) have

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSeriesCapCoalescesOverflow: past the per-family cap, new label sets
+// collapse into the family's overflow series so the registry stays
+// bounded but no increment is lost.
+func TestSeriesCapCoalescesOverflow(t *testing.T) {
+	reg := New()
+	reg.SetMaxSeriesPerBase(4)
+	for i := 0; i < 10; i++ {
+		reg.Counter(fmt.Sprintf(`ops_total{app="a%d"}`, i)).Inc()
+	}
+	snap := reg.Snapshot()
+	var series int
+	var total int64
+	for name, v := range snap.Counters {
+		if baseName(name) == "ops_total" {
+			series++
+			total += v
+		}
+	}
+	if series != 5 { // 4 admitted label sets + the overflow series
+		t.Fatalf("ops_total family holds %d series, want 5: %v", series, snap.Counters)
+	}
+	if got := snap.Counters[`ops_total{overflow="true"}`]; got != 6 {
+		t.Fatalf("overflow series = %d, want the 6 coalesced increments", got)
+	}
+	if total != 10 {
+		t.Fatalf("family total = %d, want all 10 increments preserved", total)
+	}
+}
+
+// TestSeriesCapSharedAcrossKinds: the cap counts a family's label sets
+// across counters, gauges, and histograms together — splitting a family
+// over kinds is not a way around the bound.
+func TestSeriesCapSharedAcrossKinds(t *testing.T) {
+	reg := New()
+	reg.SetMaxSeriesPerBase(2)
+	reg.Counter(`q_depth{ion="a"}`)
+	reg.Gauge(`q_depth{ion="b"}`)
+	h := reg.Histogram(`q_depth{ion="c"}`, []float64{1})
+	h.Observe(0.5)
+	snap := reg.Snapshot()
+	if _, ok := snap.Histograms[`q_depth{overflow="true"}`]; !ok {
+		t.Fatalf("third kind should have coalesced: %v", snap.Histograms)
+	}
+}
+
+// TestSeriesCapNeverTouchesUnlabeled: unlabeled series are code-driven,
+// not input-driven, and must never be coalesced or counted.
+func TestSeriesCapNeverTouchesUnlabeled(t *testing.T) {
+	reg := New()
+	reg.SetMaxSeriesPerBase(1)
+	reg.Counter(`ops_total{app="a"}`).Inc()
+	reg.Counter("ops_total").Inc() // unlabeled, same family name
+	reg.Counter("other_total").Inc()
+	snap := reg.Snapshot()
+	if snap.Counters["ops_total"] != 1 || snap.Counters["other_total"] != 1 {
+		t.Fatalf("unlabeled series affected by the cap: %v", snap.Counters)
+	}
+	for name := range snap.Counters {
+		if strings.Contains(name, "overflow") {
+			t.Fatalf("no overflow expected at exactly the cap: %v", snap.Counters)
+		}
+	}
+}
+
+// TestSeriesCapStableHandles: the overflow series is one shared handle —
+// two coalesced callers increment the same counter.
+func TestSeriesCapStableHandles(t *testing.T) {
+	reg := New()
+	reg.SetMaxSeriesPerBase(1)
+	reg.Counter(`x_total{a="1"}`)
+	c1 := reg.Counter(`x_total{a="2"}`)
+	c2 := reg.Counter(`x_total{a="3"}`)
+	if c1 != c2 {
+		t.Fatal("coalesced series should share one counter")
+	}
+	// Existing series keep their identity even once the family is full.
+	if reg.Counter(`x_total{a="1"}`) == c1 {
+		t.Fatal("pre-cap series must not be rerouted to overflow")
+	}
+	// Removing the cap readmits new label sets.
+	reg.SetMaxSeriesPerBase(0)
+	if reg.Counter(`x_total{a="4"}`) == c1 {
+		t.Fatal("uncapped registry should admit new label sets again")
+	}
+}

@@ -108,15 +108,58 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// seriesPerBase counts distinct labeled series per metric family
+	// (base name), across all metric kinds, enforcing maxSeries.
+	seriesPerBase map[string]int
+	maxSeries     int
 }
+
+// DefaultMaxSeriesPerBase bounds how many distinct label sets one metric
+// family (base name) may create in a registry. Per-tenant labels (QoS app
+// IDs, ION addresses) are unbounded inputs; without a cap a misbehaving
+// caller could grow the registry — and every Snapshot — without limit.
+// Series past the cap coalesce into `base{overflow="true"}` so the total
+// is still correct and the overflow is itself observable.
+const DefaultMaxSeriesPerBase = 256
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		seriesPerBase: make(map[string]int),
+		maxSeries:     DefaultMaxSeriesPerBase,
 	}
+}
+
+// SetMaxSeriesPerBase adjusts the per-family label-cardinality cap; n ≤ 0
+// removes it. Only series created afterwards are affected — existing
+// series are never renamed. No-op on a nil registry.
+func (r *Registry) SetMaxSeriesPerBase(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxSeries = n
+}
+
+// admit applies the cardinality cap to a new labeled series name,
+// returning either the name itself (and counting it against its family)
+// or the family's overflow series. Unlabeled series are never coalesced:
+// they are fixed in the code, not driven by runtime input. Caller holds
+// r.mu and has already checked the series does not exist.
+func (r *Registry) admit(name string) string {
+	base := baseName(name)
+	if base == name {
+		return name
+	}
+	if r.maxSeries > 0 && r.seriesPerBase[base] >= r.maxSeries {
+		return base + `{overflow="true"}`
+	}
+	r.seriesPerBase[base]++
+	return name
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil
@@ -129,8 +172,11 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		name = r.admit(name)
+		if c, ok = r.counters[name]; !ok {
+			c = &Counter{}
+			r.counters[name] = c
+		}
 	}
 	return c
 }
@@ -145,8 +191,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		name = r.admit(name)
+		if g, ok = r.gauges[name]; !ok {
+			g = &Gauge{}
+			r.gauges[name] = g
+		}
 	}
 	return g
 }
@@ -162,8 +211,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = newHistogram(bounds)
-		r.histograms[name] = h
+		name = r.admit(name)
+		if h, ok = r.histograms[name]; !ok {
+			h = newHistogram(bounds)
+			r.histograms[name] = h
+		}
 	}
 	return h
 }
