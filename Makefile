@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm torture qos fuzz bench bench-campaign bench-hotpath
+.PHONY: verify build test test-race vet lint chaos storm torture qos elastic fuzz bench bench-campaign bench-hotpath
 
 verify: vet build test-race
 
@@ -70,6 +70,22 @@ qos:
 		-run 'QoS|Bucket|WFQ|Inversion|Starvation|Weight|Priority|ParseConfig|ParseBytes|ClassValidation|WriteFrameMatchesReferenceEncoder|ReadMessageRejects' \
 		./internal/qos ./internal/livestack ./internal/agios ./internal/fwd \
 		./internal/rpc ./internal/policy ./internal/arbiter ./cmd/gkfwd
+
+# Elastic-pool suite, run twice under the race detector: the breathing
+# chaos scenario (pool 2→12→2 under burst load with a nemesis killing
+# IONs mid-drain and failing provisioning) plus the graceful-drain,
+# dynamic-membership, scaler-hysteresis, provisioning-backoff/breaker,
+# connection-release, and scaler-flag tests across every layer the
+# elastic subsystem touches.
+# -p 1 keeps the packages sequential: the chaos scenario's demand signal
+# is real queue depth under injected service latency, and sharing the
+# machine with five other race-instrumented packages starves the writers
+# enough to distort it.
+elastic:
+	$(GO) test -race -count=2 -timeout 300s -p 1 \
+		-run 'Elastic|Drain|Scale|Provision|Hysteresis|Forecast|MarkIdempotency|AddION|RemoveION|ReleaseConn|WaitForAllocation|AddStartsPessimistic|RemoveStopsProbing|LoadReportsSampled|Scaler|MarginalAdvisor' \
+		./internal/elastic ./internal/livestack ./internal/arbiter \
+		./internal/health ./internal/fwd ./cmd/gkfwd
 
 # Wire-protocol fuzzers (frame decoder and encode/decode round-trip).
 # FUZZTIME bounds each fuzzer; CI runs a short smoke, leave it running

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/elastic"
 	"repro/internal/fwd"
 	"repro/internal/livestack"
 	"repro/internal/policy"
@@ -56,6 +57,12 @@ type options struct {
 	wireChecksum bool
 	dedupWindow  int
 
+	scaleMin      int
+	scaleMax      int
+	scaleUp       float64
+	scaleDown     float64
+	scaleCooldown time.Duration
+
 	qosConfig string
 	qosInline string
 	// qosReg is the tenant policy parsed from -qos-config/-qos during
@@ -94,6 +101,11 @@ func parseFlags() *options {
 	flag.IntVar(&o.overloadShed, "overload-shed", 0, "sheds per probe sweep at which the prober calls an I/O node overloaded (0 = off)")
 	flag.BoolVar(&o.wireChecksum, "wire-checksum", false, "CRC32C trailers on every RPC frame, verified end to end")
 	flag.IntVar(&o.dedupWindow, "dedup-window", 0, "exactly-once writes: per-client outcomes each daemon retains for replay on transport retries (0 = off)")
+	flag.IntVar(&o.scaleMax, "scale-max", 0, "pool ceiling for the elastic scaler; >0 enables autoscaling (0 = static pool)")
+	flag.IntVar(&o.scaleMin, "scale-min", 0, "pool floor for the elastic scaler (0 = -ions)")
+	flag.Float64Var(&o.scaleUp, "scale-up", 0, "average queue depth at or above which the pool grows (sustained)")
+	flag.Float64Var(&o.scaleDown, "scale-down", 0, "average queue depth at or below which the pool shrinks (sustained)")
+	flag.DurationVar(&o.scaleCooldown, "scale-cooldown", 0, "minimum gap between same-direction scale events (0 = scaler defaults)")
 	flag.StringVar(&o.qosConfig, "qos-config", "", "tenant QoS policy file (class/app statements, see internal/qos)")
 	flag.StringVar(&o.qosInline, "qos", "", "inline QoS statements (';'-separated) applied after -qos-config")
 	flag.Parse()
@@ -183,6 +195,56 @@ func (o *options) validate() error {
 	if o.overloadShed > 0 && o.queueCap == 0 && o.maxInflight == 0 && o.maxConns == 0 {
 		return fmt.Errorf("-overload-shed requires a shed source (-queue-cap, -max-inflight, or -max-conns): an unbounded daemon never sheds, so the threshold would never trigger")
 	}
+	if o.scaleMin < 0 {
+		return fmt.Errorf("-scale-min must not be negative, got %d", o.scaleMin)
+	}
+	if o.scaleMax < 0 {
+		return fmt.Errorf("-scale-max must not be negative, got %d", o.scaleMax)
+	}
+	if o.scaleUp < 0 {
+		return fmt.Errorf("-scale-up must not be negative, got %g", o.scaleUp)
+	}
+	if o.scaleDown < 0 {
+		return fmt.Errorf("-scale-down must not be negative, got %g", o.scaleDown)
+	}
+	if o.scaleCooldown < 0 {
+		return fmt.Errorf("-scale-cooldown must not be negative, got %v", o.scaleCooldown)
+	}
+	if o.scaleMax == 0 {
+		// -scale-max is the feature switch; every other scaler knob tunes a
+		// scaler that would not exist.
+		switch {
+		case o.scaleMin > 0:
+			return fmt.Errorf("-scale-min requires -scale-max: without a ceiling no scaler runs, so the floor never applies")
+		case o.scaleUp > 0 || o.scaleDown > 0:
+			return fmt.Errorf("-scale-up/-scale-down require -scale-max: without a ceiling no scaler reads the watermarks")
+		case o.scaleCooldown > 0:
+			return fmt.Errorf("-scale-cooldown requires -scale-max: without a ceiling no scale event ever fires, so the cooldown never applies")
+		}
+	} else {
+		if o.healthInterval == 0 {
+			return fmt.Errorf("-scale-max requires -health-interval: the scaler feeds on the prober's queue-depth samples, so without probes it is blind")
+		}
+		if o.scaleUp == 0 {
+			return fmt.Errorf("-scale-max requires the watermark pair -scale-up/-scale-down: without thresholds the scaler has no demand signal")
+		}
+		if o.scaleUp <= o.scaleDown {
+			return fmt.Errorf("-scale-up (%g) must exceed -scale-down (%g): the gap between them is the hysteresis band that prevents flapping", o.scaleUp, o.scaleDown)
+		}
+		if o.scaleMin > o.scaleMax {
+			return fmt.Errorf("-scale-min (%d) must not exceed -scale-max (%d)", o.scaleMin, o.scaleMax)
+		}
+		if o.ions > o.scaleMax {
+			return fmt.Errorf("-ions (%d) must not start above -scale-max (%d): the scaler would have to shrink a pool the operator explicitly sized", o.ions, o.scaleMax)
+		}
+		min := o.scaleMin
+		if min == 0 {
+			min = o.ions
+		}
+		if o.ions < min {
+			return fmt.Errorf("-ions (%d) must not start below -scale-min (%d): the scaler only grows on demand, so the pool would sit under its own floor", o.ions, min)
+		}
+	}
 	if o.qosConfig != "" || o.qosInline != "" {
 		var (
 			reg *qos.Registry
@@ -244,6 +306,24 @@ func (o *options) stackConfig() livestack.Config {
 			MinWindow: o.throttleMin,
 			MaxWindow: o.throttleMax,
 		},
+	}
+	if o.scaleMax > 0 {
+		min := o.scaleMin
+		if min == 0 {
+			min = o.ions
+		}
+		cfg.Elastic = &elastic.Config{
+			Min:           min,
+			Max:           o.scaleMax,
+			UpWatermark:   o.scaleUp,
+			DownWatermark: o.scaleDown,
+			UpCooldown:    o.scaleCooldown,
+			DownCooldown:  o.scaleCooldown,
+			// The forecast seam: a scale-up whose predicted aggregate
+			// bandwidth gain is zero is vetoed — capacity the running
+			// apps' curves say nobody can use is not worth provisioning.
+			MarginalValue: marginalValueFor(o.appList),
+		}
 	}
 	if o.rate > 0 {
 		cfg.PFS.OSTRate = units.BandwidthFromMBps(o.rate)

@@ -54,6 +54,47 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		{"retry after without admission bound", func(o *options) { o.retryAfter = time.Millisecond }, "-queue-cap or -max-inflight"},
 		{"overload depth beyond queue cap", func(o *options) { o.healthInterval = time.Second; o.queueCap = 8; o.overloadDepth = 32 }, "exceeds -queue-cap"},
 		{"overload shed without shed source", func(o *options) { o.healthInterval = time.Second; o.overloadShed = 4 }, "shed source"},
+		{"negative scale min", func(o *options) { o.scaleMin = -1 }, "-scale-min"},
+		{"negative scale max", func(o *options) { o.scaleMax = -1 }, "-scale-max"},
+		{"negative scale up", func(o *options) { o.scaleUp = -1 }, "-scale-up"},
+		{"negative scale down", func(o *options) { o.scaleDown = -0.5 }, "-scale-down"},
+		{"negative scale cooldown", func(o *options) { o.scaleCooldown = -time.Second }, "-scale-cooldown"},
+		{"scale min without max", func(o *options) { o.scaleMin = 2 }, "-scale-min requires -scale-max"},
+		{"watermarks without max", func(o *options) { o.scaleUp = 8 }, "require -scale-max"},
+		{"scale cooldown without max", func(o *options) { o.scaleCooldown = time.Second }, "-scale-cooldown requires -scale-max"},
+		{"scaler without health", func(o *options) { o.scaleMax = 8; o.scaleUp = 8; o.scaleDown = 1 }, "-scale-max requires -health-interval"},
+		{"scaler without watermarks", func(o *options) {
+			o.healthInterval = time.Second
+			o.scaleMax = 8
+		}, "watermark pair"},
+		{"inverted watermarks", func(o *options) {
+			o.healthInterval = time.Second
+			o.scaleMax = 8
+			o.scaleUp = 1
+			o.scaleDown = 4
+		}, "hysteresis band"},
+		{"scale min above scale max", func(o *options) {
+			o.healthInterval = time.Second
+			o.scaleMax = 4
+			o.scaleUp = 8
+			o.scaleDown = 1
+			o.scaleMin = 6
+		}, "-scale-min (6) must not exceed -scale-max (4)"},
+		{"ions below scale min", func(o *options) {
+			o.healthInterval = time.Second
+			o.ions = 2
+			o.scaleMin = 3
+			o.scaleMax = 8
+			o.scaleUp = 8
+			o.scaleDown = 1
+		}, "below -scale-min"},
+		{"ions above scale max", func(o *options) {
+			o.healthInterval = time.Second
+			o.ions = 10
+			o.scaleMax = 8
+			o.scaleUp = 8
+			o.scaleDown = 1
+		}, "above -scale-max"},
 		{"qos inline syntax error", func(o *options) { o.qosInline = "class gold tier=bogus" }, "-qos-config/-qos"},
 		{"qos unknown class reference", func(o *options) { o.qosInline = "app a missing" }, "-qos-config/-qos"},
 		{"qos missing file", func(o *options) { o.qosConfig = "/nonexistent/qos.conf" }, "-qos-config/-qos"},
@@ -162,6 +203,69 @@ func TestQoSFlagsParseIntoStackConfig(t *testing.T) {
 	}
 	if got := def.schedulerName(); got != "AIOLI" {
 		t.Fatalf("default scheduler name = %q, want AIOLI", got)
+	}
+}
+
+func TestScalerFlagsCarryIntoStackConfig(t *testing.T) {
+	o := validOptions()
+	o.healthInterval = 100 * time.Millisecond
+	o.scaleMax = 12
+	o.scaleUp = 8
+	o.scaleDown = 1
+	o.scaleCooldown = 30 * time.Second
+	if err := o.validate(); err != nil {
+		t.Fatalf("scaler knobs should validate: %v", err)
+	}
+	cfg := o.stackConfig()
+	if cfg.Elastic == nil {
+		t.Fatal("-scale-max did not enable the elastic scaler")
+	}
+	if cfg.Elastic.Min != o.ions {
+		t.Fatalf("Elastic.Min = %d, want the -ions default %d", cfg.Elastic.Min, o.ions)
+	}
+	if cfg.Elastic.Max != 12 || cfg.Elastic.UpWatermark != 8 || cfg.Elastic.DownWatermark != 1 {
+		t.Fatalf("scaler knobs not carried: %+v", cfg.Elastic)
+	}
+	if cfg.Elastic.UpCooldown != 30*time.Second || cfg.Elastic.DownCooldown != 30*time.Second {
+		t.Fatalf("-scale-cooldown not carried to both directions: %+v", cfg.Elastic)
+	}
+	if cfg.Elastic.MarginalValue == nil {
+		t.Fatal("scaler config has no perfmodel forecast")
+	}
+	// An explicit floor wins over the -ions default.
+	o.scaleMin = 2
+	o.ions = 4
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.stackConfig().Elastic.Min; got != 2 {
+		t.Fatalf("explicit -scale-min not carried: %d", got)
+	}
+
+	// Default off: with every scaler flag at zero the stack config is the
+	// static pool, byte for byte.
+	def := validOptions()
+	if err := def.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := def.stackConfig(); d.Elastic != nil || d.WrapProvisioner != nil {
+		t.Fatalf("scaler must default off: %+v", d.Elastic)
+	}
+}
+
+// TestMarginalAdvisor pins the forecast the scaler consults: positive
+// while the apps' curves still climb, zero past every measured peak (the
+// scaler reads that as "growth not worth provisioning").
+func TestMarginalAdvisor(t *testing.T) {
+	mv := marginalValueFor("IOR-MPI,HACC")
+	if v := mv(2); v <= 0 {
+		t.Fatalf("marginal value at k=2 = %g, want > 0 (both curves still climb)", v)
+	}
+	if v := mv(16); v != 0 {
+		t.Fatalf("marginal value at k=16 = %g, want 0 (past every measured point)", v)
+	}
+	if mv := marginalValueFor("NOSUCHAPP"); mv(2) != 0 {
+		t.Fatal("unknown labels must forecast zero, not panic")
 	}
 }
 

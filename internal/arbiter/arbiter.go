@@ -31,6 +31,11 @@ var (
 	ErrUnknownION = errors.New("arbiter: unknown I/O node")
 	// ErrNoLiveIONs reports arbitration over an empty or fully-down pool.
 	ErrNoLiveIONs = errors.New("arbiter: no live I/O nodes")
+	// ErrIONDown reports a drain request for a node that is already down —
+	// there is nothing graceful left to do; the caller wanted MarkDown.
+	ErrIONDown = errors.New("arbiter: I/O node is down")
+	// ErrIONAssigned reports a removal of a node still routed to some job.
+	ErrIONAssigned = errors.New("arbiter: I/O node still assigned")
 )
 
 // Arbiter owns a pool of I/O-node addresses and a mapping bus.
@@ -46,6 +51,7 @@ type Arbiter struct {
 	mu         sync.Mutex
 	down       map[string]bool // addresses marked down (health transitions)
 	overloaded map[string]bool // addresses shedding load (overload transitions)
+	draining   map[string]bool // addresses leaving gracefully (scaler drains)
 	running    map[string]policy.Application
 	assign     map[string][]string // app → addresses
 	// SolveTime records the duration of the last policy invocation (the
@@ -58,8 +64,11 @@ type Arbiter struct {
 		keptMappings                     *telemetry.Counter
 		marksDown, marksUp               *telemetry.Counter
 		marksOverloaded, marksRecovered  *telemetry.Counter
+		drains, drainsAborted            *telemetry.Counter
+		ionsAdded, ionsRemoved           *telemetry.Counter
 		jobsRunning                      *telemetry.Gauge
 		ionsDown, ionsLive, ionsOverload *telemetry.Gauge
+		ionsDraining                     *telemetry.Gauge
 		solveLatency                     *telemetry.Histogram
 	}
 }
@@ -86,6 +95,7 @@ func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, erro
 		pool:       append([]string(nil), ionAddrs...),
 		down:       map[string]bool{},
 		overloaded: map[string]bool{},
+		draining:   map[string]bool{},
 		running:    map[string]policy.Application{},
 		assign:     map[string][]string{},
 	}, nil
@@ -109,10 +119,15 @@ func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
 	a.tel.marksUp = reg.Counter("arbiter_marked_up_total")
 	a.tel.marksOverloaded = reg.Counter("arbiter_marked_overloaded_total")
 	a.tel.marksRecovered = reg.Counter("arbiter_overload_recovered_total")
+	a.tel.drains = reg.Counter("arbiter_drains_started_total")
+	a.tel.drainsAborted = reg.Counter("arbiter_drains_aborted_total")
+	a.tel.ionsAdded = reg.Counter("arbiter_ions_added_total")
+	a.tel.ionsRemoved = reg.Counter("arbiter_ions_removed_total")
 	a.tel.jobsRunning = reg.Gauge("arbiter_jobs_running")
 	a.tel.ionsDown = reg.Gauge("arbiter_ions_down")
 	a.tel.ionsLive = reg.Gauge("arbiter_ions_live")
 	a.tel.ionsOverload = reg.Gauge("arbiter_ions_overloaded")
+	a.tel.ionsDraining = reg.Gauge("arbiter_ions_draining")
 	a.tel.ionsLive.Set(int64(len(a.pool)))
 	a.tel.solveLatency = reg.Histogram("arbiter_solve_latency_seconds", telemetry.LatencyBuckets())
 	return a
@@ -148,9 +163,9 @@ func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
 	if _, dup := a.running[app.ID]; dup {
 		return nil, fmt.Errorf("arbiter: job %s already running", app.ID)
 	}
-	if len(a.livePool()) == 0 {
-		return nil, fmt.Errorf("%w: cannot start %s (pool %d, down %d)",
-			ErrNoLiveIONs, app.ID, len(a.pool), len(a.down))
+	if len(a.availablePool()) == 0 {
+		return nil, fmt.Errorf("%w: cannot start %s (pool %d, down %d, draining %d)",
+			ErrNoLiveIONs, app.ID, len(a.pool), len(a.down), len(a.draining))
 	}
 	a.running[app.ID] = app
 	if err := a.rearbitrate(); err != nil {
@@ -203,16 +218,17 @@ func (a *Arbiter) Current() map[string][]string {
 	return out
 }
 
-// livePool returns the pool minus down nodes, in stable pool order.
-// Caller holds the lock.
-func (a *Arbiter) livePool() []string {
-	live := make([]string, 0, len(a.pool))
+// availablePool returns the pool minus down and draining nodes — the
+// addresses arbitration may hand out — in stable pool order. Caller holds
+// the lock.
+func (a *Arbiter) availablePool() []string {
+	avail := make([]string, 0, len(a.pool))
 	for _, addr := range a.pool {
-		if !a.down[addr] {
-			live = append(live, addr)
+		if !a.down[addr] && !a.draining[addr] {
+			avail = append(avail, addr)
 		}
 	}
-	return live
+	return avail
 }
 
 func (a *Arbiter) inPool(addr string) bool {
@@ -251,12 +267,13 @@ func (a *Arbiter) Overloaded() []string {
 	return out
 }
 
-// updatePoolGauges refreshes the live/down/overloaded gauges. Caller holds
-// the lock.
+// updatePoolGauges refreshes the live/down/overloaded/draining gauges.
+// Caller holds the lock.
 func (a *Arbiter) updatePoolGauges() {
 	a.tel.ionsDown.Set(int64(len(a.down)))
 	a.tel.ionsLive.Set(int64(len(a.pool) - len(a.down)))
 	a.tel.ionsOverload.Set(int64(len(a.overloaded)))
+	a.tel.ionsDraining.Set(int64(len(a.draining)))
 }
 
 // without returns addrs with every occurrence of addr removed (the slice
@@ -296,6 +313,13 @@ func (a *Arbiter) MarkDown(addr string) error {
 	}
 	if a.down[addr] {
 		return nil
+	}
+	if a.draining[addr] {
+		// The node died mid-drain: the graceful exit aborts into the hard
+		// one. Whoever was waiting for quiescence observes the node down
+		// and gives up; re-arbitration below routes around it either way.
+		delete(a.draining, addr)
+		a.tel.drainsAborted.Inc()
 	}
 	a.down[addr] = true
 	a.tel.marksDown.Inc()
@@ -372,6 +396,12 @@ func (a *Arbiter) MarkOverloaded(addr string) error {
 	if a.overloaded[addr] {
 		return nil
 	}
+	if a.draining[addr] {
+		// Drain wins: the node is already excluded from every allocation,
+		// which is a strictly stronger steer than the overload preference,
+		// and it is about to leave the pool anyway.
+		return nil
+	}
 	a.overloaded[addr] = true
 	a.tel.marksOverloaded.Inc()
 	a.updatePoolGauges()
@@ -411,6 +441,151 @@ func (a *Arbiter) MarkRecovered(addr string) error {
 	return nil
 }
 
+// Drain marks addr as leaving the pool gracefully: it stays alive and
+// keeps serving whatever is already in flight, but re-arbitration stops
+// handing it out, so traffic migrates off under the no-shrink invariant
+// (every job keeps its allocated count — on other nodes). Distinct from
+// down (the node is healthy) and from overloaded (the node is never
+// preferred, not merely deprioritized). Draining an already-draining node
+// is a no-op; draining a down node is refused with ErrIONDown. If moving
+// the assignments off addr is infeasible (the solve fails or the rest of
+// the pool cannot absorb them), the drain is rolled back and refused —
+// the caller must not decommission.
+func (a *Arbiter) Drain(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if a.draining[addr] {
+		return nil
+	}
+	if a.down[addr] {
+		return fmt.Errorf("%w: cannot drain %s", ErrIONDown, addr)
+	}
+	a.draining[addr] = true
+	if len(a.running) > 0 {
+		if err := a.rearbitrate(); err != nil {
+			delete(a.draining, addr)
+			a.updatePoolGauges()
+			return fmt.Errorf("arbiter: drain of %s refused, mapping unchanged: %w", addr, err)
+		}
+	}
+	a.tel.drains.Inc()
+	a.updatePoolGauges()
+	return nil
+}
+
+// AbortDrain cancels a drain in progress and returns addr to the
+// allocatable pool. Aborting a node that is not draining is a no-op (the
+// drain may already have aborted into MarkDown). If the follow-up solve
+// fails the previous mapping stays — it is still valid, the node simply
+// idles until the next successful solve.
+func (a *Arbiter) AbortDrain(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if !a.draining[addr] {
+		return nil
+	}
+	delete(a.draining, addr)
+	a.tel.drainsAborted.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: drain of %s aborted, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// AddION grows the pool with a freshly provisioned node and re-arbitrates
+// so running jobs can spread onto it. Duplicates are refused. If the
+// follow-up solve fails the node stays in the pool and the previous
+// mapping stays published (still valid — the new node idles until the
+// next successful solve), so the error is advisory.
+func (a *Arbiter) AddION(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if addr == "" {
+		return errors.New("arbiter: empty I/O node address")
+	}
+	if a.inPool(addr) {
+		return fmt.Errorf("arbiter: duplicate I/O node %s", addr)
+	}
+	a.pool = append(a.pool, addr)
+	a.tel.ionsAdded.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s added, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// RemoveION forgets addr entirely — pool membership, down/overloaded/
+// draining marks, everything. It is the terminal step of a drain (or the
+// disposal of a node that never rose) and is refused with ErrIONAssigned
+// while any job still routes to addr: remove only what arbitration can no
+// longer hand out. No re-arbitration runs — by construction nothing was
+// assigned to the node.
+func (a *Arbiter) RemoveION(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	for app, addrs := range a.assign {
+		for _, x := range addrs {
+			if x == addr {
+				return fmt.Errorf("%w: %s still routes %s", ErrIONAssigned, addr, app)
+			}
+		}
+	}
+	a.pool = without(a.pool, addr)
+	delete(a.down, addr)
+	delete(a.overloaded, addr)
+	delete(a.draining, addr)
+	a.tel.ionsRemoved.Inc()
+	a.updatePoolGauges()
+	return nil
+}
+
+// Draining returns the addresses currently draining, in stable pool order.
+func (a *Arbiter) Draining() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.draining))
+	for _, addr := range a.pool {
+		if a.draining[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// IsDraining reports whether addr is draining.
+func (a *Arbiter) IsDraining(addr string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining[addr]
+}
+
+// Pool returns the current pool addresses (including down and draining
+// members), in stable order.
+func (a *Arbiter) Pool() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.pool...)
+}
+
 // rearbitrate recomputes counts with the policy and maps them to concrete
 // addresses. Caller holds the lock.
 func (a *Arbiter) rearbitrate() error {
@@ -423,13 +598,14 @@ func (a *Arbiter) rearbitrate() error {
 	}
 	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
 
-	live := a.livePool()
-	if len(live) == 0 {
+	avail := a.availablePool()
+	if len(avail) == 0 {
 		a.tel.solveErrors.Inc()
-		return fmt.Errorf("%w: %d of %d marked down", ErrNoLiveIONs, len(a.down), len(a.pool))
+		return fmt.Errorf("%w: %d of %d marked down, %d draining",
+			ErrNoLiveIONs, len(a.down), len(a.pool), len(a.draining))
 	}
 	start := time.Now()
-	alloc, err := a.pol.Allocate(apps, len(live))
+	alloc, err := a.pol.Allocate(apps, len(avail))
 	a.tel.solves.Inc()
 	a.tel.solveLatency.ObserveDuration(time.Since(start))
 	if err != nil {
@@ -439,10 +615,11 @@ func (a *Arbiter) rearbitrate() error {
 	a.lastSolve = time.Since(start)
 
 	// Phase 1: shrink or keep — retain a stable prefix of each app's
-	// current addresses, skipping any node marked down or overloaded in
-	// the meantime. Dropping overloaded nodes from the kept prefix is
-	// what steers load away: the app re-grows in phase 2, which hands
-	// out healthy capacity first.
+	// current addresses, skipping any node marked down, overloaded, or
+	// draining in the meantime. Dropping overloaded nodes from the kept
+	// prefix is what steers load away; dropping draining ones is what
+	// migrates traffic off a node headed for decommission. The app
+	// re-grows in phase 2, which hands out healthy capacity first.
 	next := make(map[string][]string, len(alloc))
 	used := map[string]bool{}
 	for _, app := range apps {
@@ -453,7 +630,7 @@ func (a *Arbiter) rearbitrate() error {
 			if len(keep) == want {
 				break
 			}
-			if !a.down[addr] && !a.overloaded[addr] {
+			if !a.down[addr] && !a.overloaded[addr] && !a.draining[addr] {
 				keep = append(keep, addr)
 			}
 		}
@@ -462,17 +639,18 @@ func (a *Arbiter) rearbitrate() error {
 			used[addr] = true
 		}
 	}
-	// Phase 2: grow from the free live pool in stable pool order, healthy
-	// nodes first — overloaded ones are appended last so they absorb load
-	// only when the healthy pool cannot cover the allocation (capacity is
-	// deprioritized, never destroyed).
-	free := make([]string, 0, len(live))
-	for _, addr := range live {
+	// Phase 2: grow from the free available pool in stable pool order,
+	// healthy nodes first — overloaded ones are appended last so they
+	// absorb load only when the healthy pool cannot cover the allocation
+	// (capacity is deprioritized, never destroyed). Draining nodes are
+	// not in the available pool at all.
+	free := make([]string, 0, len(avail))
+	for _, addr := range avail {
 		if !used[addr] && !a.overloaded[addr] {
 			free = append(free, addr)
 		}
 	}
-	for _, addr := range live {
+	for _, addr := range avail {
 		if !used[addr] && a.overloaded[addr] {
 			free = append(free, addr)
 		}

@@ -362,6 +362,30 @@ func (c *Client) Watch(ch <-chan mapping.Map) (cancel func()) {
 	}
 }
 
+// ReleaseConn closes and forgets the pooled connection (and throttle
+// gate) for addr, provided addr is not in the current allocation. Remaps
+// deliberately keep connections to former nodes pooled so a map-back is
+// cheap; a decommissioned I/O node never comes back on its address, so
+// the stack calls this when one leaves for good — otherwise an elastic
+// pool would grow the conn table with every scale event. Releasing an
+// unknown or still-allocated address is a no-op. Ops in flight on an old
+// route view may see their calls fail on the closed connection; they
+// take the same failover path as any other unreachable node.
+func (c *Client) ReleaseConn(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.addrs {
+		if a == addr {
+			return
+		}
+	}
+	if conn, ok := c.conns[addr]; ok {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+	delete(c.gates, addr)
+}
+
 // Close releases all pooled connections.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
@@ -611,6 +635,13 @@ func (c *Client) callION(t *rpc.Client, g *ionGate, req *rpc.Message) (resp *rpc
 			return nil, nil, true
 		}
 		resp, err = t.Call(req)
+		if err != nil && errors.Is(err, rpc.ErrClosed) {
+			// The per-node client was released by a decommission that
+			// raced this op's route view: the node is gone for good,
+			// which is the strongest form of unavailable. Fold it into
+			// that class so the caller takes the normal failover path.
+			err = fmt.Errorf("%w: %v", rpc.ErrUnavailable, err)
+		}
 		if err != nil && errors.Is(err, rpc.ErrBusy) {
 			resp.Release()
 			resp = nil

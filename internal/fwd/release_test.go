@@ -1,0 +1,100 @@
+package fwd
+
+// ReleaseConn tests: the conn-pool pruning hook the elastic stack calls
+// when an I/O node is decommissioned for good.
+
+import "testing"
+
+func TestReleaseConnPrunesOnlyFormerNodes(t *testing.T) {
+	store, addrs, _ := testStack(t, 3)
+	c := newTestClient(t, store, 64)
+	c.SetIONs(addrs)
+
+	// Releasing a node still in the allocation must be refused silently:
+	// the route view depends on that connection.
+	c.ReleaseConn(addrs[0])
+	c.mu.Lock()
+	_, kept := c.conns[addrs[0]]
+	c.mu.Unlock()
+	if !kept {
+		t.Fatal("ReleaseConn closed a connection still in the allocation")
+	}
+
+	// Remap away from addrs[2]; its connection stays pooled (map-back is
+	// cheap) until the release says the node is gone for good.
+	c.SetIONs(addrs[:2])
+	c.mu.Lock()
+	_, pooled := c.conns[addrs[2]]
+	c.mu.Unlock()
+	if !pooled {
+		t.Fatal("remap dropped the pooled connection (pooling across remaps is deliberate)")
+	}
+	c.ReleaseConn(addrs[2])
+	c.mu.Lock()
+	_, pooled = c.conns[addrs[2]]
+	c.mu.Unlock()
+	if pooled {
+		t.Fatal("ReleaseConn left the decommissioned node's connection pooled")
+	}
+
+	// Unknown address: no-op.
+	c.ReleaseConn("nobody:1")
+
+	// I/O keeps working on the surviving allocation.
+	if _, err := c.Write("/f", 0, []byte("still forwarding")); err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
+}
+
+func TestReleaseConnThenRemapBackRedials(t *testing.T) {
+	store, addrs, _ := testStack(t, 2)
+	c := newTestClient(t, store, 64)
+	c.SetIONs(addrs)
+	c.SetIONs(addrs[:1])
+	c.ReleaseConn(addrs[1])
+
+	// The address comes back (a new daemon on the same endpoint would
+	// look identical): the client must redial, not reuse a closed conn.
+	c.SetIONs(addrs)
+	if _, err := c.Write("/g", 0, []byte(pattern(256))); err != nil {
+		t.Fatalf("write after remap-back: %v", err)
+	}
+}
+
+// A decommission can race an op that already picked its route: the op
+// holds a view whose pooled rpc client ReleaseConn has just closed. That
+// op must take the ordinary failover path to the direct PFS — never
+// surface rpc.ErrClosed (or a raw transport error) to the application.
+func TestReleaseConnRaceFailsOverClosedClient(t *testing.T) {
+	store, addrs, _ := testStack(t, 1)
+	c := newTestClient(t, store, 64)
+	c.SetIONs(addrs)
+
+	// Close the node's rpc client out from under the live route view —
+	// the observable state an in-flight op sees when the remap and the
+	// release land between its route pick and its call.
+	c.mu.Lock()
+	c.conns[addrs[0]].Close()
+	c.mu.Unlock()
+
+	data := []byte(pattern(256))
+	n, err := c.Write("/race", 0, data)
+	if err != nil || n != len(data) {
+		t.Fatalf("write on released client: n=%d err=%v (want clean failover)", n, err)
+	}
+	if c.Stats().FailoverOps == 0 {
+		t.Fatal("closed-client write did not count as a failover")
+	}
+	got := make([]byte, len(data))
+	if n, err := store.Read("/race", 0, got); err != nil || n != len(data) || string(got) != string(data) {
+		t.Fatalf("bytes not on the PFS via the direct path: n=%d err=%v", n, err)
+	}
+}
+
+func pattern(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return string(b)
+}

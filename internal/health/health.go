@@ -117,15 +117,18 @@ type nodeState struct {
 	coolSweeps  int   // consecutive healthy sweeps while overloaded
 	lastRejects int64 // cumulative reject counter from the last sweep
 	sawRejects  bool  // lastRejects holds a real sample (not the zero value)
+	lastDepth   int64 // queue depth from the last loaded sweep
 }
 
-// Prober pings a fixed set of I/O nodes and reports transitions.
+// Prober pings a dynamic set of I/O nodes and reports transitions. The
+// set starts as Config.Addrs and breathes through Add/Remove (the
+// autoscaler's hooks).
 type Prober struct {
-	cfg     Config
-	clients map[string]*rpc.Client
+	cfg Config
 
-	mu    sync.Mutex
-	state map[string]*nodeState
+	mu      sync.Mutex
+	clients map[string]*rpc.Client
+	state   map[string]*nodeState
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -176,15 +179,6 @@ func New(cfg Config) (*Prober, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	for _, addr := range cfg.Addrs {
-		if _, dup := p.clients[addr]; dup {
-			return nil, errors.New("health: duplicate address " + addr)
-		}
-		p.clients[addr] = rpc.Dial(addr, 1).
-			WithOptions(rpc.Options{CallTimeout: cfg.Timeout, WireChecksum: cfg.WireChecksum}).
-			Instrument(cfg.Telemetry, nil)
-		p.state[addr] = &nodeState{up: true}
-	}
 	reg := cfg.Telemetry
 	p.tel.probes = reg.Counter("health_probes_total")
 	p.tel.failures = reg.Counter("health_probe_failures_total")
@@ -193,15 +187,81 @@ func New(cfg Config) (*Prober, error) {
 	p.tel.overloads = reg.Counter("health_transitions_overloaded_total")
 	p.tel.recovers = reg.Counter("health_transitions_recovered_total")
 	p.tel.nodesUp = reg.Gauge("health_ions_up")
-	p.tel.nodesUp.Set(int64(len(cfg.Addrs)))
 	p.tel.nodesOverloaded = reg.Gauge("health_ions_overloaded")
 	p.tel.queueDepth = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
 	p.tel.shedRate = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
 	for _, addr := range cfg.Addrs {
+		// The initial pool is trusted immediately, New's historical
+		// behaviour; nodes added later choose their own posture.
+		if err := p.Add(addr, true); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Add starts probing addr. up seeds the debounced state: true trusts the
+// node immediately (the posture New gives the initial pool), false makes
+// the node start down, so RiseThreshold successful pings must land before
+// the first up transition fires — what a freshly provisioned node
+// deserves, and the signal the autoscaler's rollback deadline watches.
+// Duplicate addresses are refused.
+func (p *Prober) Add(addr string, up bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.clients[addr]; dup {
+		return errors.New("health: duplicate address " + addr)
+	}
+	p.clients[addr] = rpc.Dial(addr, 1).
+		WithOptions(rpc.Options{CallTimeout: p.cfg.Timeout, WireChecksum: p.cfg.WireChecksum}).
+		Instrument(p.cfg.Telemetry, nil)
+	p.state[addr] = &nodeState{up: up}
+	if up {
+		p.tel.nodesUp.Add(1)
+	}
+	if _, ok := p.tel.queueDepth[addr]; !ok {
+		reg := p.cfg.Telemetry
 		p.tel.queueDepth[addr] = reg.Gauge(fmt.Sprintf("health_ion_queue_depth{ion=%q}", addr))
 		p.tel.shedRate[addr] = reg.Gauge(fmt.Sprintf("health_ion_shed_delta{ion=%q}", addr))
 	}
-	return p, nil
+	return nil
+}
+
+// Remove stops probing addr and releases its probe connection. A sweep in
+// flight may still ping the address once; its result is discarded.
+// Removing an unknown address is a no-op.
+func (p *Prober) Remove(addr string) {
+	p.mu.Lock()
+	cli := p.clients[addr]
+	st := p.state[addr]
+	delete(p.clients, addr)
+	delete(p.state, addr)
+	if st != nil && st.up {
+		p.tel.nodesUp.Add(-1)
+	}
+	if st != nil && st.overloaded {
+		p.tel.nodesOverloaded.Add(-1)
+	}
+	p.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+}
+
+// Load reports the last sampled queue depth of every probed node that is
+// currently up — the autoscaler's demand signal. Nodes that are down (or
+// have not yet produced a loaded sweep, which report 0) are the liveness
+// plane's problem, not the capacity planner's.
+func (p *Prober) Load() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.state))
+	for addr, st := range p.state {
+		if st.up {
+			out[addr] = st.lastDepth
+		}
+	}
+	return out
 }
 
 // Start launches the periodic probe loop. Safe to call once; Stop ends it.
@@ -231,7 +291,13 @@ func (p *Prober) Stop() {
 	})
 	p.startOnce.Do(func() { close(p.done) }) // never started: nothing to wait for
 	<-p.done
+	p.mu.Lock()
+	clients := make([]*rpc.Client, 0, len(p.clients))
 	for _, c := range p.clients {
+		clients = append(clients, c)
+	}
+	p.mu.Unlock()
+	for _, c := range clients {
 		c.Close()
 	}
 }
@@ -252,12 +318,21 @@ func (p *Prober) ProbeOnce() {
 		depth   int64
 		rejects int64
 	}
-	results := make(map[string]probeResult, len(p.clients))
+	// Snapshot the member set first: Add/Remove may run concurrently (the
+	// autoscaler breathes the pool), and pings must not hold the lock.
+	p.mu.Lock()
+	clients := make(map[string]*rpc.Client, len(p.clients))
+	for addr, cli := range p.clients {
+		clients[addr] = cli
+	}
+	p.mu.Unlock()
+
+	results := make(map[string]probeResult, len(clients))
 	var (
 		rmu sync.Mutex
 		wg  sync.WaitGroup
 	)
-	for addr, cli := range p.clients {
+	for addr, cli := range clients {
 		wg.Add(1)
 		go func(addr string, cli *rpc.Client) {
 			defer wg.Done()
@@ -283,11 +358,14 @@ func (p *Prober) ProbeOnce() {
 	)
 	p.mu.Lock()
 	for addr, r := range results {
+		st := p.state[addr]
+		if st == nil {
+			continue // removed while the sweep was in flight
+		}
 		p.tel.probes.Inc()
 		if !r.ok {
 			p.tel.failures.Inc()
 		}
-		st := p.state[addr]
 		switch {
 		case st.up && !r.ok:
 			st.fails++
@@ -320,6 +398,7 @@ func (p *Prober) ProbeOnce() {
 		// state only while a signal is configured.
 		var shedDelta int64
 		if r.loaded {
+			st.lastDepth = r.depth
 			p.tel.queueDepth[addr].Set(r.depth)
 			if st.sawRejects && r.rejects >= st.lastRejects {
 				shedDelta = r.rejects - st.lastRejects

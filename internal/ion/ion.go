@@ -348,6 +348,20 @@ func (d *Daemon) Stats() Stats {
 	return s
 }
 
+// Activity returns a coarse activity stamp for quiescence detection:
+// the scheduler queue depth plus a cumulative op count that advances
+// whenever the daemon admits or completes work. A node is quiet between
+// two samples when depth is zero both times and ops did not move — the
+// signal a graceful drain waits on before decommissioning.
+func (d *Daemon) Activity() (depth int, ops int64) {
+	depth = d.QueueDepth()
+	d.reg.View(func() {
+		ops = d.tel.writes.Value() + d.tel.reads.Value() + d.tel.meta.Value() +
+			d.tel.dispatches.Value() + d.tel.dedupReplays.Value()
+	})
+	return depth, ops
+}
+
 // handle is the RPC entry point. It wraps the per-op handler with the
 // daemon's trace hop: one "ion" hop per forwarded request covering the
 // whole server-side residence (queue wait and PFS dispatch included).

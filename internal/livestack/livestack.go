@@ -6,12 +6,15 @@
 package livestack
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/agios"
 	"repro/internal/arbiter"
+	"repro/internal/elastic"
 	"repro/internal/fwd"
 	"repro/internal/health"
 	"repro/internal/ion"
@@ -47,6 +50,12 @@ type Config struct {
 	// ChunkSize is the forwarding clients' request-splitting unit; ≤0
 	// selects fwd.DefaultChunkSize.
 	ChunkSize int64
+	// PoolSize is each client's RPC connection pool per I/O node; ≤0
+	// selects rpc.DefaultPoolSize. One request is in flight per
+	// connection, so this caps a client's concurrency against one node —
+	// size it to the application's writer parallelism when queue-depth
+	// signals (overload detection, elastic scaling) must see the demand.
+	PoolSize int
 	// CoalesceLimit caps how many contiguous same-target bytes a client
 	// merges into one wire request; ≤0 selects fwd.DefaultCoalesceLimit
 	// (values above the frame ceiling are clamped by the client).
@@ -122,6 +131,19 @@ type Config struct {
 	// effect. nil keeps the pre-QoS stack byte for byte.
 	QoS *qos.Registry
 
+	// Elastic, when non-nil, runs the pool autoscaler (internal/elastic):
+	// the static pool becomes the floor state of a pool that breathes
+	// with demand — SpawnION provisions new daemons, graceful drains
+	// decommission idle ones. Requires HealthInterval > 0 (the scaler
+	// feeds on the prober's load samples). The scaler's Quiesced and
+	// Telemetry seams are filled in by the stack when unset. nil keeps
+	// today's static pool byte for byte.
+	Elastic *elastic.Config
+	// WrapProvisioner, when non-nil, interposes on the scaler's
+	// provisioner — the hook chaos tests use to inject provisioning
+	// failures. Only meaningful with Elastic set.
+	WrapProvisioner func(elastic.Provisioner) elastic.Provisioner
+
 	// WrapListener, when non-nil, interposes on each daemon's listener
 	// before it starts serving — the hook chaos tests use to inject
 	// network faults (faultnet.WrapListener) on a chosen I/O node.
@@ -130,6 +152,12 @@ type Config struct {
 	// backend — the hook chaos tests use to slow one I/O node down
 	// (faultfs) and force it into overload.
 	WrapBackend func(ionIndex int, b ion.Backend) ion.Backend
+	// WrapDirect, when non-nil, interposes on the file system clients use
+	// for direct-to-PFS forwarding (no allocation, or failover). Without
+	// it the direct path hits the in-memory store at line rate, which no
+	// real PFS offers — chaos tests wrap it with the same injected
+	// latency as the I/O-node backends.
+	WrapDirect func(fs pfs.FileSystem) pfs.FileSystem
 }
 
 // Stack is a running live system.
@@ -144,14 +172,32 @@ type Stack struct {
 	// was set). Its transitions drive Arbiter.MarkDown/MarkUp.
 	Health *health.Prober
 
+	// Scaler is the pool autoscaler (nil unless Config.Elastic was set).
+	Scaler *elastic.Scaler
+
 	// Telemetry and Tracer are the stack-wide observability handles every
 	// layer reports into; serve them with telemetry.Handler.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 
-	cfg     Config
-	clients []*fwd.Client
-	cancels []func()
+	cfg       Config
+	schedName string
+
+	// mu guards the mutable pool state below plus the Daemons/Addrs
+	// slices, which the scaler's spawn path appends to concurrently with
+	// test readers. Static stacks never mutate them after Start.
+	mu             sync.Mutex
+	clients        []*fwd.Client
+	cancels        []func()
+	nextION        int             // daemon index source for spawned IONs
+	decommissioned map[string]bool // addrs of daemons gone for good
+	lastAct        map[string]ionActivity
+}
+
+// ionActivity is one quiescence sample of a daemon (see ionQuiesced).
+type ionActivity struct {
+	depth int
+	ops   int64
 }
 
 // Start builds and starts the stack.
@@ -179,37 +225,21 @@ func Start(cfg Config) (*Stack, error) {
 	tracer := cfg.Tracer // nil keeps tracing off
 
 	st := &Stack{
-		Store:     pfs.NewStore(cfg.PFS).Instrument(reg),
-		Bus:       mapping.NewBus(),
-		Telemetry: reg,
-		Tracer:    tracer,
-		cfg:       cfg,
+		Store:          pfs.NewStore(cfg.PFS).Instrument(reg),
+		Bus:            mapping.NewBus(),
+		Telemetry:      reg,
+		Tracer:         tracer,
+		cfg:            cfg,
+		schedName:      schedName,
+		nextION:        cfg.IONs,
+		decommissioned: map[string]bool{},
+		lastAct:        map[string]ionActivity{},
+	}
+	if cfg.Elastic != nil && cfg.HealthInterval <= 0 {
+		return nil, errors.New("livestack: Elastic requires HealthInterval > 0 (the scaler feeds on prober load samples)")
 	}
 	for i := 0; i < cfg.IONs; i++ {
-		sched, err := agios.NewByName(schedName)
-		if err != nil {
-			st.Close()
-			return nil, err
-		}
-		var backend ion.Backend = st.Store
-		if cfg.WrapBackend != nil {
-			backend = cfg.WrapBackend(i, backend)
-		}
-		d := ion.New(ion.Config{
-			ID:             fmt.Sprintf("ion%02d", i),
-			Scheduler:      sched,
-			Dispatchers:    cfg.Dispatchers,
-			Telemetry:      reg,
-			Tracer:         tracer,
-			QueueCap:       cfg.QueueCap,
-			QueueLowWater:  cfg.QueueLowWater,
-			MaxInflight:    cfg.MaxInflight,
-			MaxConns:       cfg.MaxConns,
-			RetryAfterHint: cfg.RetryAfterHint,
-			WireChecksum:   cfg.WireChecksum,
-			DedupWindow:    cfg.DedupWindow,
-		}, backend)
-		addr, err := startDaemon(d, i, cfg.WrapListener)
+		d, addr, err := st.newDaemon(i)
 		if err != nil {
 			st.Close()
 			return nil, err
@@ -267,7 +297,164 @@ func Start(cfg Config) (*Stack, error) {
 		st.Health = prober
 		prober.Start()
 	}
+
+	if cfg.Elastic != nil {
+		ecfg := *cfg.Elastic
+		if ecfg.Telemetry == nil {
+			ecfg.Telemetry = reg
+		}
+		if ecfg.Quiesced == nil {
+			ecfg.Quiesced = st.ionQuiesced
+		}
+		var prov elastic.Provisioner = (*stackProvisioner)(st)
+		if cfg.WrapProvisioner != nil {
+			prov = cfg.WrapProvisioner(prov)
+		}
+		sc, err := elastic.New(ecfg, st.Arbiter, prov, st.Health, st.Addrs)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.Scaler = sc
+		sc.Start()
+	}
 	return st, nil
+}
+
+// newDaemon builds and starts one I/O-node daemon at pool index i,
+// threading the backend and listener wrap hooks.
+func (s *Stack) newDaemon(i int) (*ion.Daemon, string, error) {
+	sched, err := agios.NewByName(s.schedName)
+	if err != nil {
+		return nil, "", err
+	}
+	var backend ion.Backend = s.Store
+	if s.cfg.WrapBackend != nil {
+		backend = s.cfg.WrapBackend(i, backend)
+	}
+	d := ion.New(ion.Config{
+		ID:             fmt.Sprintf("ion%02d", i),
+		Scheduler:      sched,
+		Dispatchers:    s.cfg.Dispatchers,
+		Telemetry:      s.Telemetry,
+		Tracer:         s.Tracer,
+		QueueCap:       s.cfg.QueueCap,
+		QueueLowWater:  s.cfg.QueueLowWater,
+		MaxInflight:    s.cfg.MaxInflight,
+		MaxConns:       s.cfg.MaxConns,
+		RetryAfterHint: s.cfg.RetryAfterHint,
+		WireChecksum:   s.cfg.WireChecksum,
+		DedupWindow:    s.cfg.DedupWindow,
+	}, backend)
+	addr, err := startDaemon(d, i, s.cfg.WrapListener)
+	if err != nil {
+		return nil, "", err
+	}
+	return d, addr, nil
+}
+
+// SpawnION provisions one new I/O-node daemon on an ephemeral port and
+// registers it in the stack's daemon table (NOT the arbiter pool — the
+// scaler does that only after the node's first health rise). Returns the
+// new daemon's address.
+func (s *Stack) SpawnION() (string, error) {
+	s.mu.Lock()
+	i := s.nextION
+	s.nextION++
+	s.mu.Unlock()
+	d, addr, err := s.newDaemon(i)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.Daemons = append(s.Daemons, d)
+	s.Addrs = append(s.Addrs, addr)
+	s.mu.Unlock()
+	return addr, nil
+}
+
+// DecommissionION permanently retires the daemon at addr: the daemon is
+// closed and every stack client releases its pooled connection to it (a
+// decommissioned address never comes back, unlike a killed-and-restarted
+// one). Idempotent; unknown addresses error.
+func (s *Stack) DecommissionION(addr string) error {
+	s.mu.Lock()
+	idx := -1
+	for i, a := range s.Addrs {
+		if a == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("livestack: no I/O node at %s", addr)
+	}
+	if s.decommissioned[addr] {
+		s.mu.Unlock()
+		return nil
+	}
+	s.decommissioned[addr] = true
+	d := s.Daemons[idx]
+	clients := append([]*fwd.Client(nil), s.clients...)
+	s.mu.Unlock()
+
+	err := d.Close()
+	for _, c := range clients {
+		c.ReleaseConn(addr)
+	}
+	return err
+}
+
+// stackProvisioner adapts the stack's spawn/decommission pair to the
+// elastic.Provisioner seam.
+type stackProvisioner Stack
+
+func (p *stackProvisioner) Provision() (string, error)     { return (*Stack)(p).SpawnION() }
+func (p *stackProvisioner) Decommission(addr string) error { return (*Stack)(p).DecommissionION(addr) }
+
+// ionQuiesced reports whether the daemon at addr is quiet: empty queue
+// and no op progress since the previous sample. One sample alone is
+// never quiet — motion shows only between two looks — so the scaler's
+// QuiesceSweeps counts from the second call on.
+func (s *Stack) ionQuiesced(addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var d *ion.Daemon
+	for i, a := range s.Addrs {
+		if a == addr {
+			d = s.Daemons[i]
+			break
+		}
+	}
+	if d == nil || s.decommissioned[addr] {
+		return true // gone is as quiet as it gets
+	}
+	depth, ops := d.Activity()
+	last, seen := s.lastAct[addr]
+	s.lastAct[addr] = ionActivity{depth: depth, ops: ops}
+	return seen && depth == 0 && last.depth == 0 && ops == last.ops
+}
+
+// IONAddrs returns a snapshot of the daemon addresses, safe to call
+// while the scaler is growing the pool.
+func (s *Stack) IONAddrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.Addrs...)
+}
+
+// DaemonAt returns the daemon serving addr (nil when unknown), safe to
+// call while the scaler is growing the pool.
+func (s *Stack) DaemonAt(addr string) *ion.Daemon {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range s.Addrs {
+		if a == addr {
+			return s.Daemons[i]
+		}
+	}
+	return nil
 }
 
 // startDaemon starts d on an ephemeral port, threading the listener
@@ -291,10 +478,21 @@ func startDaemon(d *ion.Daemon, idx int, wrap func(int, net.Listener) net.Listen
 // existing mappings, client pools, and breaker state converge on their
 // own.
 func (s *Stack) RestartION(i int) error {
+	s.mu.Lock()
 	if i < 0 || i >= len(s.Daemons) {
+		s.mu.Unlock()
 		return fmt.Errorf("livestack: no I/O node %d", i)
 	}
 	d := s.Daemons[i]
+	addr := s.Addrs[i]
+	if s.decommissioned[addr] {
+		s.mu.Unlock()
+		return fmt.Errorf("livestack: %s was decommissioned, spawn a new I/O node instead", addr)
+	}
+	s.mu.Unlock()
+	if s.Arbiter != nil && s.Arbiter.IsDraining(addr) {
+		return fmt.Errorf("livestack: %s is draining, restart refused (let the drain finish or abort it first)", addr)
+	}
 	if s.cfg.WrapListener == nil {
 		_, err := d.Restart()
 		return err
@@ -304,13 +502,13 @@ func (s *Stack) RestartION(i int) error {
 	var ln net.Listener
 	var err error
 	for attempt := 0; attempt < 100; attempt++ {
-		if ln, err = net.Listen("tcp", s.Addrs[i]); err == nil {
+		if ln, err = net.Listen("tcp", addr); err == nil {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	if err != nil {
-		return fmt.Errorf("livestack: restart rebind %s: %w", s.Addrs[i], err)
+		return fmt.Errorf("livestack: restart rebind %s: %w", addr, err)
 	}
 	_, err = d.RestartOn(s.cfg.WrapListener(i, ln))
 	return err
@@ -322,10 +520,15 @@ func (s *Stack) RestartION(i int) error {
 func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 	rpcOpts := s.cfg.RPC
 	rpcOpts.WireChecksum = rpcOpts.WireChecksum || s.cfg.WireChecksum
+	direct := pfs.FileSystem(s.Store)
+	if s.cfg.WrapDirect != nil {
+		direct = s.cfg.WrapDirect(direct)
+	}
 	c, err := fwd.NewClient(fwd.Config{
 		AppID:         appID,
-		Direct:        s.Store,
+		Direct:        direct,
 		ChunkSize:     s.cfg.ChunkSize,
+		PoolSize:      s.cfg.PoolSize,
 		CoalesceLimit: s.cfg.CoalesceLimit,
 		RPC:           rpcOpts,
 		Throttle:      s.cfg.Throttle,
@@ -339,56 +542,91 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 	}
 	ch, cancelSub := s.Bus.Subscribe()
 	cancelWatch := c.Watch(ch)
+	s.mu.Lock()
 	s.clients = append(s.clients, c)
 	s.cancels = append(s.cancels, func() {
 		cancelWatch()
 		cancelSub()
 	})
+	s.mu.Unlock()
 	return c, nil
 }
 
 // WaitForAllocation blocks until the client observes the given mapping
 // version or the timeout elapses (mapping propagation is asynchronous,
-// like GekkoFWD's periodic check).
+// like GekkoFWD's periodic check). Polling backs off geometrically but
+// never sleeps past the deadline, so short timeouts stay sharp and long
+// ones don't spin; on timeout the error carries the mapping the client
+// last observed.
 func WaitForAllocation(c *fwd.Client, ions int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	step := time.Millisecond
 	for {
-		if len(c.IONs()) == ions {
+		have := c.IONs()
+		if len(have) == ions {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("livestack: client never observed %d I/O nodes (has %d)", ions, len(c.IONs()))
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("livestack: client never observed %d I/O nodes within %v (last mapping: %d nodes %v)",
+				ions, timeout, len(have), have)
 		}
-		time.Sleep(time.Millisecond)
+		if step > remaining {
+			step = remaining
+		}
+		time.Sleep(step)
+		if step < 16*time.Millisecond {
+			step *= 2
+		}
 	}
 }
 
 // waitForSomeAllocation blocks until the client observes any nonzero
-// allocation, or the timeout elapses.
+// allocation, or the timeout elapses. Same deadline-aware backoff and
+// last-observation diagnostics as WaitForAllocation.
 func waitForSomeAllocation(c *fwd.Client, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for len(c.IONs()) == 0 {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("livestack: client never observed an allocation")
+	step := time.Millisecond
+	for {
+		if len(c.IONs()) > 0 {
+			return nil
 		}
-		time.Sleep(time.Millisecond)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("livestack: client never observed an allocation within %v (last mapping: empty)", timeout)
+		}
+		if step > remaining {
+			step = remaining
+		}
+		time.Sleep(step)
+		if step < 16*time.Millisecond {
+			step *= 2
+		}
 	}
-	return nil
 }
 
-// Close stops the health prober, watchers, clients, and daemons. The
-// prober goes first so daemon shutdown is not misread as an outage.
+// Close stops the scaler, health prober, watchers, clients, and daemons.
+// The scaler goes first (no spawns/drains during teardown), then the
+// prober so daemon shutdown is not misread as an outage.
 func (s *Stack) Close() {
+	if s.Scaler != nil {
+		s.Scaler.Stop()
+	}
 	if s.Health != nil {
 		s.Health.Stop()
 	}
-	for _, cancel := range s.cancels {
+	s.mu.Lock()
+	cancels := append([]func(){}, s.cancels...)
+	clients := append([]*fwd.Client(nil), s.clients...)
+	daemons := append([]*ion.Daemon(nil), s.Daemons...)
+	s.mu.Unlock()
+	for _, cancel := range cancels {
 		cancel()
 	}
-	for _, c := range s.clients {
+	for _, c := range clients {
 		c.Close()
 	}
-	for _, d := range s.Daemons {
+	for _, d := range daemons {
 		d.Close()
 	}
 }

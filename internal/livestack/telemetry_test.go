@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/elastic"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
@@ -155,6 +156,10 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 		IONs: 2, Scheduler: "FIFO", ChunkSize: 4096,
 		WireChecksum: true, DedupWindow: 16,
 		Telemetry: telemetry.New(),
+		// A pinned-size scaler (Min = Max) never scales but registers the
+		// whole elastic series family, pulling it into the audit below.
+		HealthInterval: 50 * time.Millisecond,
+		Elastic:        &elastic.Config{Min: 2, Max: 2, UpWatermark: 1, DownWatermark: 0.5},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +206,20 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 	}
 
 	snap := st.Telemetry.Snapshot()
+	// The elastic series are registered (and hence audited below) even on
+	// a pinned-size pool that never scales.
+	for _, series := range []string{
+		"elastic_scale_ups_total", "elastic_scale_downs_total",
+		"elastic_drains_started_total", "elastic_drains_aborted_total",
+		"elastic_provision_failures_total",
+	} {
+		if _, ok := snap.Counters[series]; !ok {
+			t.Errorf("elastic counter %s not registered", series)
+		}
+	}
+	if v, ok := snap.Gauges["elastic_pool_size"]; !ok || v != 2 {
+		t.Errorf("elastic_pool_size = %d (registered=%v), want 2", v, ok)
+	}
 	for counter, wantNonZero := range map[string]bool{
 		`rpc_checksum_errors_total{node="ion00"}`: false, // clean wire: present, zero
 		`ion_dedup_replays_total{node="ion00"}`:   true,

@@ -575,7 +575,10 @@ func (c *Client) attempt(req *Message) (*Message, error, errClass) {
 		fresh, dialErr := c.dialFresh()
 		if dialErr != nil {
 			if errors.Is(dialErr, ErrClosed) {
-				return nil, rtErr, classLocal
+				// The client was closed under this in-flight call; keep
+				// the ErrClosed identity (not the raw transport error) so
+				// callers can recognise released clients via errors.Is.
+				return nil, fmt.Errorf("%w (in-flight call failed: %v)", ErrClosed, rtErr), classLocal
 			}
 			return nil, rtErr, classTransport
 		}
