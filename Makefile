@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm torture qos elastic fuzz bench bench-campaign bench-hotpath
+.PHONY: verify build test test-race vet lint chaos storm torture qos elastic blackout fuzz bench bench-campaign bench-hotpath
 
 verify: vet build test-race
 
@@ -87,6 +87,20 @@ elastic:
 		./internal/elastic ./internal/livestack ./internal/arbiter \
 		./internal/health ./internal/fwd ./cmd/gkfwd
 
+# Control-plane recovery suite, run twice under the race detector: the
+# blackout scenario (12-ION journaled stack, control plane SIGKILLed and
+# warm-restarted from the write-ahead journal while writers keep going,
+# compounded by an ION death during a blackout) plus the journal
+# replay/compaction, arbiter Recover/reconciliation, epoch-fencing, and
+# stale-epoch remap-and-retry tests across every layer the journal
+# subsystem touches. Reproduce a failing schedule with
+# BLACKOUT_SEED=<n> make blackout.
+blackout:
+	$(GO) test -race -count=2 -timeout 300s \
+		-run 'Blackout|Journal|Recover|Snapshot|Replay|Fence|Epoch|Stale|WriteAhead|Torn|Segment' \
+		./internal/journal ./internal/arbiter ./internal/ion \
+		./internal/fwd ./internal/rpc ./internal/livestack ./cmd/gkfwd
+
 # Wire-protocol fuzzers (frame decoder and encode/decode round-trip).
 # FUZZTIME bounds each fuzzer; CI runs a short smoke, leave it running
 # longer locally to dig.
@@ -94,6 +108,7 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run - -fuzz FuzzReadMessage -fuzztime $(FUZZTIME) ./internal/rpc
 	$(GO) test -run - -fuzz FuzzMessageRoundTrip -fuzztime $(FUZZTIME) ./internal/rpc
+	$(GO) test -run - -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/journal
 
 # Telemetry overhead on the forwarding hot path (instrumented vs tracing
 # off); writes BENCH_telemetry.json. Tunables: PAIRS, BENCHTIME.

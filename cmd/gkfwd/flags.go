@@ -63,6 +63,9 @@ type options struct {
 	scaleDown     float64
 	scaleCooldown time.Duration
 
+	journalDir           string
+	journalSnapshotEvery int
+
 	qosConfig string
 	qosInline string
 	// qosReg is the tenant policy parsed from -qos-config/-qos during
@@ -106,6 +109,8 @@ func parseFlags() *options {
 	flag.Float64Var(&o.scaleUp, "scale-up", 0, "average queue depth at or above which the pool grows (sustained)")
 	flag.Float64Var(&o.scaleDown, "scale-down", 0, "average queue depth at or below which the pool shrinks (sustained)")
 	flag.DurationVar(&o.scaleCooldown, "scale-cooldown", 0, "minimum gap between same-direction scale events (0 = scaler defaults)")
+	flag.StringVar(&o.journalDir, "journal-dir", "", "control-plane write-ahead journal directory; non-empty enables crash recovery and epoch fencing (empty = off)")
+	flag.IntVar(&o.journalSnapshotEvery, "journal-snapshot-every", 0, "journal appends between compacting snapshots (0 = journal default)")
 	flag.StringVar(&o.qosConfig, "qos-config", "", "tenant QoS policy file (class/app statements, see internal/qos)")
 	flag.StringVar(&o.qosInline, "qos", "", "inline QoS statements (';'-separated) applied after -qos-config")
 	flag.Parse()
@@ -245,6 +250,12 @@ func (o *options) validate() error {
 			return fmt.Errorf("-ions (%d) must not start below -scale-min (%d): the scaler only grows on demand, so the pool would sit under its own floor", o.ions, min)
 		}
 	}
+	if o.journalSnapshotEvery < 0 {
+		return fmt.Errorf("-journal-snapshot-every must not be negative, got %d", o.journalSnapshotEvery)
+	}
+	if o.journalSnapshotEvery > 0 && o.journalDir == "" {
+		return fmt.Errorf("-journal-snapshot-every requires -journal-dir: without a journal no snapshot is ever taken, so the cadence never applies")
+	}
 	if o.qosConfig != "" || o.qosInline != "" {
 		var (
 			reg *qos.Registry
@@ -290,17 +301,19 @@ func (o *options) stackConfig() livestack.Config {
 			BreakerThreshold: o.breakerThreshold,
 			BreakerCooldown:  o.breakerCooldown,
 		},
-		HealthInterval:     o.healthInterval,
-		HealthTimeout:      o.healthTimeout,
-		QueueCap:           o.queueCap,
-		MaxInflight:        o.maxInflight,
-		MaxConns:           o.maxConns,
-		RetryAfterHint:     o.retryAfter,
-		OverloadQueueDepth: o.overloadDepth,
-		OverloadShedDelta:  o.overloadShed,
-		WireChecksum:       o.wireChecksum,
-		DedupWindow:        o.dedupWindow,
-		QoS:                o.qosReg,
+		HealthInterval:       o.healthInterval,
+		HealthTimeout:        o.healthTimeout,
+		QueueCap:             o.queueCap,
+		MaxInflight:          o.maxInflight,
+		MaxConns:             o.maxConns,
+		RetryAfterHint:       o.retryAfter,
+		OverloadQueueDepth:   o.overloadDepth,
+		OverloadShedDelta:    o.overloadShed,
+		WireChecksum:         o.wireChecksum,
+		DedupWindow:          o.dedupWindow,
+		JournalDir:           o.journalDir,
+		JournalSnapshotEvery: o.journalSnapshotEvery,
+		QoS:                  o.qosReg,
 		Throttle: fwd.ThrottleConfig{
 			Enabled:   o.throttle,
 			MinWindow: o.throttleMin,

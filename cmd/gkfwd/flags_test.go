@@ -95,6 +95,8 @@ func TestValidateRejectsBadValues(t *testing.T) {
 			o.scaleUp = 8
 			o.scaleDown = 1
 		}, "above -scale-max"},
+		{"negative journal snapshot cadence", func(o *options) { o.journalSnapshotEvery = -1 }, "-journal-snapshot-every"},
+		{"journal snapshot cadence without journal", func(o *options) { o.journalSnapshotEvery = 64 }, "-journal-snapshot-every requires -journal-dir"},
 		{"qos inline syntax error", func(o *options) { o.qosInline = "class gold tier=bogus" }, "-qos-config/-qos"},
 		{"qos unknown class reference", func(o *options) { o.qosInline = "app a missing" }, "-qos-config/-qos"},
 		{"qos missing file", func(o *options) { o.qosConfig = "/nonexistent/qos.conf" }, "-qos-config/-qos"},
@@ -127,6 +129,33 @@ func TestValidateAcceptsOverloadKnobs(t *testing.T) {
 	o.throttleMax = 16
 	if err := o.validate(); err != nil {
 		t.Fatalf("overload/backpressure knobs should validate: %v", err)
+	}
+}
+
+// TestJournalFlagsCarryIntoStackConfig pins the recovery flag pair: the
+// directory and snapshot cadence reach the stack verbatim, and the
+// default (no -journal-dir) keeps the journal fully off.
+func TestJournalFlagsCarryIntoStackConfig(t *testing.T) {
+	o := validOptions()
+	o.journalDir = filepath.Join(t.TempDir(), "wal")
+	o.journalSnapshotEvery = 128
+	if err := o.validate(); err != nil {
+		t.Fatalf("journal flags should validate: %v", err)
+	}
+	cfg := o.stackConfig()
+	if cfg.JournalDir != o.journalDir {
+		t.Errorf("JournalDir = %q, want %q", cfg.JournalDir, o.journalDir)
+	}
+	if cfg.JournalSnapshotEvery != 128 {
+		t.Errorf("JournalSnapshotEvery = %d, want 128", cfg.JournalSnapshotEvery)
+	}
+
+	off := validOptions()
+	if err := off.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := off.stackConfig(); cfg.JournalDir != "" || cfg.JournalSnapshotEvery != 0 {
+		t.Errorf("journal on by default: dir=%q every=%d", cfg.JournalDir, cfg.JournalSnapshotEvery)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
@@ -57,6 +58,12 @@ type Arbiter struct {
 	// SolveTime records the duration of the last policy invocation (the
 	// paper reports 399 µs for its live case).
 	lastSolve time.Duration
+
+	// jn, when set via WithJournal, receives every control-plane
+	// transition before it becomes visible on the bus; epoch tracks the
+	// version the next publish will carry (journaled write-ahead).
+	jn    *journal.Journal
+	epoch uint64
 
 	// Telemetry handles (nil until Instrument; all no-ops then).
 	tel struct {
@@ -168,8 +175,13 @@ func (a *Arbiter) JobStarted(app policy.Application) ([]string, error) {
 			ErrNoLiveIONs, app.ID, len(a.pool), len(a.down), len(a.draining))
 	}
 	a.running[app.ID] = app
+	// Intent first: if the crash lands between this append and the solve,
+	// recovery sees the job and solves for it; if the solve below fails,
+	// the compensating record undoes the intent.
+	a.record(journal.Record{Kind: journal.KindJobStarted, App: appRecord(app)})
 	if err := a.rearbitrate(); err != nil {
 		delete(a.running, app.ID)
+		a.record(journal.Record{Kind: journal.KindJobFinished, Job: app.ID})
 		a.tel.jobsRunning.Set(int64(len(a.running)))
 		return nil, err
 	}
@@ -190,6 +202,7 @@ func (a *Arbiter) JobFinished(id string) error {
 	}
 	delete(a.running, id)
 	delete(a.assign, id)
+	a.record(journal.Record{Kind: journal.KindJobFinished, Job: id})
 	a.tel.jobsRunning.Set(int64(len(a.running)))
 	if len(a.running) == 0 {
 		a.assign = map[string][]string{}
@@ -322,6 +335,7 @@ func (a *Arbiter) MarkDown(addr string) error {
 		a.tel.drainsAborted.Inc()
 	}
 	a.down[addr] = true
+	a.record(journal.Record{Kind: journal.KindMarkDown, Addr: addr})
 	a.tel.marksDown.Inc()
 	a.updatePoolGauges()
 
@@ -365,6 +379,7 @@ func (a *Arbiter) MarkUp(addr string) error {
 		return nil
 	}
 	delete(a.down, addr)
+	a.record(journal.Record{Kind: journal.KindMarkUp, Addr: addr})
 	a.tel.marksUp.Inc()
 	a.updatePoolGauges()
 	if len(a.running) == 0 {
@@ -403,6 +418,7 @@ func (a *Arbiter) MarkOverloaded(addr string) error {
 		return nil
 	}
 	a.overloaded[addr] = true
+	a.record(journal.Record{Kind: journal.KindMarkOverloaded, Addr: addr})
 	a.tel.marksOverloaded.Inc()
 	a.updatePoolGauges()
 	if len(a.running) == 0 {
@@ -429,6 +445,7 @@ func (a *Arbiter) MarkRecovered(addr string) error {
 		return nil
 	}
 	delete(a.overloaded, addr)
+	a.record(journal.Record{Kind: journal.KindMarkRecovered, Addr: addr})
 	a.tel.marksRecovered.Inc()
 	a.updatePoolGauges()
 	if len(a.running) == 0 {
@@ -464,9 +481,13 @@ func (a *Arbiter) Drain(addr string) error {
 		return fmt.Errorf("%w: cannot drain %s", ErrIONDown, addr)
 	}
 	a.draining[addr] = true
+	// Intent first, like JobStarted: a crash mid-migration must leave a
+	// DrainStart in the journal so recovery knows to abort it.
+	a.record(journal.Record{Kind: journal.KindDrainStart, Addr: addr})
 	if len(a.running) > 0 {
 		if err := a.rearbitrate(); err != nil {
 			delete(a.draining, addr)
+			a.record(journal.Record{Kind: journal.KindDrainAbort, Addr: addr})
 			a.updatePoolGauges()
 			return fmt.Errorf("arbiter: drain of %s refused, mapping unchanged: %w", addr, err)
 		}
@@ -491,6 +512,7 @@ func (a *Arbiter) AbortDrain(addr string) error {
 		return nil
 	}
 	delete(a.draining, addr)
+	a.record(journal.Record{Kind: journal.KindDrainAbort, Addr: addr})
 	a.tel.drainsAborted.Inc()
 	a.updatePoolGauges()
 	if len(a.running) == 0 {
@@ -518,6 +540,7 @@ func (a *Arbiter) AddION(addr string) error {
 		return fmt.Errorf("arbiter: duplicate I/O node %s", addr)
 	}
 	a.pool = append(a.pool, addr)
+	a.record(journal.Record{Kind: journal.KindAddION, Addr: addr})
 	a.tel.ionsAdded.Inc()
 	a.updatePoolGauges()
 	if len(a.running) == 0 {
@@ -553,6 +576,7 @@ func (a *Arbiter) RemoveION(addr string) error {
 	delete(a.down, addr)
 	delete(a.overloaded, addr)
 	delete(a.draining, addr)
+	a.record(journal.Record{Kind: journal.KindRemoveION, Addr: addr})
 	a.tel.ionsRemoved.Inc()
 	a.updatePoolGauges()
 	return nil
@@ -671,7 +695,15 @@ func (a *Arbiter) rearbitrate() error {
 }
 
 // publish pushes the current assignment to the bus. Caller holds the lock.
+// With a journal attached the publish record is appended (and fsynced)
+// BEFORE the bus sees the map — true write-ahead: the journal's epoch can
+// run ahead of what clients observed, never behind, so a recovery fence
+// computed from the journal always covers every epoch in the wild.
 func (a *Arbiter) publish() {
 	a.tel.published.Inc()
+	if a.jn != nil {
+		a.epoch = a.bus.Version() + 1
+		a.record(journal.Record{Kind: journal.KindPublish, Assign: a.assign, Epoch: a.epoch})
+	}
 	a.bus.Publish(a.assign)
 }

@@ -1,0 +1,194 @@
+package fwd
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// fencedStack starts n fake I/O-node servers that share one fence floor
+// and apply accepted writes to ionStore: a write stamped below the fence
+// is rejected with the stale-epoch wire error, exactly as a real daemon
+// with EpochFencing would. lastEpoch records the stamp of the most recent
+// write request seen by any node.
+func fencedStack(t *testing.T, n int, ionStore *pfs.Store) (addrs []string, fence, lastEpoch *atomic.Uint64) {
+	t.Helper()
+	fence = &atomic.Uint64{}
+	lastEpoch = &atomic.Uint64{}
+	for i := 0; i < n; i++ {
+		srv := rpc.NewServer(func(req *rpc.Message) *rpc.Message {
+			if req.Op == rpc.OpWrite {
+				lastEpoch.Store(req.Epoch)
+				if f := fence.Load(); req.Epoch != 0 && req.Epoch < f {
+					return &rpc.Message{Op: req.Op, Err: rpc.StaleEpochErrText(req.Epoch, f), Epoch: f}
+				}
+				k, err := ionStore.Write(req.Path, req.Offset, req.Data)
+				if err != nil {
+					return &rpc.Message{Op: req.Op, Err: err.Error()}
+				}
+				return &rpc.Message{Op: req.Op, Size: int64(k)}
+			}
+			return &rpc.Message{Op: req.Op}
+		})
+		addr, err := srv.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, addr)
+	}
+	return addrs, fence, lastEpoch
+}
+
+func epochClient(t *testing.T, direct pfs.FileSystem, reg *telemetry.Registry, wait time.Duration) *Client {
+	t.Helper()
+	c, err := NewClient(Config{
+		AppID: "eapp", Direct: direct, ChunkSize: 1024,
+		EpochFencing: true, EpochWait: wait, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestWriteRemapsOnStaleEpoch pins the remap-and-retry class: a fenced
+// write is not an error — the client waits for the post-recovery mapping,
+// rebuilds its routing, and the bytes land through the forwarding path,
+// counted exactly once.
+func TestWriteRemapsOnStaleEpoch(t *testing.T) {
+	ionStore := pfs.NewStore(pfs.Config{})
+	directStore := pfs.NewStore(pfs.Config{})
+	reg := telemetry.New()
+	addrs, fence, _ := fencedStack(t, 2, ionStore)
+	c := epochClient(t, directStore, reg, 5*time.Second)
+
+	c.ApplyMap(mapping.Map{Version: 1, IONs: map[string][]string{"eapp": addrs}})
+	fence.Store(2) // the arbiter died and recovered: epoch 1 is revoked
+
+	// The post-recovery publish arrives while the write is waiting.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c.ApplyMap(mapping.Map{Version: 2, Fence: 2, IONs: map[string][]string{"eapp": addrs}})
+	}()
+
+	data := bytes.Repeat([]byte{5}, 4096) // 4 chunks: exercises span rebuild
+	k, err := c.Write("/f", 0, data)
+	if err != nil {
+		t.Fatalf("fenced write surfaced an error: %v", err)
+	}
+	if k != len(data) {
+		t.Fatalf("short write after remap: %d", k)
+	}
+	buf := make([]byte, len(data))
+	if _, err := ionStore.Read("/f", 0, buf); err != nil {
+		t.Fatalf("bytes not in the forwarding backend: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("retried write corrupted")
+	}
+	if _, err := directStore.Read("/f", 0, make([]byte, 1)); err == nil {
+		t.Fatal("remapped write leaked onto the direct path")
+	}
+	st := c.Stats()
+	if st.BytesOut != int64(len(data)) {
+		t.Fatalf("BytesOut = %d, want %d (bytes must count once across the retry)", st.BytesOut, len(data))
+	}
+	if v := reg.Counter(`epoch_stale_retries_total{app="eapp"}`).Value(); v == 0 {
+		t.Fatal("epoch_stale_retries_total not incremented")
+	}
+}
+
+// TestStaleEpochFallsBackDirect: when no fresher mapping arrives inside
+// the EpochWait budget, the fenced bytes degrade to the direct PFS path —
+// byte-safe, because the fenced write never reached the backend.
+func TestStaleEpochFallsBackDirect(t *testing.T) {
+	ionStore := pfs.NewStore(pfs.Config{})
+	directStore := pfs.NewStore(pfs.Config{})
+	reg := telemetry.New()
+	addrs, fence, _ := fencedStack(t, 2, ionStore)
+	c := epochClient(t, directStore, reg, 30*time.Millisecond)
+
+	c.ApplyMap(mapping.Map{Version: 1, IONs: map[string][]string{"eapp": addrs}})
+	fence.Store(2)
+
+	data := bytes.Repeat([]byte{9}, 2048)
+	k, err := c.Write("/g", 0, data)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if k != len(data) {
+		t.Fatalf("short write: %d", k)
+	}
+	buf := make([]byte, len(data))
+	if _, err := directStore.Read("/g", 0, buf); err != nil {
+		t.Fatalf("bytes not on the direct path: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("direct fallback corrupted the payload")
+	}
+	if _, err := ionStore.Read("/g", 0, make([]byte, 1)); err == nil {
+		t.Fatal("fenced write reached the forwarding backend")
+	}
+	if st := c.Stats(); st.BytesOut != int64(len(data)) {
+		t.Fatalf("BytesOut = %d, want %d", st.BytesOut, len(data))
+	}
+}
+
+// TestWriteStampsViewEpoch: forwarded writes carry the mapping version of
+// the route view they were built from; a same-version fence-only
+// republish still applies (the recovery path re-announces the surviving
+// allocation under a raised floor without re-solving).
+func TestWriteStampsViewEpoch(t *testing.T) {
+	ionStore := pfs.NewStore(pfs.Config{})
+	reg := telemetry.New()
+	addrs, _, lastEpoch := fencedStack(t, 1, ionStore)
+	c := epochClient(t, pfs.NewStore(pfs.Config{}), reg, time.Second)
+
+	c.ApplyMap(mapping.Map{Version: 7, IONs: map[string][]string{"eapp": addrs}})
+	if _, err := c.Write("/h", 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastEpoch.Load(); got != 7 {
+		t.Fatalf("write stamped epoch %d, want 7", got)
+	}
+
+	// Same version, higher fence: must be applied, not deduped.
+	c.ApplyMap(mapping.Map{Version: 7, Fence: 7, IONs: map[string][]string{"eapp": nil}})
+	if got := c.IONs(); len(got) != 0 {
+		t.Fatalf("fence-only republish ignored: allocation still %v", got)
+	}
+}
+
+// TestEpochOffByDefault pins the opt-in contract on the client side: no
+// EpochFencing means unstamped writes and no epoch_* telemetry series.
+func TestEpochOffByDefault(t *testing.T) {
+	ionStore := pfs.NewStore(pfs.Config{})
+	reg := telemetry.New()
+	addrs, _, lastEpoch := fencedStack(t, 1, ionStore)
+	c, err := NewClient(Config{AppID: "eapp", Direct: pfs.NewStore(pfs.Config{}), ChunkSize: 1024, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ApplyMap(mapping.Map{Version: 3, IONs: map[string][]string{"eapp": addrs}})
+	if _, err := c.Write("/i", 0, []byte("wxyz")); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastEpoch.Load(); got != 0 {
+		t.Fatalf("unfenced client stamped epoch %d", got)
+	}
+	for name := range reg.Snapshot().Counters {
+		if strings.HasPrefix(name, "epoch_") {
+			t.Fatalf("epoch series registered without fencing: %s", name)
+		}
+	}
+}

@@ -101,6 +101,20 @@ type Config struct {
 	// default) means unclassed: no admission check beyond one nil test,
 	// no priority byte, byte-for-byte pre-QoS behaviour.
 	QoS *qos.Class
+	// EpochFencing stamps every forwarded write with the epoch of the
+	// route view it was built from (the mapping version the arbiter
+	// published). A daemon whose fence floor is above that epoch rejects
+	// the write as rpc.ErrStaleEpoch — a remap signal, not a failure: the
+	// client waits for a fresher mapping (up to EpochWait), rebuilds the
+	// span routing against it, and retries; if no fresher view arrives it
+	// falls back to the direct PFS path, which is byte-safe because a
+	// fenced write was never applied. Off by default: requests carry no
+	// epoch trailer and are wire-identical to the pre-epoch protocol.
+	EpochFencing bool
+	// EpochWait bounds how long a fenced write waits for a post-recovery
+	// mapping before degrading to the direct path; ≤0 selects 2s. Only
+	// meaningful with EpochFencing.
+	EpochWait time.Duration
 	// Telemetry receives the client's metrics (app-labeled series:
 	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
 	// connections it dials. Nil selects a private registry so Stats()
@@ -133,6 +147,7 @@ type routeView struct {
 	addrs []string
 	conns []*rpc.Client
 	gates []*ionGate // nil entries when throttling is disabled
+	epoch uint64     // mapping version this view was built from (0 = manual SetIONs)
 }
 
 // Client is the forwarding client. It implements pfs.FileSystem.
@@ -157,6 +172,7 @@ type Client struct {
 	conns map[string]*rpc.Client // address → pooled connection, kept across remaps
 	gates map[string]*ionGate    // address → AIMD throttle gate, kept across remaps
 	ver   uint64
+	fence uint64 // highest revocation floor seen in a mapping update
 
 	// Counters live on reg (app-labeled); coupled counters are updated in
 	// one reg.Update group and Stats() reads under reg.View, so snapshots
@@ -165,6 +181,7 @@ type Client struct {
 	stats struct {
 		forwarded, direct, failover, bytesOut, bytesIn, remaps *telemetry.Counter
 		shed, degraded, replayed                               *telemetry.Counter
+		epochRetries                                           *telemetry.Counter // nil unless EpochFencing
 	}
 
 	// qos is the admission state built from cfg.QoS (nil when the app is
@@ -253,6 +270,13 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.Dedup {
 		c.clientID = fmt.Sprintf("%s#%d", cfg.AppID, clientInstance.Add(1))
 	}
+	if cfg.EpochFencing {
+		if cfg.EpochWait <= 0 {
+			cfg.EpochWait = 2 * time.Second
+		}
+		c.cfg.EpochWait = cfg.EpochWait
+		c.stats.epochRetries = c.reg.Counter("epoch_stale_retries_total" + label)
+	}
 	if cfg.QoS != nil {
 		c.wirePrio = cfg.QoS.WirePriority()
 		c.qos = &qosState{
@@ -291,6 +315,7 @@ func (c *Client) setIONsLocked(addrs []string) {
 		addrs: c.addrs,
 		conns: make([]*rpc.Client, len(addrs)),
 		gates: make([]*ionGate, len(addrs)),
+		epoch: c.ver,
 	}
 	for i, a := range addrs {
 		if _, ok := c.conns[a]; !ok {
@@ -327,11 +352,18 @@ func (c *Client) IONs() []string {
 func (c *Client) ApplyMap(m mapping.Map) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if m.Version != 0 && m.Version <= c.ver {
+	// A map is fresh if its version advances — or, same-version, if its
+	// fence does (an arbiter recovery republishes the surviving allocation
+	// under a raised revocation floor without necessarily re-solving).
+	// Version 0 always applies, exactly as before epochs existed.
+	if m.Version != 0 && m.Version <= c.ver && m.Fence <= c.fence {
 		return
 	}
-	c.setIONsLocked(m.For(c.cfg.AppID))
 	c.ver = m.Version
+	if m.Fence > c.fence {
+		c.fence = m.Fence
+	}
+	c.setIONsLocked(m.For(c.cfg.AppID))
 }
 
 // Watch consumes mapping updates from ch (a mapping.Bus subscription or a
@@ -789,16 +821,33 @@ func (c *Client) Write(path string, off int64, p []byte) (int, error) {
 
 // writeSpan forwards one coalesced span to its I/O node, falling back to
 // the direct path on shed-past-budget (degraded) and unreachable-node
-// (failover) conditions, exactly as the per-chunk path used to.
+// (failover) conditions, exactly as the per-chunk path used to. It counts
+// the span's bytes exactly once; the send itself (which may remap and
+// retry under epoch fencing) lives in sendSpan.
 func (c *Client) writeSpan(v *routeView, path string, off int64, p []byte, s span, tr opTrace) (int, error) {
 	rel := s.off - off
 	payload := p[rel : rel+s.n]
-	t, g := v.conns[s.target], v.gates[s.target]
 	c.reg.Update(func() {
 		c.stats.forwarded.Inc()
 		c.stats.bytesOut.Add(s.n)
 	})
+	return c.sendSpan(v, path, s, payload, tr, 0)
+}
+
+// maxEpochRemaps bounds how many successive stale-epoch rejections one
+// span may chase through fresh mappings before degrading to the direct
+// path (each hop means the arbiter fenced again while we were in flight).
+const maxEpochRemaps = 3
+
+// sendSpan issues one span's wire request. The caller has already counted
+// bytesOut/forwarded for the payload, so every fallback and retry below
+// lands the bytes exactly once.
+func (c *Client) sendSpan(v *routeView, path string, s span, payload []byte, tr opTrace, depth int) (int, error) {
+	t, g := v.conns[s.target], v.gates[s.target]
 	req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: s.off, Data: payload, Trace: tr.id(), Priority: c.wirePrio}
+	if c.cfg.EpochFencing {
+		req.Epoch = v.epoch
+	}
 	if c.cfg.Dedup {
 		// Stamp once per wire request: the transport retry (inside
 		// rpc.Client.Call) and the busy retry (inside callION) both resend
@@ -811,8 +860,8 @@ func (c *Client) writeSpan(v *routeView, path string, off int64, p []byte, s spa
 	if degraded {
 		// The I/O node shed this span past the retry budget (or is marked
 		// saturated): write it directly. bytesOut was already counted for
-		// this span above, and the shed request was never enqueued, so the
-		// byte lands exactly once.
+		// this span, and the shed request was never enqueued, so the byte
+		// lands exactly once.
 		return c.cfg.Direct.Write(path, s.off, payload)
 	}
 	if err == nil {
@@ -824,15 +873,80 @@ func (c *Client) writeSpan(v *routeView, path string, off int64, p []byte, s spa
 		return k, nil
 	}
 	resp.Release()
+	if c.cfg.EpochFencing && errors.Is(err, rpc.ErrStaleEpoch) {
+		// The daemon fenced this epoch: the arbiter recovered and revoked
+		// every mapping we could have built this span from. Not a failure —
+		// a remap signal. The write was NOT applied, so retrying it against
+		// a fresher view (or directly) is byte-safe.
+		return c.remapAndRetry(path, s.off, payload, req.Epoch, tr, depth)
+	}
 	if !errors.Is(err, rpc.ErrUnavailable) {
 		return 0, err
 	}
 	// The responsible I/O node is unreachable (deadlines/retries exhausted
 	// or its breaker is open): degrade this span to the direct PFS path
 	// rather than failing the application's write. bytesOut was already
-	// counted for this span above.
+	// counted for this span.
 	c.stats.failover.Inc()
 	return c.cfg.Direct.Write(path, s.off, payload)
+}
+
+// remapAndRetry handles a fenced write: wait (bounded by EpochWait) for a
+// route view whose epoch exceeds the one the daemon rejected, rebuild the
+// span routing for this byte range against it, and resend. If no fresher
+// view arrives in time, or the fencing has chased us maxEpochRemaps deep,
+// the bytes go to the direct PFS path — safe, because a fenced write never
+// reached the backend.
+func (c *Client) remapAndRetry(path string, off int64, payload []byte, stale uint64, tr opTrace, depth int) (int, error) {
+	c.stats.epochRetries.Inc()
+	if depth >= maxEpochRemaps {
+		return c.cfg.Direct.Write(path, off, payload)
+	}
+	v := c.awaitEpochAbove(stale)
+	if v == nil {
+		return c.cfg.Direct.Write(path, off, payload)
+	}
+	var sbuf [spanBufSize]span
+	spans := c.buildSpans(v, path, off, int64(len(payload)), sbuf[:0])
+	if len(spans) == 1 {
+		return c.sendSpan(v, path, spans[0], payload, tr, depth+1)
+	}
+	written := make([]int, len(spans))
+	err := c.forEachSpan(spans, func(i int, s span) error {
+		rel := s.off - off
+		k, werr := c.sendSpan(v, path, s, payload[rel:rel+s.n], tr, depth+1)
+		written[i] = k
+		return werr
+	})
+	total := 0
+	for _, w := range written {
+		total += w
+	}
+	return total, err
+}
+
+// awaitEpochAbove polls for a routing snapshot with epoch > stale, backing
+// off exponentially within the EpochWait budget. nil means the budget ran
+// out (or the client closed, or the fresh map put the app in direct mode).
+func (c *Client) awaitEpochAbove(stale uint64) *routeView {
+	deadline := time.Now().Add(c.cfg.EpochWait)
+	wait := time.Millisecond
+	for {
+		v := c.loadView()
+		if v != nil && v.epoch > stale {
+			return v
+		}
+		if c.closed.Load() || !time.Now().Before(deadline) {
+			return nil
+		}
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		time.Sleep(wait)
+		if wait < 64*time.Millisecond {
+			wait *= 2
+		}
+	}
 }
 
 // forEachSpan runs fn over the spans, concurrently when there are

@@ -81,6 +81,13 @@ type Config struct {
 	// re-executing. ≤0 disables deduplication (stamped writes re-execute,
 	// the pre-integrity behavior).
 	DedupWindow int
+	// EpochFencing makes the daemon enforce mapping-epoch fences on
+	// writes: once SetFence(f) has been called (by an arbiter recovery
+	// publish), any write stamped with an epoch below f is rejected with
+	// a stale-epoch response before it can touch the dedup window or the
+	// backend. Unstamped writes (epoch 0) are never fenced. Off by
+	// default — the pre-epoch behavior.
+	EpochFencing bool
 	// Telemetry receives the daemon's metrics (per-node labeled series:
 	// ion_writes_total{node="…"}, …). Nil selects a private registry so
 	// Stats() always works; pass the stack-wide registry to aggregate
@@ -111,6 +118,13 @@ type Daemon struct {
 	// are exactly the ones a restart strands. Nil when DedupWindow ≤ 0.
 	dedup *dedupTable
 
+	// fence is the lowest still-valid mapping epoch (0 = nothing fenced).
+	// Raised by SetFence on recovery publishes; read lock-free on the
+	// write path. Survives warm restarts like the dedup window: the
+	// stale clients it must fence are exactly the ones a control-plane
+	// blackout strands.
+	fence atomic.Uint64
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
@@ -124,6 +138,7 @@ type Daemon struct {
 		writes, reads, meta, bytesIn, bytesOut *telemetry.Counter
 		dispatches, aggregated, rejects        *telemetry.Counter
 		dedupReplays, restarts                 *telemetry.Counter
+		fenceRejects                           *telemetry.Counter
 		dispatchLatency                        *telemetry.Histogram
 		requestBytes                           *telemetry.Histogram
 	}
@@ -163,6 +178,11 @@ func New(cfg Config, backend Backend) *Daemon {
 	d.tel.restarts = d.reg.Counter("ion_restarts_total" + label)
 	d.tel.dispatchLatency = d.reg.Histogram("ion_dispatch_latency_seconds"+label, telemetry.LatencyBuckets())
 	d.tel.requestBytes = d.reg.Histogram("ion_request_bytes"+label, telemetry.SizeBuckets())
+	if cfg.EpochFencing {
+		// Registered only under fencing so a stack without journaling
+		// exposes no epoch_* series at all.
+		d.tel.fenceRejects = d.reg.Counter("epoch_fence_rejections_total" + label)
+	}
 	if cfg.DedupWindow > 0 {
 		d.dedup = newDedupTable(cfg.DedupWindow)
 	}
@@ -375,6 +395,27 @@ func (d *Daemon) handle(m *rpc.Message) *rpc.Message {
 	return resp
 }
 
+// SetFence raises the daemon's epoch fence: every write stamped with an
+// epoch strictly below minEpoch is rejected from now on. Monotonic — a
+// lower value never lowers an established fence — and a no-op unless the
+// daemon was built with EpochFencing. The arbiter's recovery path calls
+// this on every daemon BEFORE publishing the post-recovery mapping, so
+// no client can land a revoked-epoch write in the gap.
+func (d *Daemon) SetFence(minEpoch uint64) {
+	if !d.cfg.EpochFencing {
+		return
+	}
+	for {
+		cur := d.fence.Load()
+		if minEpoch <= cur || d.fence.CompareAndSwap(cur, minEpoch) {
+			return
+		}
+	}
+}
+
+// Fence reports the current fence floor (0 = nothing fenced).
+func (d *Daemon) Fence() uint64 { return d.fence.Load() }
+
 func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 	// Responses echo the request's identity fields (path, trace, dedup
 	// stamp) and nothing else: flags and payload are set per-outcome, so
@@ -390,6 +431,17 @@ func (d *Daemon) handleOp(m *rpc.Message) *rpc.Message {
 		resp.Offset = d.tel.rejects.Value()
 
 	case rpc.OpWrite:
+		// The fence gate runs before the dedup claim: a fenced write must
+		// never enter the dedup window, or a later legitimate retry under
+		// a fresh epoch would replay the rejection as if it were applied.
+		if d.cfg.EpochFencing && m.Epoch != 0 {
+			if f := d.fence.Load(); m.Epoch < f {
+				d.tel.fenceRejects.Inc()
+				resp.Err = rpc.StaleEpochErrText(m.Epoch, f)
+				resp.Epoch = f
+				return resp
+			}
+		}
 		if d.dedup == nil || m.Seq == 0 {
 			resp, _ = d.applyWrite(m, resp)
 			return resp

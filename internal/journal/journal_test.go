@@ -1,0 +1,403 @@
+package journal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func mustAppend(t *testing.T, j *Journal, r Record) uint64 {
+	t.Helper()
+	lsn, err := j.Append(r)
+	if err != nil {
+		t.Fatalf("append %v: %v", r.Kind, err)
+	}
+	return lsn
+}
+
+// workload appends a representative event sequence and returns the state
+// an exact replay must reproduce.
+func workload(t *testing.T, j *Journal) *State {
+	t.Helper()
+	for _, a := range []string{"ion-0", "ion-1", "ion-2"} {
+		mustAppend(t, j, Record{Kind: KindAddION, Addr: a})
+	}
+	mustAppend(t, j, Record{Kind: KindJobStarted, App: &App{
+		ID: "app1", Nodes: 4, Processes: 16, WriteBytes: 1 << 20,
+		Curve: []CurvePoint{{IONs: 1, MBps: 100}, {IONs: 2, MBps: 180}},
+	}})
+	mustAppend(t, j, Record{Kind: KindPublish, Epoch: 1, Assign: map[string][]string{
+		"app1": {"ion-0", "ion-1"},
+	}})
+	mustAppend(t, j, Record{Kind: KindMarkDown, Addr: "ion-2"})
+	mustAppend(t, j, Record{Kind: KindJobStarted, App: &App{ID: "app2", Weight: 2}})
+	mustAppend(t, j, Record{Kind: KindPublish, Epoch: 2, Assign: map[string][]string{
+		"app1": {"ion-0"}, "app2": {"ion-1"},
+	}})
+	mustAppend(t, j, Record{Kind: KindDrainStart, Addr: "ion-0"})
+	return &State{
+		Pool:     []string{"ion-0", "ion-1", "ion-2"},
+		Down:     []string{"ion-2"},
+		Draining: []string{"ion-0"},
+		Running: []App{
+			{ID: "app1", Nodes: 4, Processes: 16, WriteBytes: 1 << 20,
+				Curve: []CurvePoint{{IONs: 1, MBps: 100}, {IONs: 2, MBps: 180}}},
+			{ID: "app2", Weight: 2},
+		},
+		Assign: map[string][]string{"app1": {"ion-0"}, "app2": {"ion-1"}},
+		Epoch:  2,
+	}
+}
+
+// normalize collapses empty-but-non-nil slices/maps to nil so that
+// comparisons test content, not allocation history.
+func normalize(s *State) {
+	fix := func(v []string) []string {
+		if len(v) == 0 {
+			return nil
+		}
+		return v
+	}
+	s.Pool, s.Down = fix(s.Pool), fix(s.Down)
+	s.Overloaded, s.Draining = fix(s.Overloaded), fix(s.Draining)
+	if len(s.Assign) == 0 {
+		s.Assign = nil
+	}
+	if len(s.Running) == 0 {
+		s.Running = nil
+	}
+	for i := range s.Running {
+		if len(s.Running[i].Curve) == 0 {
+			s.Running[i].Curve = nil
+		}
+	}
+	sort.Slice(s.Running, func(i, k int) bool { return s.Running[i].ID < s.Running[k].ID })
+}
+
+func stateEqual(t *testing.T, got, want *State) {
+	t.Helper()
+	normalize(got)
+	normalize(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("state mismatch:\n got  %#v\n want %#v", got, want)
+	}
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload(t, j)
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, recs := j2.RecoveredState()
+	if len(recs) != 9 {
+		t.Fatalf("replayed %d records, want 9", len(recs))
+	}
+	stateEqual(t, got, want)
+}
+
+func TestJournalSegmentRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload(t, j) // 9 records -> several segments
+	j.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >=3 segments, got %d", len(segs))
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, _ := j2.RecoveredState()
+	stateEqual(t, got, want)
+}
+
+func TestJournalSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	j, err := Open(dir, Options{SegmentRecords: 4, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload(t, j)
+	if err := j.Snapshot(*want.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot records must layer on top of the snapshot.
+	mustAppend(t, j, Record{Kind: KindDrainAbort, Addr: "ion-0"})
+	mustAppend(t, j, Record{Kind: KindMarkUp, Addr: "ion-2"})
+	j.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments, want 1 (the active one)", len(segs))
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("compaction left %d snapshots, want 1", len(snaps))
+	}
+	if v := reg.Counter("journal_snapshot_compactions_total").Value(); v != 1 {
+		t.Fatalf("journal_snapshot_compactions_total = %d, want 1", v)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, recs := j2.RecoveredState()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d post-snapshot records, want 2", len(recs))
+	}
+	// Drain aborted and ion-2 back up:
+	stateEqual(t, got, workload2Expected())
+}
+
+// workload2Expected is the workload() end state after DrainAbort(ion-0)
+// and MarkUp(ion-2).
+func workload2Expected() *State {
+	return &State{
+		Pool:     []string{"ion-0", "ion-1", "ion-2"},
+		Down:     []string{},
+		Draining: []string{},
+		Running: []App{
+			{ID: "app1", Nodes: 4, Processes: 16, WriteBytes: 1 << 20,
+				Curve: []CurvePoint{{IONs: 1, MBps: 100}, {IONs: 2, MBps: 180}}},
+			{ID: "app2", Weight: 2},
+		},
+		Assign: map[string][]string{"app1": {"ion-0"}, "app2": {"ion-1"}},
+		Epoch:  2,
+	}
+}
+
+// TestJournalTornTail truncates the active segment mid-record — the shape
+// a crash during an append leaves behind — and checks replay keeps every
+// record before the tear and Open resumes with a fresh segment that
+// supersedes it.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, j)
+	seg := j.segPath
+	j.Close()
+
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 3 bytes.
+	if err := os.WriteFile(seg, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs := j2.RecoveredState()
+	if len(recs) != 8 {
+		t.Fatalf("replayed %d records after torn tail, want 8", len(recs))
+	}
+	// Appends after recovery must land in a new segment and be replayable.
+	mustAppend(t, j2, Record{Kind: KindDrainStart, Addr: "ion-1"})
+	j2.Close()
+	st, _, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Has(st.Draining, "ion-1") {
+		t.Fatalf("post-recovery append lost: draining = %v", st.Draining)
+	}
+}
+
+// TestJournalBitFlip flips one byte inside a mid-file record: replay must
+// stop that segment at the flip, never panic, and keep the prefix.
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, j)
+	seg := j.segPath
+	j.Close()
+
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, recs, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) >= 9 {
+		t.Fatalf("bit flip not detected: %d records survived", len(recs))
+	}
+	if len(st.Pool) == 0 {
+		t.Fatal("prefix before the flip lost")
+	}
+}
+
+// TestJournalCorruptSnapshotFallsBack corrupts the newest snapshot and
+// checks replay falls back to the full segment history.
+func TestJournalCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload(t, j)
+	if err := j.Snapshot(*want.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	buf, _ := os.ReadFile(snaps[0])
+	buf[len(buf)-1] ^= 0xFF
+	os.WriteFile(snaps[0], buf, 0o644)
+
+	// The snapshot compacted the segments away, so nothing replays — but
+	// nothing panics and Open still succeeds with an empty state.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, _ := j2.RecoveredState()
+	if len(st.Pool) != 0 {
+		t.Fatalf("corrupt snapshot should yield empty state, got pool %v", st.Pool)
+	}
+}
+
+func TestJournalAppendCounters(t *testing.T) {
+	reg := telemetry.New()
+	j, err := Open(t.TempDir(), Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, Record{Kind: KindAddION, Addr: "a"})
+	mustAppend(t, j, Record{Kind: KindAddION, Addr: "b"})
+	if v := reg.Counter("journal_appends_total").Value(); v != 2 {
+		t.Fatalf("journal_appends_total = %d, want 2", v)
+	}
+	if v := reg.Counter("journal_fsyncs_total").Value(); v != 2 {
+		t.Fatalf("journal_fsyncs_total = %d, want 2", v)
+	}
+}
+
+func TestJournalSnapshotDue(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{SnapshotEvery: 2, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.SnapshotDue() {
+		t.Fatal("fresh journal already due")
+	}
+	mustAppend(t, j, Record{Kind: KindAddION, Addr: "a"})
+	mustAppend(t, j, Record{Kind: KindAddION, Addr: "b"})
+	if !j.SnapshotDue() {
+		t.Fatal("snapshot not due after SnapshotEvery appends")
+	}
+	if err := j.Snapshot(State{Pool: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.SnapshotDue() {
+		t.Fatal("snapshot did not reset the due counter")
+	}
+}
+
+// TestDecodeRecordsBounds exercises the frame gates directly: oversized
+// declared lengths and zero-length frames must stop decoding cleanly.
+func TestDecodeRecordsBounds(t *testing.T) {
+	var huge [12]byte
+	binary.BigEndian.PutUint32(huge[0:4], maxRecord+1)
+	if recs := decodeRecords(huge[:], 0); len(recs) != 0 {
+		t.Fatalf("oversized length accepted: %d records", len(recs))
+	}
+	var zero [8]byte
+	if recs := decodeRecords(zero[:], 0); len(recs) != 0 {
+		t.Fatalf("zero length accepted: %d records", len(recs))
+	}
+	frame, err := encodeRecord(Record{LSN: 1, Kind: KindAddION, Addr: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate LSN: second copy must be rejected by the monotonicity gate.
+	double := append(append([]byte(nil), frame...), frame...)
+	if recs := decodeRecords(double, 0); len(recs) != 1 {
+		t.Fatalf("duplicate LSN accepted: %d records", len(recs))
+	}
+}
+
+func TestJournalOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+}
+
+// TestReplayConcurrentWithOpenJournal pins that the read-only Replay can
+// inspect a directory another Journal has open — the drain-ledger oracle
+// depends on this.
+func TestReplayConcurrentWithOpenJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, Record{Kind: KindAddION, Addr: "live"})
+	st, _, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Has(st.Pool, "live") {
+		t.Fatalf("concurrent replay missed the appended record: %v", st.Pool)
+	}
+}
+
+func TestStateCloneIsDeep(t *testing.T) {
+	s := &State{
+		Pool:    []string{"a"},
+		Assign:  map[string][]string{"j": {"a"}},
+		Running: []App{{ID: "j", Curve: []CurvePoint{{IONs: 1, MBps: 5}}}},
+	}
+	c := s.Clone()
+	c.Pool[0] = "mutated"
+	c.Assign["j"][0] = "mutated"
+	c.Running[0].Curve[0].MBps = 99
+	if s.Pool[0] != "a" || s.Assign["j"][0] != "a" || s.Running[0].Curve[0].MBps != 5 {
+		t.Fatal("Clone shares memory with the original")
+	}
+}

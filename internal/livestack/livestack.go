@@ -18,6 +18,7 @@ import (
 	"repro/internal/fwd"
 	"repro/internal/health"
 	"repro/internal/ion"
+	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/policy"
@@ -123,6 +124,19 @@ type Config struct {
 	OverloadThreshold  int
 	OverloadRecovery   int
 
+	// JournalDir, when non-empty, makes the control plane crash-safe: the
+	// arbiter appends every transition to a write-ahead journal in this
+	// directory, and epoch fencing turns on end to end — forwarding
+	// clients stamp writes with the mapping epoch, daemons reject writes
+	// from revoked epochs, and CrashControlPlane/RecoverControlPlane
+	// exercise the warm-restart path. Empty (the default) keeps the
+	// pre-journal stack, behavior and wire format byte for byte.
+	JournalDir string
+	// JournalSnapshotEvery is the append count between compacting journal
+	// snapshots; ≤0 selects the journal default (256). Only meaningful
+	// with JournalDir.
+	JournalSnapshotEvery int
+
 	// QoS, when non-nil, is the stack's tenant policy (internal/qos):
 	// clients created by NewClient get their app's class (token-bucket
 	// admission + wire priority), the arbiter weights contended
@@ -175,6 +189,11 @@ type Stack struct {
 	// Scaler is the pool autoscaler (nil unless Config.Elastic was set).
 	Scaler *elastic.Scaler
 
+	// Journal is the control-plane write-ahead log (nil unless
+	// Config.JournalDir was set). CrashControlPlane closes it;
+	// RecoverControlPlane reopens and replays it.
+	Journal *journal.Journal
+
 	// Telemetry and Tracer are the stack-wide observability handles every
 	// layer reports into; serve them with telemetry.Handler.
 	Telemetry *telemetry.Registry
@@ -192,6 +211,7 @@ type Stack struct {
 	nextION        int             // daemon index source for spawned IONs
 	decommissioned map[string]bool // addrs of daemons gone for good
 	lastAct        map[string]ionActivity
+	fenceCancel    func() // stops the fence fan-out subscriber (journaling only)
 }
 
 // ionActivity is one quiescence sample of a daemon (see ionQuiesced).
@@ -257,68 +277,249 @@ func Start(cfg Config) (*Stack, error) {
 		st.Arbiter.WithWeights(cfg.QoS.Weight)
 	}
 
-	if cfg.HealthInterval > 0 {
-		prober, err := health.New(health.Config{
-			Addrs:              st.Addrs,
-			Interval:           cfg.HealthInterval,
-			Timeout:            cfg.HealthTimeout,
-			FailThreshold:      cfg.HealthFailThreshold,
-			RiseThreshold:      cfg.HealthRiseThreshold,
-			OverloadQueueDepth: cfg.OverloadQueueDepth,
-			OverloadShedDelta:  cfg.OverloadShedDelta,
-			OverloadThreshold:  cfg.OverloadThreshold,
-			OverloadRecovery:   cfg.OverloadRecovery,
-			WireChecksum:       cfg.WireChecksum,
-			Telemetry:          reg,
-			OnTransition: func(tr health.Transition) {
-				// MarkDown/MarkUp errors are advisory here: even when a
-				// re-solve fails, the arbiter has already published a
-				// mapping that excludes down nodes.
-				if tr.Up {
-					arb.MarkUp(tr.Addr)
-				} else {
-					arb.MarkDown(tr.Addr)
-				}
-			},
-			OnOverload: func(ov health.Overload) {
-				// Errors are advisory for the same reason: an overloaded
-				// node is still valid to route to, just undesirable.
-				if ov.Overloaded {
-					arb.MarkOverloaded(ov.Addr)
-				} else {
-					arb.MarkRecovered(ov.Addr)
-				}
-			},
+	if cfg.JournalDir != "" {
+		jn, err := journal.Open(cfg.JournalDir, journal.Options{
+			SnapshotEvery: cfg.JournalSnapshotEvery,
+			Telemetry:     reg,
 		})
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
-		st.Health = prober
-		prober.Start()
+		st.Journal = jn
+		st.Arbiter.WithJournal(jn)
+		st.startFenceFanout()
 	}
 
-	if cfg.Elastic != nil {
-		ecfg := *cfg.Elastic
-		if ecfg.Telemetry == nil {
-			ecfg.Telemetry = reg
-		}
-		if ecfg.Quiesced == nil {
-			ecfg.Quiesced = st.ionQuiesced
-		}
-		var prov elastic.Provisioner = (*stackProvisioner)(st)
-		if cfg.WrapProvisioner != nil {
-			prov = cfg.WrapProvisioner(prov)
-		}
-		sc, err := elastic.New(ecfg, st.Arbiter, prov, st.Health, st.Addrs)
-		if err != nil {
+	if cfg.HealthInterval > 0 {
+		if err := st.startHealth(st.Arbiter, st.Addrs); err != nil {
 			st.Close()
 			return nil, err
 		}
-		st.Scaler = sc
-		sc.Start()
+	}
+	if cfg.Elastic != nil {
+		if err := st.startScaler(st.Arbiter, st.Addrs); err != nil {
+			st.Close()
+			return nil, err
+		}
 	}
 	return st, nil
+}
+
+// startHealth builds and starts the heartbeat prober over addrs, feeding
+// transitions into arb. Used at Start and again by RecoverControlPlane
+// (the old prober died with the control plane).
+func (s *Stack) startHealth(arb *arbiter.Arbiter, addrs []string) error {
+	prober, err := health.New(health.Config{
+		Addrs:              addrs,
+		Interval:           s.cfg.HealthInterval,
+		Timeout:            s.cfg.HealthTimeout,
+		FailThreshold:      s.cfg.HealthFailThreshold,
+		RiseThreshold:      s.cfg.HealthRiseThreshold,
+		OverloadQueueDepth: s.cfg.OverloadQueueDepth,
+		OverloadShedDelta:  s.cfg.OverloadShedDelta,
+		OverloadThreshold:  s.cfg.OverloadThreshold,
+		OverloadRecovery:   s.cfg.OverloadRecovery,
+		WireChecksum:       s.cfg.WireChecksum,
+		Telemetry:          s.Telemetry,
+		OnTransition: func(tr health.Transition) {
+			// MarkDown/MarkUp errors are advisory here: even when a
+			// re-solve fails, the arbiter has already published a
+			// mapping that excludes down nodes.
+			if tr.Up {
+				arb.MarkUp(tr.Addr)
+			} else {
+				arb.MarkDown(tr.Addr)
+			}
+		},
+		OnOverload: func(ov health.Overload) {
+			// Errors are advisory for the same reason: an overloaded
+			// node is still valid to route to, just undesirable.
+			if ov.Overloaded {
+				arb.MarkOverloaded(ov.Addr)
+			} else {
+				arb.MarkRecovered(ov.Addr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.Health = prober
+	prober.Start()
+	return nil
+}
+
+// startScaler builds and starts the pool autoscaler over arb and addrs.
+// Used at Start and again by RecoverControlPlane.
+func (s *Stack) startScaler(arb *arbiter.Arbiter, addrs []string) error {
+	ecfg := *s.cfg.Elastic
+	if ecfg.Telemetry == nil {
+		ecfg.Telemetry = s.Telemetry
+	}
+	if ecfg.Quiesced == nil {
+		ecfg.Quiesced = s.ionQuiesced
+	}
+	var prov elastic.Provisioner = (*stackProvisioner)(s)
+	if s.cfg.WrapProvisioner != nil {
+		prov = s.cfg.WrapProvisioner(prov)
+	}
+	sc, err := elastic.New(ecfg, arb, prov, s.Health, addrs)
+	if err != nil {
+		return err
+	}
+	s.Scaler = sc
+	sc.Start()
+	return nil
+}
+
+// startFenceFanout subscribes a background goroutine to the mapping bus
+// that pushes the revocation floor of every published map to every
+// daemon. The critical fence (recovery) is delivered synchronously via
+// arbiter.RecoverConfig.PreFence before the recovery map goes out; this
+// subscriber is the steady-state redundancy that keeps late joiners and
+// warm-restarted daemons converging on the floor.
+func (s *Stack) startFenceFanout() {
+	ch, cancelSub := s.Bus.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range ch {
+			if m.Fence == 0 {
+				continue
+			}
+			s.mu.Lock()
+			daemons := append([]*ion.Daemon(nil), s.Daemons...)
+			s.mu.Unlock()
+			for _, d := range daemons {
+				d.SetFence(m.Fence)
+			}
+		}
+	}()
+	s.fenceCancel = func() {
+		cancelSub()
+		<-done
+	}
+}
+
+// CrashControlPlane simulates a SIGKILL of the control plane while the
+// data plane keeps running: the scaler, prober, and fence fan-out stop,
+// the journal is closed mid-stream (whatever was fsynced is all that
+// survives), and the arbiter reference is dropped. Daemons keep serving
+// and clients keep writing on their last mapping — exactly the blackout
+// the paper's single-node arbiter exposes. Requires JournalDir;
+// coordinate with goroutines that use Stack.Arbiter directly.
+func (s *Stack) CrashControlPlane() error {
+	if s.cfg.JournalDir == "" {
+		return errors.New("livestack: CrashControlPlane requires JournalDir (nothing would survive)")
+	}
+	if s.Scaler != nil {
+		s.Scaler.Stop()
+		s.Scaler = nil
+	}
+	if s.Health != nil {
+		s.Health.Stop()
+		s.Health = nil
+	}
+	s.mu.Lock()
+	cancel := s.fenceCancel
+	s.fenceCancel = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if s.Journal != nil {
+		s.Journal.Close()
+		s.Journal = nil
+	}
+	s.Arbiter = nil
+	return nil
+}
+
+// RecoverControlPlane warm-restarts a crashed control plane from the
+// journal: replay, re-probe every journaled pool member, fence every
+// pre-crash epoch on the live daemons before the recovery publish, roll
+// back half-provisioned I/O nodes the journal never admitted, and
+// restart the prober, scaler, and fence fan-out. The returned error is
+// advisory when an arbiter came up (degraded recovery, e.g. a failed
+// re-solve published the pruned pre-crash mapping) and fatal when nil
+// Stack.Arbiter proves no recovery happened.
+func (s *Stack) RecoverControlPlane() error {
+	if s.cfg.JournalDir == "" {
+		return errors.New("livestack: RecoverControlPlane requires JournalDir")
+	}
+	jn, err := journal.Open(s.cfg.JournalDir, journal.Options{
+		SnapshotEvery: s.cfg.JournalSnapshotEvery,
+		Telemetry:     s.Telemetry,
+	})
+	if err != nil {
+		return err
+	}
+	pol := s.cfg.Policy
+	if pol == nil {
+		pol = policy.MCKP{}
+	}
+	var weights func(string) float64
+	if s.cfg.QoS != nil && !s.cfg.QoS.Empty() {
+		weights = s.cfg.QoS.Weight
+	}
+	arb, rerr := arbiter.Recover(arbiter.RecoverConfig{
+		Journal: jn,
+		Policy:  pol,
+		Bus:     s.Bus,
+		Probe: func(addr string) bool {
+			return health.Check(addr, s.cfg.HealthTimeout)
+		},
+		PreFence: func(fence uint64) {
+			s.mu.Lock()
+			daemons := append([]*ion.Daemon(nil), s.Daemons...)
+			s.mu.Unlock()
+			for _, d := range daemons {
+				d.SetFence(fence)
+			}
+		},
+		Weights:   weights,
+		Telemetry: s.Telemetry,
+	})
+	if arb == nil {
+		jn.Close()
+		return rerr
+	}
+	s.Journal = jn
+	s.Arbiter = arb
+
+	// Roll back half-provisioned nodes: a daemon the scaler spawned whose
+	// AddION never reached the journal is running but unknown to the
+	// recovered pool — nothing will ever route to it or drain it, so
+	// decommission it and let the scaler re-provision from live demand.
+	inPool := make(map[string]bool)
+	for _, a := range arb.Pool() {
+		inPool[a] = true
+	}
+	s.mu.Lock()
+	var orphans []string
+	for _, a := range s.Addrs {
+		if !inPool[a] && !s.decommissioned[a] {
+			orphans = append(orphans, a)
+		}
+	}
+	s.mu.Unlock()
+	for _, a := range orphans {
+		s.DecommissionION(a)
+	}
+
+	s.startFenceFanout()
+	if s.cfg.HealthInterval > 0 {
+		if err := s.startHealth(arb, arb.Pool()); err != nil {
+			return errors.Join(rerr, err)
+		}
+	}
+	if s.cfg.Elastic != nil {
+		if err := s.startScaler(arb, arb.Pool()); err != nil {
+			return errors.Join(rerr, err)
+		}
+	}
+	return rerr
 }
 
 // newDaemon builds and starts one I/O-node daemon at pool index i,
@@ -345,10 +546,17 @@ func (s *Stack) newDaemon(i int) (*ion.Daemon, string, error) {
 		RetryAfterHint: s.cfg.RetryAfterHint,
 		WireChecksum:   s.cfg.WireChecksum,
 		DedupWindow:    s.cfg.DedupWindow,
+		EpochFencing:   s.cfg.JournalDir != "",
 	}, backend)
 	addr, err := startDaemon(d, i, s.cfg.WrapListener)
 	if err != nil {
 		return nil, "", err
+	}
+	// A node spawned after a recovery must start at the current revocation
+	// floor, not at zero — otherwise a stale pre-crash client could land a
+	// revoked-epoch write on the one fresh node.
+	if f := s.Bus.Current().Fence; f > 0 {
+		d.SetFence(f)
 	}
 	return d, addr, nil
 }
@@ -533,6 +741,7 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 		RPC:           rpcOpts,
 		Throttle:      s.cfg.Throttle,
 		Dedup:         s.cfg.DedupWindow > 0,
+		EpochFencing:  s.cfg.JournalDir != "",
 		QoS:           s.cfg.QoS.ClassFor(appID),
 		Telemetry:     s.Telemetry,
 		Tracer:        s.Tracer,
@@ -616,6 +825,13 @@ func (s *Stack) Close() {
 		s.Health.Stop()
 	}
 	s.mu.Lock()
+	if s.fenceCancel != nil {
+		cancel := s.fenceCancel
+		s.fenceCancel = nil
+		s.mu.Unlock()
+		cancel()
+		s.mu.Lock()
+	}
 	cancels := append([]func(){}, s.cancels...)
 	clients := append([]*fwd.Client(nil), s.clients...)
 	daemons := append([]*ion.Daemon(nil), s.Daemons...)
@@ -628,5 +844,9 @@ func (s *Stack) Close() {
 	}
 	for _, d := range daemons {
 		d.Close()
+	}
+	if s.Journal != nil {
+		s.Journal.Close()
+		s.Journal = nil
 	}
 }

@@ -160,6 +160,9 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 		// whole elastic series family, pulling it into the audit below.
 		HealthInterval: 50 * time.Millisecond,
 		Elastic:        &elastic.Config{Min: 2, Max: 2, UpWatermark: 1, DownWatermark: 0.5},
+		// A journal dir registers the journal_* family and turns on epoch
+		// fencing, whose per-node/per-app series join the audit too.
+		JournalDir: t.TempDir(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -221,10 +224,15 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 		t.Errorf("elastic_pool_size = %d (registered=%v), want 2", v, ok)
 	}
 	for counter, wantNonZero := range map[string]bool{
-		`rpc_checksum_errors_total{node="ion00"}`: false, // clean wire: present, zero
-		`ion_dedup_replays_total{node="ion00"}`:   true,
-		`ion_restarts_total{node="ion01"}`:        true,
-		`fwd_replayed_writes_total{app="audit"}`:  false, // no transport retry happened
+		`rpc_checksum_errors_total{node="ion00"}`:    false, // clean wire: present, zero
+		`ion_dedup_replays_total{node="ion00"}`:      true,
+		`ion_restarts_total{node="ion01"}`:           true,
+		`fwd_replayed_writes_total{app="audit"}`:     false, // no transport retry happened
+		"journal_appends_total":                      true,  // every JobStarted/publish is journaled
+		"journal_fsyncs_total":                       true,
+		"journal_append_errors_total":                false, // healthy disk: present, zero
+		`epoch_fence_rejections_total{node="ion00"}`: false, // no blackout here: present, zero
+		`epoch_stale_retries_total{app="audit"}`:     false,
 	} {
 		v, ok := snap.Counters[counter]
 		if !ok {

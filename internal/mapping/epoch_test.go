@@ -1,0 +1,150 @@
+package mapping
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drain pulls updates until the channel idles, returning the last map
+// seen and how many arrived.
+func drainUpdates(t *testing.T, w *Watcher, wait time.Duration) (Map, int) {
+	t.Helper()
+	var last Map
+	n := 0
+	for {
+		select {
+		case m := <-w.Updates():
+			last = m
+			n++
+		case <-time.After(wait):
+			return last, n
+		}
+	}
+}
+
+// TestWatcherDeliversVersionZeroOnce is the regression test for the old
+// `w.last != 0` special-case: a version-0 mapping file (a solver that
+// never set the field) used to be re-delivered on every poll forever.
+// It must be delivered exactly once until the file actually changes.
+func TestWatcherDeliversVersionZeroOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapping.json")
+	if err := WriteFile(path, Map{Version: 0, IONs: map[string][]string{"app": {"ion-0"}}}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(path, 5*time.Millisecond)
+	defer w.Stop()
+
+	m, n := drainUpdates(t, w, 100*time.Millisecond)
+	if n != 1 {
+		t.Fatalf("version-0 map delivered %d times, want exactly 1", n)
+	}
+	if got := m.For("app"); len(got) != 1 || got[0] != "ion-0" {
+		t.Fatalf("wrong map delivered: %v", got)
+	}
+}
+
+// TestWatcherRedeliversOnFenceAdvance pins the epoch-aware half of the
+// staleness check: after an arbiter recovery whose journal lost its tail,
+// the recovery publish can carry a version the watcher already saw — the
+// raised fence is what marks it as new, and it must be delivered.
+func TestWatcherRedeliversOnFenceAdvance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapping.json")
+	if err := WriteFile(path, Map{Version: 3, IONs: map[string][]string{"app": {"ion-0"}}}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(path, 5*time.Millisecond)
+	defer w.Stop()
+	if _, n := drainUpdates(t, w, 60*time.Millisecond); n != 1 {
+		t.Fatalf("initial map delivered %d times, want 1", n)
+	}
+
+	// Same version, raised fence: the post-recovery republish.
+	if err := WriteFile(path, Map{Version: 3, Fence: 3, IONs: map[string][]string{"app": {"ion-7"}}}); err != nil {
+		t.Fatal(err)
+	}
+	m, n := drainUpdates(t, w, 100*time.Millisecond)
+	if n != 1 {
+		t.Fatalf("fence-advanced map delivered %d times, want exactly 1", n)
+	}
+	if got := m.For("app"); len(got) != 1 || got[0] != "ion-7" {
+		t.Fatalf("stale pre-recovery map retained: %v", got)
+	}
+	if m.Fence != 3 {
+		t.Fatalf("fence lost in delivery: %d", m.Fence)
+	}
+}
+
+// TestWatcherStillDedupesUnchangedVersions keeps the original contract:
+// an unchanged file is not re-delivered.
+func TestWatcherStillDedupesUnchangedVersions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapping.json")
+	if err := WriteFile(path, Map{Version: 7, Fence: 2, IONs: map[string][]string{}}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(path, 5*time.Millisecond)
+	defer w.Stop()
+	if _, n := drainUpdates(t, w, 100*time.Millisecond); n != 1 {
+		t.Fatalf("unchanged map delivered %d times, want 1", n)
+	}
+}
+
+func TestBusResumeAndRevoke(t *testing.T) {
+	b := NewBus()
+	b.Publish(map[string][]string{"a": {"ion-0"}})
+	if v := b.Version(); v != 1 {
+		t.Fatalf("version after first publish = %d, want 1", v)
+	}
+
+	// Resume raises the floor; a lower resume is a no-op.
+	b.Resume(9)
+	b.Resume(4)
+	if v := b.Version(); v != 9 {
+		t.Fatalf("version after Resume(9) = %d, want 9", v)
+	}
+
+	b.Revoke(10)
+	m := b.Publish(map[string][]string{"a": {"ion-1"}})
+	if m.Version != 10 || m.Fence != 10 {
+		t.Fatalf("post-revoke publish = v%d fence %d, want v10 fence 10", m.Version, m.Fence)
+	}
+
+	// The fence is sticky across ordinary publishes and monotonic.
+	b.Revoke(5)
+	m = b.Publish(map[string][]string{"a": {"ion-2"}})
+	if m.Version != 11 || m.Fence != 10 {
+		t.Fatalf("later publish = v%d fence %d, want v11 fence 10", m.Version, m.Fence)
+	}
+
+	// Fence survives Clone and the file round trip.
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fence != 10 || got.Version != 11 {
+		t.Fatalf("file round trip lost epoch state: v%d fence %d", got.Version, got.Fence)
+	}
+}
+
+// TestMapJSONOmitsZeroFence pins the opt-in discipline at the file layer:
+// a map that never saw a recovery serialises byte-identically to the
+// pre-epoch format (no "fence" key at all).
+func TestMapJSONOmitsZeroFence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteFile(path, Map{Version: 2, IONs: map[string][]string{"a": {"x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "fence") {
+		t.Fatalf("zero fence serialised: %s", raw)
+	}
+}

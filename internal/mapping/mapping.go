@@ -18,9 +18,15 @@ import (
 )
 
 // Map is one allocation decision: which I/O nodes every application must
-// use. Version increases with every publication.
+// use. Version increases with every publication and doubles as the map's
+// epoch: forwarding clients stamp writes with it so I/O nodes can fence
+// traffic routed by a mapping that predates a control-plane recovery.
 type Map struct {
 	Version uint64 `json:"version"`
+	// Fence is the revocation floor: every epoch strictly below it has
+	// been revoked by a recovery publish, and I/O nodes reject writes
+	// stamped with one. Zero (the wire and file default) fences nothing.
+	Fence uint64 `json:"fence,omitempty"`
 	// IONs maps application IDs to the addresses of their assigned I/O
 	// nodes. An empty (or absent) list means direct PFS access.
 	IONs map[string][]string `json:"ions"`
@@ -28,7 +34,7 @@ type Map struct {
 
 // Clone deep-copies the map.
 func (m Map) Clone() Map {
-	out := Map{Version: m.Version, IONs: make(map[string][]string, len(m.IONs))}
+	out := Map{Version: m.Version, Fence: m.Fence, IONs: make(map[string][]string, len(m.IONs))}
 	for app, addrs := range m.IONs {
 		out.IONs[app] = append([]string(nil), addrs...)
 	}
@@ -55,6 +61,7 @@ func (m Map) Apps() []string {
 type Bus struct {
 	mu      sync.Mutex
 	current Map
+	fence   uint64
 	subs    map[int]chan Map
 	nextID  int
 }
@@ -76,7 +83,7 @@ func (b *Bus) Current() Map {
 func (b *Bus) Publish(ions map[string][]string) Map {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	next := Map{Version: b.current.Version + 1, IONs: make(map[string][]string, len(ions))}
+	next := Map{Version: b.current.Version + 1, Fence: b.fence, IONs: make(map[string][]string, len(ions))}
 	for app, addrs := range ions {
 		next.IONs[app] = append([]string(nil), addrs...)
 	}
@@ -88,6 +95,37 @@ func (b *Bus) Publish(ions map[string][]string) Map {
 		}
 	}
 	return next.Clone()
+}
+
+// Version returns the version the latest published map carries (the
+// current epoch).
+func (b *Bus) Version() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.current.Version
+}
+
+// Resume raises the bus's version floor to at least version without
+// publishing. A recovered arbiter calls it with the last epoch its
+// journal recorded so the next publication continues the pre-crash epoch
+// sequence instead of reusing numbers clients may already hold.
+func (b *Bus) Resume(version uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if version > b.current.Version {
+		b.current.Version = version
+	}
+}
+
+// Revoke raises the fence: every epoch strictly below fence is revoked,
+// and every subsequent publication carries the new floor. Monotonic —
+// a lower fence never lowers an established one.
+func (b *Bus) Revoke(fence uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fence > b.fence {
+		b.fence = fence
+	}
 }
 
 // Subscribe returns a channel carrying map updates (buffered with the
@@ -195,11 +233,13 @@ type Watcher struct {
 	path     string
 	interval time.Duration
 
-	mu      sync.Mutex
-	last    uint64
-	updates chan Map
-	stop    chan struct{}
-	done    chan struct{}
+	mu        sync.Mutex
+	seen      bool
+	last      uint64
+	lastFence uint64
+	updates   chan Map
+	stop      chan struct{}
+	done      chan struct{}
 }
 
 // NewWatcher starts polling path every interval (≤0 selects the paper's
@@ -253,10 +293,19 @@ func (w *Watcher) poll() {
 	if err != nil {
 		return
 	}
+	// Epoch-aware staleness: the first observation always delivers, and
+	// after that a map is new if either its version or its fence moved
+	// forward. The fence clause matters after an arbiter recovery whose
+	// journal lost its tail — the recovery publish can legitimately carry
+	// a version the watcher has already seen, distinguished only by the
+	// raised fence. (The old `w.last != 0` special-case also re-delivered
+	// a version-0 map on every poll forever.)
 	w.mu.Lock()
-	stale := m.Version <= w.last && w.last != 0
+	stale := w.seen && m.Version <= w.last && m.Fence <= w.lastFence
 	if !stale {
+		w.seen = true
 		w.last = m.Version
+		w.lastFence = m.Fence
 	}
 	w.mu.Unlock()
 	if stale {

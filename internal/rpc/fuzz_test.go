@@ -42,6 +42,8 @@ func FuzzReadMessage(f *testing.F) {
 	seed(&Message{Op: OpRead, Busy: true, RetryAfter: 500 * time.Microsecond}, false)
 	seed(&Message{Op: OpWrite, Path: "/q", Data: []byte("hi"), Priority: 3}, true)
 	seed(&Message{Op: OpWrite, Path: "/q", ClientID: "fwd-1", Seq: 2, Priority: 1}, false)
+	seed(&Message{Op: OpWrite, Path: "/e", Data: []byte("hi"), Epoch: 42}, true)
+	seed(&Message{Op: OpWrite, Path: "/e", Epoch: 7, Priority: 2, ClientID: "fwd-2", Seq: 3}, false)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // oversized length
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00})             // zero-length frame
@@ -81,6 +83,7 @@ func FuzzReadMessage(f *testing.F) {
 			m.Busy != m2.Busy || m.RetryAfter != m2.RetryAfter ||
 			m.ClientID != m2.ClientID || m.Seq != m2.Seq ||
 			m.Replayed != m2.Replayed || m.Priority != m2.Priority ||
+			m.Epoch != m2.Epoch ||
 			!bytes.Equal(m.Data, m2.Data) {
 			t.Fatalf("re-encode round trip mismatch:\n  first  %+v\n  second %+v", m, m2)
 		}
@@ -91,14 +94,15 @@ func FuzzReadMessage(f *testing.F) {
 // and without the checksum trailer) and asserts a lossless round trip for
 // every message the validator accepts.
 func FuzzMessageRoundTrip(f *testing.F) {
-	f.Add(uint8(OpWrite), "/data/f", int64(4096), int64(0), []byte("chunk"), "", uint64(1), false, uint32(0), "fwd-3", uint64(9), false, uint8(0), true)
-	f.Add(uint8(OpRead), "", int64(-1), int64(1<<40), []byte{}, "boom", uint64(0), true, uint32(250), "", uint64(0), true, uint8(3), false)
-	f.Fuzz(func(t *testing.T, op uint8, path string, offset, size int64, data []byte, errStr string, trace uint64, busy bool, retryUS uint32, clientID string, seq uint64, replayed bool, prio uint8, sum bool) {
+	f.Add(uint8(OpWrite), "/data/f", int64(4096), int64(0), []byte("chunk"), "", uint64(1), false, uint32(0), "fwd-3", uint64(9), false, uint8(0), uint64(0), true)
+	f.Add(uint8(OpRead), "", int64(-1), int64(1<<40), []byte{}, "boom", uint64(0), true, uint32(250), "", uint64(0), true, uint8(3), uint64(17), false)
+	f.Fuzz(func(t *testing.T, op uint8, path string, offset, size int64, data []byte, errStr string, trace uint64, busy bool, retryUS uint32, clientID string, seq uint64, replayed bool, prio uint8, epoch uint64, sum bool) {
 		m := &Message{
 			Op: Op(op), Path: path, Offset: offset, Size: size, Data: data,
 			Err: errStr, Trace: trace, Busy: busy,
 			RetryAfter: time.Duration(retryUS) * time.Microsecond,
 			ClientID:   clientID, Seq: seq, Replayed: replayed, Priority: prio,
+			Epoch: epoch,
 		}
 		var buf bytes.Buffer
 		var err error
@@ -122,6 +126,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			got.Busy != m.Busy || got.RetryAfter != m.RetryAfter ||
 			got.ClientID != m.ClientID || got.Seq != m.Seq ||
 			got.Replayed != m.Replayed || got.Priority != m.Priority ||
+			got.Epoch != m.Epoch ||
 			!bytes.Equal(got.Data, m.Data) {
 			t.Fatalf("round trip mismatch (sum=%v):\n  in  %+v\n  out %+v", sum, m, got)
 		}

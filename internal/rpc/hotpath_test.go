@@ -36,6 +36,9 @@ func referenceEncode(m *Message, sum bool) []byte {
 	if m.Priority != 0 {
 		flags |= flagPriority
 	}
+	if m.Epoch != 0 {
+		flags |= flagEpoch
+	}
 	body = append(body, flags)
 	body = binary.BigEndian.AppendUint32(body, retryAfterMicros(m.RetryAfter))
 	body = binary.BigEndian.AppendUint64(body, m.Trace)
@@ -55,6 +58,9 @@ func referenceEncode(m *Message, sum bool) []byte {
 	if m.Priority != 0 {
 		body = append(body, m.Priority)
 	}
+	if m.Epoch != 0 {
+		body = binary.BigEndian.AppendUint64(body, m.Epoch)
+	}
 	if sum {
 		body = binary.BigEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
 	}
@@ -72,6 +78,8 @@ func TestWriteFrameMatchesReferenceEncoder(t *testing.T) {
 			{Op: OpWrite, Data: data, Busy: true, RetryAfter: 250 * time.Microsecond, Replayed: true, ClientID: "c", Seq: 1},
 			{Op: OpWrite, Path: "/q", Data: data, Priority: 3},
 			{Op: OpWrite, Path: "/q2", Data: data, Priority: 1, ClientID: "client-7", Seq: 4, Trace: 7},
+			{Op: OpWrite, Path: "/e", Data: data, Epoch: 12},
+			{Op: OpWrite, Path: "/e2", Data: data, Epoch: 1 << 40, Priority: 2, ClientID: "client-9", Seq: 6},
 		}
 	}
 	for _, sz := range payloadSizes {

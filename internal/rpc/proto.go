@@ -135,6 +135,12 @@ type Message struct {
 	// priority trailer is encoded, keeping the frame byte-identical to a
 	// stack without QoS — and schedulers treat unclassed like standard.
 	Priority uint8
+	// Epoch is the mapping epoch the sender routed under (requests), or
+	// the I/O node's fence floor (stale-epoch responses). Zero means
+	// unstamped — no epoch trailer is encoded, keeping the frame
+	// byte-identical to a stack without epoch fencing — and daemons
+	// never fence an unstamped write.
+	Epoch uint64
 
 	// body is the pooled frame buffer Data aliases (nil when the payload
 	// is caller-owned), and envelope marks a Message drawn from the
@@ -151,6 +157,7 @@ const (
 	flagDedup    = 1 << 2
 	flagReplay   = 1 << 3
 	flagPriority = 1 << 4
+	flagEpoch    = 1 << 5
 )
 
 // castagnoli is the CRC32C polynomial table used for frame checksums
@@ -238,6 +245,9 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if m.Priority != 0 {
 		n++
 	}
+	if m.Epoch != 0 {
+		n += 8
+	}
 	if sum {
 		n += 4
 	}
@@ -271,6 +281,9 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if m.Priority != 0 {
 		flags |= flagPriority
 	}
+	if m.Epoch != 0 {
+		flags |= flagEpoch
+	}
 	buf[p] = flags
 	p++
 	binary.BigEndian.PutUint32(buf[p:], retryAfterMicros(m.RetryAfter))
@@ -303,6 +316,10 @@ func writeFrame(w io.Writer, m *Message, sum bool) error {
 	if m.Priority != 0 {
 		buf[p] = m.Priority
 		p++
+	}
+	if m.Epoch != 0 {
+		binary.BigEndian.PutUint64(buf[p:], m.Epoch)
+		p += 8
 	}
 	if sum {
 		// The trailer covers every body byte before it, in wire order —
@@ -448,6 +465,14 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			return fail(1)
 		}
 		m.Priority = buf[p]
+		p++
+	}
+	if flags&flagEpoch != 0 {
+		if p+8 > len(buf) {
+			return fail(8)
+		}
+		m.Epoch = binary.BigEndian.Uint64(buf[p:])
+		p += 8
 	}
 	if m.Data == nil {
 		// Dataless frames (metadata ops, write acks, busy sheds) have

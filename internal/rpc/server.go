@@ -591,6 +591,13 @@ func (c *Client) attempt(req *Message) (*Message, error, errClass) {
 		return resp, &BusyError{Addr: c.addr, RetryAfter: resp.RetryAfter}, classBusy
 	}
 	if resp.Err != "" {
+		if IsStaleEpochErr(resp.Err) {
+			// A fenced write completed the exchange — a breaker success,
+			// never transport-retried. Surface the typed error (with the
+			// node's fence floor from the response's epoch trailer) so the
+			// forwarding layer can remap and retry under a fresh mapping.
+			return resp, &StaleEpochError{Addr: c.addr, Epoch: req.Epoch, Fence: resp.Epoch}, classApp
+		}
 		return resp, errors.New(resp.Err), classApp
 	}
 	return resp, nil, classOK
