@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test test-race vet lint chaos storm torture qos elastic blackout fuzz bench bench-campaign bench-hotpath
+.PHONY: verify build test test-race vet lint chaos storm torture qos elastic blackout grayfail fuzz bench bench-campaign bench-hotpath
 
 verify: vet build test-race
 
@@ -100,6 +100,21 @@ blackout:
 		-run 'Blackout|Journal|Recover|Snapshot|Replay|Fence|Epoch|Stale|WriteAhead|Torn|Segment' \
 		./internal/journal ./internal/arbiter ./internal/ion \
 		./internal/fwd ./internal/rpc ./internal/livestack ./cmd/gkfwd
+
+# Gray-failure suite, run twice under the race detector: the fail-slow
+# scenario (12 IONs, one ramping to ~50× latency mid-workload; detection
+# before the SLO breach, quarantine + re-steer, hedge wins with a
+# per-byte exactly-once oracle, bounded p99, full recovery) plus the
+# latency-sketch, fail-slow scorer, quarantine arbitration, hedged
+# request, slow/asymmetric fault-plan, and stale-sample tests across
+# every layer the gray-failure defense touches. Reproduce a failing run
+# with GRAYFAIL_SEED=<n> make grayfail.
+grayfail:
+	$(GO) test -race -count=2 -timeout 300s \
+		-run 'GrayFailure|Sketch|Degrad|Quarantine|Hedge|Slow|LoadAges|Stale|IdleRecovery' \
+		./internal/livestack ./internal/latency ./internal/health \
+		./internal/arbiter ./internal/fwd ./internal/faultnet \
+		./internal/elastic ./cmd/gkfwd
 
 # Wire-protocol fuzzers (frame decoder and encode/decode round-trip).
 # FUZZTIME bounds each fuzzer; CI runs a short smoke, leave it running

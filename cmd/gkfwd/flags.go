@@ -66,6 +66,12 @@ type options struct {
 	journalDir           string
 	journalSnapshotEvery int
 
+	slowFactor      float64
+	slowWindow      int
+	hedgePct        float64
+	hedgeBudget     float64
+	quarantineFloor int
+
 	qosConfig string
 	qosInline string
 	// qosReg is the tenant policy parsed from -qos-config/-qos during
@@ -109,6 +115,11 @@ func parseFlags() *options {
 	flag.Float64Var(&o.scaleUp, "scale-up", 0, "average queue depth at or above which the pool grows (sustained)")
 	flag.Float64Var(&o.scaleDown, "scale-down", 0, "average queue depth at or below which the pool shrinks (sustained)")
 	flag.DurationVar(&o.scaleCooldown, "scale-cooldown", 0, "minimum gap between same-direction scale events (0 = scaler defaults)")
+	flag.Float64Var(&o.slowFactor, "slow-factor", 0, "fail-slow detection: quarantine an I/O node whose probe-RTT median exceeds its peers' × this factor, sustained (0 = off)")
+	flag.IntVar(&o.slowWindow, "slow-window", 0, "consecutive slow probe sweeps before a node is marked degraded (0 = detector default)")
+	flag.Float64Var(&o.hedgePct, "hedge-pct", 0, "hedged requests: per-ION latency quantile in (0,1) used as the hedge deadline; setting this or -hedge-budget enables hedging (requires -dedup-window)")
+	flag.Float64Var(&o.hedgeBudget, "hedge-budget", 0, "fraction of a hedge token each request earns, capping the steady-state hedge rate (0 = default 0.1 when hedging is on)")
+	flag.IntVar(&o.quarantineFloor, "quarantine-floor", 0, "allocatable I/O nodes the fail-slow quarantine may never dig below (0 = 1)")
 	flag.StringVar(&o.journalDir, "journal-dir", "", "control-plane write-ahead journal directory; non-empty enables crash recovery and epoch fencing (empty = off)")
 	flag.IntVar(&o.journalSnapshotEvery, "journal-snapshot-every", 0, "journal appends between compacting snapshots (0 = journal default)")
 	flag.StringVar(&o.qosConfig, "qos-config", "", "tenant QoS policy file (class/app statements, see internal/qos)")
@@ -250,6 +261,44 @@ func (o *options) validate() error {
 			return fmt.Errorf("-ions (%d) must not start below -scale-min (%d): the scaler only grows on demand, so the pool would sit under its own floor", o.ions, min)
 		}
 	}
+	if o.slowFactor < 0 {
+		return fmt.Errorf("-slow-factor must not be negative, got %g", o.slowFactor)
+	}
+	if o.slowWindow < 0 {
+		return fmt.Errorf("-slow-window must not be negative, got %d", o.slowWindow)
+	}
+	if o.quarantineFloor < 0 {
+		return fmt.Errorf("-quarantine-floor must not be negative, got %d", o.quarantineFloor)
+	}
+	if o.hedgePct < 0 || o.hedgePct >= 1 {
+		return fmt.Errorf("-hedge-pct must be a quantile in [0,1), got %g", o.hedgePct)
+	}
+	if o.hedgeBudget < 0 || o.hedgeBudget > 1 {
+		return fmt.Errorf("-hedge-budget must be a per-request token fraction in [0,1], got %g", o.hedgeBudget)
+	}
+	if o.slowFactor > 0 && o.healthInterval == 0 {
+		return fmt.Errorf("-slow-factor requires -health-interval: the fail-slow scorer feeds on probe round-trips, so without probes it is blind")
+	}
+	if o.slowWindow > 0 && o.slowFactor == 0 {
+		return fmt.Errorf("-slow-window requires -slow-factor: without a slowness factor no scorer runs, so the debounce window never applies")
+	}
+	if o.quarantineFloor > 0 {
+		if o.slowFactor == 0 {
+			return fmt.Errorf("-quarantine-floor requires -slow-factor: without detection nothing is ever quarantined, so the floor never applies")
+		}
+		// The floor must sit strictly below the smallest pool this run can
+		// have, or the quarantine could never engage once the pool is there.
+		poolMin := o.ions
+		if o.scaleMax > 0 && o.scaleMin > 0 && o.scaleMin < poolMin {
+			poolMin = o.scaleMin
+		}
+		if o.quarantineFloor >= poolMin {
+			return fmt.Errorf("-quarantine-floor (%d) must be below the pool minimum (%d): a floor the pool cannot dig below disables quarantine entirely", o.quarantineFloor, poolMin)
+		}
+	}
+	if (o.hedgePct > 0 || o.hedgeBudget > 0) && o.dedupWindow == 0 {
+		return fmt.Errorf("-hedge-pct/-hedge-budget require -dedup-window: only the dedup window makes a duplicated write exactly-once, so hedging without it could double-apply")
+	}
 	if o.journalSnapshotEvery < 0 {
 		return fmt.Errorf("-journal-snapshot-every must not be negative, got %d", o.journalSnapshotEvery)
 	}
@@ -313,6 +362,9 @@ func (o *options) stackConfig() livestack.Config {
 		DedupWindow:          o.dedupWindow,
 		JournalDir:           o.journalDir,
 		JournalSnapshotEvery: o.journalSnapshotEvery,
+		SlowFactor:           o.slowFactor,
+		SlowWindow:           o.slowWindow,
+		QuarantineFloor:      o.quarantineFloor,
 		QoS:                  o.qosReg,
 		Throttle: fwd.ThrottleConfig{
 			Enabled:   o.throttle,
@@ -336,6 +388,13 @@ func (o *options) stackConfig() livestack.Config {
 			// bandwidth gain is zero is vetoed — capacity the running
 			// apps' curves say nobody can use is not worth provisioning.
 			MarginalValue: marginalValueFor(o.appList),
+		}
+	}
+	if o.hedgePct > 0 || o.hedgeBudget > 0 {
+		cfg.Hedge = fwd.HedgeConfig{
+			Enabled: true,
+			Pct:     o.hedgePct,
+			Budget:  o.hedgeBudget,
 		}
 	}
 	if o.rate > 0 {

@@ -97,6 +97,34 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		}, "above -scale-max"},
 		{"negative journal snapshot cadence", func(o *options) { o.journalSnapshotEvery = -1 }, "-journal-snapshot-every"},
 		{"journal snapshot cadence without journal", func(o *options) { o.journalSnapshotEvery = 64 }, "-journal-snapshot-every requires -journal-dir"},
+		{"negative slow factor", func(o *options) { o.slowFactor = -2 }, "-slow-factor"},
+		{"negative slow window", func(o *options) { o.slowWindow = -1 }, "-slow-window"},
+		{"negative quarantine floor", func(o *options) { o.quarantineFloor = -1 }, "-quarantine-floor"},
+		{"hedge pct not a quantile", func(o *options) { o.dedupWindow = 16; o.hedgePct = 1.5 }, "-hedge-pct"},
+		{"negative hedge budget", func(o *options) { o.dedupWindow = 16; o.hedgeBudget = -0.1 }, "-hedge-budget"},
+		{"hedge budget above one", func(o *options) { o.dedupWindow = 16; o.hedgeBudget = 2 }, "-hedge-budget"},
+		{"slow factor without health", func(o *options) { o.slowFactor = 4 }, "-slow-factor requires -health-interval"},
+		{"slow window without factor", func(o *options) { o.slowWindow = 3 }, "-slow-window requires -slow-factor"},
+		{"quarantine floor without factor", func(o *options) {
+			o.quarantineFloor = 1
+			o.ions = 4
+		}, "-quarantine-floor requires -slow-factor"},
+		{"quarantine floor at pool minimum", func(o *options) {
+			o.healthInterval = time.Second
+			o.slowFactor = 4
+			o.quarantineFloor = 4 // == -ions: nothing could ever be quarantined
+		}, "below the pool minimum"},
+		{"quarantine floor at elastic pool minimum", func(o *options) {
+			o.healthInterval = time.Second
+			o.slowFactor = 4
+			o.scaleMax = 8
+			o.scaleMin = 2
+			o.scaleUp = 8
+			o.scaleDown = 1
+			o.quarantineFloor = 2 // == -scale-min, the smallest pool this run can have
+		}, "below the pool minimum"},
+		{"hedge pct without dedup", func(o *options) { o.hedgePct = 0.95 }, "require -dedup-window"},
+		{"hedge budget without dedup", func(o *options) { o.hedgeBudget = 0.2 }, "require -dedup-window"},
 		{"qos inline syntax error", func(o *options) { o.qosInline = "class gold tier=bogus" }, "-qos-config/-qos"},
 		{"qos unknown class reference", func(o *options) { o.qosInline = "app a missing" }, "-qos-config/-qos"},
 		{"qos missing file", func(o *options) { o.qosConfig = "/nonexistent/qos.conf" }, "-qos-config/-qos"},
@@ -295,6 +323,50 @@ func TestMarginalAdvisor(t *testing.T) {
 	}
 	if mv := marginalValueFor("NOSUCHAPP"); mv(2) != 0 {
 		t.Fatal("unknown labels must forecast zero, not panic")
+	}
+}
+
+// TestGrayFailureFlagsCarryIntoStackConfig pins the gray-failure flag
+// set: detection, quarantine, and hedging knobs reach the stack
+// verbatim, and the default keeps every plane fully off.
+func TestGrayFailureFlagsCarryIntoStackConfig(t *testing.T) {
+	o := validOptions()
+	o.healthInterval = 100 * time.Millisecond
+	o.dedupWindow = 64
+	o.slowFactor = 4
+	o.slowWindow = 5
+	o.quarantineFloor = 2
+	o.hedgePct = 0.9
+	o.hedgeBudget = 0.25
+	if err := o.validate(); err != nil {
+		t.Fatalf("gray-failure knobs should validate: %v", err)
+	}
+	cfg := o.stackConfig()
+	if cfg.SlowFactor != 4 || cfg.SlowWindow != 5 {
+		t.Fatalf("slow knobs not carried: factor=%g window=%d", cfg.SlowFactor, cfg.SlowWindow)
+	}
+	if cfg.QuarantineFloor != 2 {
+		t.Fatalf("-quarantine-floor not carried: %d", cfg.QuarantineFloor)
+	}
+	if !cfg.Hedge.Enabled || cfg.Hedge.Pct != 0.9 || cfg.Hedge.Budget != 0.25 {
+		t.Fatalf("hedge knobs not carried: %+v", cfg.Hedge)
+	}
+	// Setting only the budget still enables hedging (the quantile takes
+	// its default inside fwd).
+	o2 := validOptions()
+	o2.dedupWindow = 64
+	o2.hedgeBudget = 0.5
+	if err := o2.validate(); err != nil {
+		t.Fatalf("budget-only hedge should validate: %v", err)
+	}
+	if cfg2 := o2.stackConfig(); !cfg2.Hedge.Enabled || cfg2.Hedge.Budget != 0.5 {
+		t.Fatalf("budget-only hedge not carried: %+v", cfg2.Hedge)
+	}
+	// And the default remains fully off: zero-value behavior.
+	def := validOptions()
+	d := def.stackConfig()
+	if d.SlowFactor != 0 || d.QuarantineFloor != 0 || d.Hedge.Enabled {
+		t.Fatalf("gray-failure planes must default off: %+v", d)
 	}
 }
 

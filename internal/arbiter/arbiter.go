@@ -53,6 +53,12 @@ type Arbiter struct {
 	down       map[string]bool // addresses marked down (health transitions)
 	overloaded map[string]bool // addresses shedding load (overload transitions)
 	draining   map[string]bool // addresses leaving gracefully (scaler drains)
+	degraded   map[string]bool // addresses marked fail-slow (gray-failure plane)
+	// quarFloor bounds the quarantine: degraded nodes are excluded from
+	// allocation only while at least quarFloor allocatable nodes remain,
+	// so correlated slowness deprioritizes the tail instead of emptying
+	// the pool. Always ≥ 1; WithQuarantine raises it.
+	quarFloor  int
 	running    map[string]policy.Application
 	assign     map[string][]string // app → addresses
 	// SolveTime records the duration of the last policy invocation (the
@@ -65,6 +71,11 @@ type Arbiter struct {
 	jn    *journal.Journal
 	epoch uint64
 
+	// reg is the registry Instrument attached; WithQuarantine uses it to
+	// register the quarantine series lazily (only a stack that opts into
+	// gray-failure handling exposes arbiter_quarantine_*).
+	reg *telemetry.Registry
+
 	// Telemetry handles (nil until Instrument; all no-ops then).
 	tel struct {
 		solves, solveErrors, published   *telemetry.Counter
@@ -73,9 +84,11 @@ type Arbiter struct {
 		marksOverloaded, marksRecovered  *telemetry.Counter
 		drains, drainsAborted            *telemetry.Counter
 		ionsAdded, ionsRemoved           *telemetry.Counter
+		quarMarks, quarRestores          *telemetry.Counter // nil until WithQuarantine
 		jobsRunning                      *telemetry.Gauge
 		ionsDown, ionsLive, ionsOverload *telemetry.Gauge
 		ionsDraining                     *telemetry.Gauge
+		ionsQuarantined, quarFloorHeld   *telemetry.Gauge // nil until WithQuarantine
 		solveLatency                     *telemetry.Histogram
 	}
 }
@@ -103,6 +116,8 @@ func New(pol policy.Policy, ionAddrs []string, bus *mapping.Bus) (*Arbiter, erro
 		down:       map[string]bool{},
 		overloaded: map[string]bool{},
 		draining:   map[string]bool{},
+		degraded:   map[string]bool{},
+		quarFloor:  1,
 		running:    map[string]policy.Application{},
 		assign:     map[string][]string{},
 	}, nil
@@ -118,6 +133,7 @@ func (a *Arbiter) PolicyName() string { return a.pol.Name() }
 func (a *Arbiter) Instrument(reg *telemetry.Registry) *Arbiter {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.reg = reg
 	a.tel.solves = reg.Counter("arbiter_solves_total")
 	a.tel.solveErrors = reg.Counter("arbiter_solve_errors_total")
 	a.tel.published = reg.Counter("arbiter_mappings_published_total")
@@ -151,6 +167,31 @@ func (a *Arbiter) WithWeights(w func(id string) float64) *Arbiter {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.weightOf = w
+	return a
+}
+
+// WithQuarantine sets the live-capacity floor for gray-failure
+// quarantine: MarkDegraded excludes a node from new allocations only
+// while at least floor allocatable nodes remain, so correlated
+// slowness (a sick rack, a shared-switch brownout) degrades to
+// deprioritization instead of an empty pool. floor values below 1 are
+// raised to 1 — the pool can never be quarantined empty. Also
+// registers the arbiter_quarantine_* series on the registry given to
+// Instrument (call Instrument first); a stack that never opts into
+// gray-failure handling exposes none of them. Returns a for chaining;
+// call before the arbiter is shared.
+func (a *Arbiter) WithQuarantine(floor int) *Arbiter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if floor < 1 {
+		floor = 1
+	}
+	a.quarFloor = floor
+	reg := a.reg
+	a.tel.quarMarks = reg.Counter("arbiter_quarantine_marked_total")
+	a.tel.quarRestores = reg.Counter("arbiter_quarantine_restored_total")
+	a.tel.ionsQuarantined = reg.Gauge("arbiter_quarantine_ions")
+	a.tel.quarFloorHeld = reg.Gauge("arbiter_quarantine_floor_held")
 	return a
 }
 
@@ -231,17 +272,49 @@ func (a *Arbiter) Current() map[string][]string {
 	return out
 }
 
-// availablePool returns the pool minus down and draining nodes — the
-// addresses arbitration may hand out — in stable pool order. Caller holds
-// the lock.
+// availablePool returns the pool minus down, draining, and quarantined
+// nodes — the addresses arbitration may hand out — in stable pool
+// order. Caller holds the lock.
 func (a *Arbiter) availablePool() []string {
+	quar := a.quarantinedLocked()
 	avail := make([]string, 0, len(a.pool))
 	for _, addr := range a.pool {
-		if !a.down[addr] && !a.draining[addr] {
+		if !a.down[addr] && !a.draining[addr] && !quar[addr] {
 			avail = append(avail, addr)
 		}
 	}
 	return avail
+}
+
+// quarantinedLocked computes the effective quarantine set: degraded
+// nodes, taken in stable pool order, excluded from allocation only
+// while the remaining allocatable capacity stays at or above the
+// floor. Degraded nodes past the floor stay allocatable — rearbitrate
+// deprioritizes them like overloaded ones instead. Down and draining
+// nodes are never in the set: stronger states already exclude them,
+// and counting them would double-charge the floor. Caller holds the
+// lock.
+func (a *Arbiter) quarantinedLocked() map[string]bool {
+	if len(a.degraded) == 0 {
+		return nil
+	}
+	live := 0
+	for _, addr := range a.pool {
+		if !a.down[addr] && !a.draining[addr] {
+			live++
+		}
+	}
+	quar := make(map[string]bool, len(a.degraded))
+	for _, addr := range a.pool {
+		if !a.degraded[addr] || a.down[addr] || a.draining[addr] {
+			continue
+		}
+		if live-len(quar)-1 < a.quarFloor {
+			break // floor reached: the rest stay allocatable, deprioritized
+		}
+		quar[addr] = true
+	}
+	return quar
 }
 
 func (a *Arbiter) inPool(addr string) bool {
@@ -287,6 +360,17 @@ func (a *Arbiter) updatePoolGauges() {
 	a.tel.ionsLive.Set(int64(len(a.pool) - len(a.down)))
 	a.tel.ionsOverload.Set(int64(len(a.overloaded)))
 	a.tel.ionsDraining.Set(int64(len(a.draining)))
+	if a.tel.ionsQuarantined != nil {
+		quar := a.quarantinedLocked()
+		a.tel.ionsQuarantined.Set(int64(len(quar)))
+		held := 0
+		for addr := range a.degraded {
+			if !quar[addr] && !a.down[addr] && !a.draining[addr] {
+				held++
+			}
+		}
+		a.tel.quarFloorHeld.Set(int64(held))
+	}
 }
 
 // without returns addrs with every occurrence of addr removed (the slice
@@ -458,6 +542,110 @@ func (a *Arbiter) MarkRecovered(addr string) error {
 	return nil
 }
 
+// MarkDegraded quarantines addr as fail-slow (the health scorer saw its
+// latency sustained far above its peers'): like a drain, the node keeps
+// serving whatever already routes to it but re-arbitration stops
+// handing it out, so traffic migrates off under the no-shrink invariant
+// — and unlike a drain it is bounded by the quarantine floor (see
+// WithQuarantine): when excluding the node would leave fewer than
+// floor allocatable nodes, it stays allocatable and is merely
+// deprioritized like an overloaded one, so correlated slowness cannot
+// empty the pool. Marking an already-degraded node is a no-op; marks
+// on down nodes are recorded (they take effect when the node rises);
+// marks on draining nodes are dropped — the drain is a strictly
+// stronger exclusion and the node is leaving anyway.
+func (a *Arbiter) MarkDegraded(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if a.degraded[addr] {
+		return nil
+	}
+	if a.draining[addr] {
+		return nil // drain wins, as with MarkOverloaded
+	}
+	a.degraded[addr] = true
+	a.record(journal.Record{Kind: journal.KindMarkDegraded, Addr: addr})
+	a.tel.quarMarks.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		// The previous mapping is still valid — a slow node is slow, not
+		// gone — so keep it rather than publish nothing.
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s quarantined, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// MarkRestored clears addr's fail-slow mark and re-arbitrates so jobs
+// can spread back onto it. Marking a node that is not degraded is a
+// no-op.
+func (a *Arbiter) MarkRestored(addr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inPool(addr) {
+		return fmt.Errorf("%w: %s", ErrUnknownION, addr)
+	}
+	if !a.degraded[addr] {
+		return nil
+	}
+	delete(a.degraded, addr)
+	a.record(journal.Record{Kind: journal.KindMarkRestored, Addr: addr})
+	a.tel.quarRestores.Inc()
+	a.updatePoolGauges()
+	if len(a.running) == 0 {
+		return nil
+	}
+	if err := a.rearbitrate(); err != nil {
+		a.tel.keptMappings.Inc()
+		return fmt.Errorf("arbiter: %s restored from quarantine, previous mapping kept: %w", addr, err)
+	}
+	return nil
+}
+
+// Degraded returns the addresses currently marked fail-slow, in stable
+// pool order — the marks, not the effective quarantine (a mark held
+// back by the capacity floor is still listed; see Quarantined).
+func (a *Arbiter) Degraded() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.degraded))
+	for _, addr := range a.pool {
+		if a.degraded[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// IsDegraded reports whether addr carries a fail-slow mark.
+func (a *Arbiter) IsDegraded(addr string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded[addr]
+}
+
+// Quarantined returns the addresses currently excluded from allocation
+// by the gray-failure plane, in stable pool order: the degraded marks
+// minus whatever the capacity floor held back.
+func (a *Arbiter) Quarantined() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	quar := a.quarantinedLocked()
+	out := make([]string, 0, len(quar))
+	for _, addr := range a.pool {
+		if quar[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
 // Drain marks addr as leaving the pool gracefully: it stays alive and
 // keeps serving whatever is already in flight, but re-arbitration stops
 // handing it out, so traffic migrates off under the no-shrink invariant
@@ -576,6 +764,7 @@ func (a *Arbiter) RemoveION(addr string) error {
 	delete(a.down, addr)
 	delete(a.overloaded, addr)
 	delete(a.draining, addr)
+	delete(a.degraded, addr)
 	a.record(journal.Record{Kind: journal.KindRemoveION, Addr: addr})
 	a.tel.ionsRemoved.Inc()
 	a.updatePoolGauges()
@@ -622,6 +811,7 @@ func (a *Arbiter) rearbitrate() error {
 	}
 	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
 
+	quar := a.quarantinedLocked()
 	avail := a.availablePool()
 	if len(avail) == 0 {
 		a.tel.solveErrors.Inc()
@@ -639,11 +829,13 @@ func (a *Arbiter) rearbitrate() error {
 	a.lastSolve = time.Since(start)
 
 	// Phase 1: shrink or keep — retain a stable prefix of each app's
-	// current addresses, skipping any node marked down, overloaded, or
-	// draining in the meantime. Dropping overloaded nodes from the kept
-	// prefix is what steers load away; dropping draining ones is what
-	// migrates traffic off a node headed for decommission. The app
-	// re-grows in phase 2, which hands out healthy capacity first.
+	// current addresses, skipping any node marked down, overloaded,
+	// draining, or quarantined in the meantime. Dropping overloaded
+	// nodes from the kept prefix is what steers load away; dropping
+	// draining ones is what migrates traffic off a node headed for
+	// decommission; dropping quarantined ones is what re-steers apps
+	// away from a fail-slow node. The app re-grows in phase 2, which
+	// hands out healthy capacity first.
 	next := make(map[string][]string, len(alloc))
 	used := map[string]bool{}
 	for _, app := range apps {
@@ -654,7 +846,7 @@ func (a *Arbiter) rearbitrate() error {
 			if len(keep) == want {
 				break
 			}
-			if !a.down[addr] && !a.overloaded[addr] && !a.draining[addr] {
+			if !a.down[addr] && !a.overloaded[addr] && !a.draining[addr] && !quar[addr] {
 				keep = append(keep, addr)
 			}
 		}
@@ -664,18 +856,19 @@ func (a *Arbiter) rearbitrate() error {
 		}
 	}
 	// Phase 2: grow from the free available pool in stable pool order,
-	// healthy nodes first — overloaded ones are appended last so they
-	// absorb load only when the healthy pool cannot cover the allocation
-	// (capacity is deprioritized, never destroyed). Draining nodes are
-	// not in the available pool at all.
+	// healthy nodes first — overloaded ones, and degraded ones the
+	// quarantine floor held back, are appended last so they absorb load
+	// only when the healthy pool cannot cover the allocation (capacity
+	// is deprioritized, never destroyed). Draining and quarantined
+	// nodes are not in the available pool at all.
 	free := make([]string, 0, len(avail))
 	for _, addr := range avail {
-		if !used[addr] && !a.overloaded[addr] {
+		if !used[addr] && !a.overloaded[addr] && !a.degraded[addr] {
 			free = append(free, addr)
 		}
 	}
 	for _, addr := range avail {
-		if !used[addr] && a.overloaded[addr] {
+		if !used[addr] && (a.overloaded[addr] || a.degraded[addr]) {
 			free = append(free, addr)
 		}
 	}

@@ -64,6 +64,9 @@ func (a *Arbiter) stateLocked() journal.State {
 		if a.draining[addr] {
 			st.Draining = append(st.Draining, addr)
 		}
+		if a.degraded[addr] {
+			st.Degraded = append(st.Degraded, addr)
+		}
 	}
 	ids := make([]string, 0, len(a.running))
 	for id := range a.running {
@@ -145,6 +148,11 @@ type RecoverConfig struct {
 	PreFence func(fence uint64)
 	// Weights is the optional QoS weight source (see WithWeights).
 	Weights func(id string) float64
+	// QuarantineFloor, when > 0, re-arms the gray-failure quarantine on
+	// the recovered arbiter (see WithQuarantine); journaled degraded
+	// marks are restored either way — a slow node is still slow after a
+	// control-plane restart.
+	QuarantineFloor int
 	// Telemetry, when set, instruments the recovered arbiter.
 	Telemetry *telemetry.Registry
 }
@@ -176,6 +184,9 @@ func Recover(cfg RecoverConfig) (*Arbiter, error) {
 		a.Instrument(cfg.Telemetry)
 	}
 	a.WithWeights(cfg.Weights)
+	if cfg.QuarantineFloor > 0 {
+		a.WithQuarantine(cfg.QuarantineFloor)
+	}
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -189,6 +200,9 @@ func Recover(cfg RecoverConfig) (*Arbiter, error) {
 	}
 	for _, addr := range st.Draining {
 		a.draining[addr] = true
+	}
+	for _, addr := range st.Degraded {
+		a.degraded[addr] = true
 	}
 	for _, ja := range st.Running {
 		app := appFromRecord(ja)

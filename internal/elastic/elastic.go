@@ -59,12 +59,15 @@ type Pool interface {
 
 // Health is the liveness surface the scaler reads and grows (implemented
 // by *health.Prober). Load reports the last sampled queue depth per node
-// that is currently up.
+// that is currently up; LoadAges reports how old each of those samples is
+// (nodes never sampled are absent), so the scaler can refuse to act on
+// evidence from before a probe blackout.
 type Health interface {
 	Add(addr string, up bool) error
 	Remove(addr string)
 	IsUp(addr string) bool
 	Load() map[string]int64
+	LoadAges() map[string]time.Duration
 }
 
 // Config parameterizes a Scaler.
@@ -97,6 +100,13 @@ type Config struct {
 	MaxStep int
 	// Interval is the Start loop's tick period; ≤0 selects 1s.
 	Interval time.Duration
+	// SampleStaleness bounds how old a node's load sample may be before
+	// the scaler ignores it: a prober that stopped sampling (a health
+	// blackout, a gray-slow probe path) leaves depths frozen at their
+	// last value, and scaling on frozen evidence drains busy nodes that
+	// merely *look* idle. Stale-skipped nodes count as absent from the
+	// demand signal, exactly like down ones. ≤0 selects 3× Interval.
+	SampleStaleness time.Duration
 
 	// DrainDeadline bounds how long a drain may wait for quiescence
 	// before the node is decommissioned anyway (in-flight work is
@@ -183,6 +193,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
+	if cfg.SampleStaleness <= 0 {
+		cfg.SampleStaleness = 3 * cfg.Interval
+	}
 	if cfg.DrainDeadline <= 0 {
 		cfg.DrainDeadline = 30 * time.Second
 	}
@@ -258,6 +271,7 @@ type Scaler struct {
 		provsStarted, provFailures  *telemetry.Counter
 		provRollbacks, breakerOpens *telemetry.Counter
 		forecastVetoes              *telemetry.Counter
+		staleSkipped                *telemetry.Counter
 		poolSize                    *telemetry.Gauge
 		provisioning, draining      *telemetry.Gauge
 	}
@@ -301,6 +315,7 @@ func New(cfg Config, pool Pool, prov Provisioner, health Health, initial []strin
 	s.tel.provRollbacks = reg.Counter("elastic_provision_rollbacks_total")
 	s.tel.breakerOpens = reg.Counter("elastic_provision_breaker_opens_total")
 	s.tel.forecastVetoes = reg.Counter("elastic_forecast_vetoes_total")
+	s.tel.staleSkipped = reg.Counter("elastic_stale_samples_skipped_total")
 	s.tel.poolSize = reg.Gauge("elastic_pool_size")
 	s.tel.provisioning = reg.Gauge("elastic_provisioning")
 	s.tel.draining = reg.Gauge("elastic_draining")
@@ -450,6 +465,17 @@ func (s *Scaler) completeDrain(addr string) {
 // Caller holds the lock.
 func (s *Scaler) decide(now time.Time) {
 	depths := s.health.Load()
+	// Drop samples from before a probe blackout: a frozen depth is not
+	// evidence of anything but the prober's own trouble. Filtering the
+	// map up front keeps stale nodes out of both the demand average and
+	// the scale-down victim ranking.
+	ages := s.health.LoadAges()
+	for addr := range depths {
+		if age, ok := ages[addr]; !ok || age > s.cfg.SampleStaleness {
+			delete(depths, addr)
+			s.tel.staleSkipped.Inc()
+		}
+	}
 	live := 0
 	var sum int64
 	for addr := range s.members {

@@ -62,12 +62,16 @@ func (p *fakePool) IsDraining(addr string) bool { return p.draining[addr] }
 type fakeHealth struct {
 	up      map[string]bool
 	depth   map[string]int64
-	added   map[string]bool // posture recorded at Add: the seeded up value
+	age     map[string]time.Duration // sample age override; absent = fresh
+	added   map[string]bool          // posture recorded at Add: the seeded up value
 	removed []string
 }
 
 func newFakeHealth() *fakeHealth {
-	return &fakeHealth{up: map[string]bool{}, depth: map[string]int64{}, added: map[string]bool{}}
+	return &fakeHealth{
+		up: map[string]bool{}, depth: map[string]int64{},
+		age: map[string]time.Duration{}, added: map[string]bool{},
+	}
 }
 func (h *fakeHealth) Add(addr string, up bool) error {
 	if _, dup := h.up[addr]; dup {
@@ -88,6 +92,15 @@ func (h *fakeHealth) Load() map[string]int64 {
 	for addr, up := range h.up {
 		if up {
 			out[addr] = h.depth[addr]
+		}
+	}
+	return out
+}
+func (h *fakeHealth) LoadAges() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for addr, up := range h.up {
+		if up {
+			out[addr] = h.age[addr] // zero (fresh) unless a test sets it
 		}
 	}
 	return out
@@ -657,6 +670,47 @@ func TestCompleteDrainAbortsIfStillAssigned(t *testing.T) {
 	}
 	if r.counter("elastic_drains_aborted_total") == 0 {
 		t.Fatal("racy completion must abort the drain")
+	}
+}
+
+func TestStaleSamplesSkipped(t *testing.T) {
+	// A node whose load sample predates the staleness bound (3× Interval
+	// by default) is dropped from both the demand average and the victim
+	// ranking: a frozen depth is evidence of prober trouble, not load.
+	r := newRig(t, func(c *Config) { c.Min = 1 })
+	// ion1's huge-but-stale depth would otherwise mask the idle trend
+	// (avg 50 sits inside the hysteresis band); filtered out, the average
+	// is 0 and the only drain candidate is the fresh idle ion0.
+	r.health.depth["ion0:1"] = 0
+	r.health.depth["ion1:1"] = 100
+	r.health.age["ion1:1"] = 10 * time.Second // > the 3s default bound
+	for i := 0; i < 4; i++ {                  // DownSustain
+		r.tick()
+	}
+	if !r.pool.draining["ion0:1"] {
+		t.Fatalf("fresh idle node not drained; draining=%v", r.pool.draining)
+	}
+	if r.pool.draining["ion1:1"] {
+		t.Fatal("stale-sampled node picked as drain victim")
+	}
+	if got := r.counter("elastic_stale_samples_skipped_total"); got < 4 {
+		t.Fatalf("stale skip counter = %d, want ≥ 4", got)
+	}
+}
+
+func TestAllSamplesStaleFreezesScaling(t *testing.T) {
+	// Every sample stale is a prober blackout, not a demand signal: the
+	// scaler must hold position exactly as if all members were down.
+	r := newRig(t, func(c *Config) { c.Min = 1 })
+	r.setDepth(0) // would otherwise drain after DownSustain
+	r.health.age["ion0:1"] = time.Hour
+	r.health.age["ion1:1"] = time.Hour
+	for i := 0; i < 10; i++ {
+		r.tick()
+	}
+	if len(r.pool.draining) != 0 || len(r.prov.provisioned) != 0 {
+		t.Fatalf("scaled on all-stale evidence: draining=%v provisioned=%v",
+			r.pool.draining, r.prov.provisioned)
 	}
 }
 

@@ -54,6 +54,18 @@ const (
 	// bytes keep flowing; only their content lies. This is the fault the
 	// CRC32C wire trailer (internal/rpc) exists to catch.
 	Corrupt
+	// Slow models a gray failure: the connection keeps working and every
+	// byte arrives intact, but I/O in the selected direction(s) pays a
+	// delay — optionally ramping up from zero over Plan.Ramp (a node
+	// going bad gradually, not at once), optionally applied to only 1 in
+	// Plan.DelayOneIn calls from a Seed-seeded stream (intermittent
+	// stalls), optionally rate-limited to Plan.Rate bytes/second. With
+	// Dir set to one direction this is an asymmetric slowdown: requests
+	// arrive promptly but responses crawl, or vice versa — the failure
+	// mode fail-stop detectors (deadlines, breakers, liveness probes)
+	// never see, and the one the fail-slow scorer and hedged requests
+	// exist to catch.
+	Slow
 )
 
 // String names the kind for test output.
@@ -73,10 +85,26 @@ func (k Kind) String() string {
 		return "drop-after"
 	case Corrupt:
 		return "corrupt"
+	case Slow:
+		return "slow"
 	default:
 		return "unknown"
 	}
 }
+
+// Direction selects which side(s) of a connection a Slow plan throttles,
+// named from the wrapped (server) end: Inbound is the server reading the
+// client's requests, Outbound is the server writing its responses.
+type Direction int
+
+const (
+	// Inbound slows server-side reads (client → server bytes).
+	Inbound Direction = 1 << iota
+	// Outbound slows server-side writes (server → client bytes).
+	Outbound
+	// Both slows both directions — the zero Plan.Dir also means Both.
+	Both = Inbound | Outbound
+)
 
 // Plan is one fault configuration.
 type Plan struct {
@@ -94,6 +122,20 @@ type Plan struct {
 	// FlipOneIn is the corruption rate for Kind Corrupt: one bit flipped
 	// in roughly 1 of every FlipOneIn buffers. ≤0 disables flipping.
 	FlipOneIn int
+	// Dir selects the slowed direction(s) for Kind Slow; zero means Both.
+	Dir Direction
+	// Ramp, for Kind Slow, grows the per-I/O delay linearly from zero at
+	// plan-install time to the full Delay after Ramp has elapsed — a node
+	// degrading gradually. Zero applies the full Delay immediately.
+	Ramp time.Duration
+	// DelayOneIn, for Kind Slow, applies the delay to roughly 1 of every
+	// DelayOneIn I/O calls, drawn from the Seed-seeded stream; ≤1 delays
+	// every call. Intermittent stalls are the hardest gray failure to
+	// catch — most calls are fast, the tail is terrible.
+	DelayOneIn int
+	// Rate, for Kind Slow, caps slowed directions at Rate bytes/second
+	// (each I/O sleeps its buffer's transmission time). ≤0 means no cap.
+	Rate int64
 }
 
 // ErrInjected marks errors produced by the injector, so tests can tell a
@@ -103,12 +145,13 @@ var ErrInjected = errors.New("faultnet: injected fault")
 // Injector holds the current plan, shared by a listener wrapper and all
 // its connections.
 type Injector struct {
-	mu      sync.Mutex
-	plan    Plan
-	budget  int64         // remaining DropAfter bytes
-	wake    chan struct{} // closed (and replaced) on every Set, releasing hangs
-	rng     *rand.Rand    // Corrupt flip decisions; non-nil only for that kind
-	flipped int64         // bits flipped since the Corrupt plan was installed
+	mu        sync.Mutex
+	plan      Plan
+	budget    int64         // remaining DropAfter bytes
+	wake      chan struct{} // closed (and replaced) on every Set, releasing hangs
+	rng       *rand.Rand    // Corrupt flip / Slow skip decisions; nil for other kinds
+	flipped   int64         // bits flipped since the Corrupt plan was installed
+	installed time.Time     // when the current plan was set (Slow ramps from here)
 }
 
 // NewInjector starts with the given plan.
@@ -131,10 +174,14 @@ func (inj *Injector) Set(plan Plan) {
 func (inj *Injector) install(plan Plan) {
 	inj.plan = plan
 	inj.budget = plan.Bytes
+	inj.installed = time.Now()
 	inj.rng = nil
 	if plan.Kind == Corrupt {
 		inj.rng = rand.New(rand.NewSource(plan.Seed))
 		inj.flipped = 0
+	}
+	if plan.Kind == Slow && plan.DelayOneIn > 1 {
+		inj.rng = rand.New(rand.NewSource(plan.Seed))
 	}
 }
 
@@ -182,6 +229,40 @@ func (inj *Injector) corrupt(p []byte) bool {
 	p[inj.rng.Intn(len(p))] ^= 1 << inj.rng.Intn(8)
 	inj.flipped++
 	return true
+}
+
+// slowDelay computes the sleep one I/O of n bytes in direction dir owes
+// under the current Slow plan (0 when none applies), along with the wake
+// channel a sleeper should watch for plan changes. The DelayOneIn draw
+// happens here, so each call to slowDelay is one draw from the seeded
+// stream — deterministic per I/O-call sequence, like Corrupt's flips.
+func (inj *Injector) slowDelay(dir Direction, n int) (time.Duration, <-chan struct{}) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	p := inj.plan
+	if p.Kind != Slow {
+		return 0, inj.wake
+	}
+	d := p.Dir
+	if d == 0 {
+		d = Both
+	}
+	if d&dir == 0 {
+		return 0, inj.wake
+	}
+	if p.DelayOneIn > 1 && inj.rng.Intn(p.DelayOneIn) != 0 {
+		return 0, inj.wake
+	}
+	delay := p.Delay
+	if p.Ramp > 0 {
+		if since := time.Since(inj.installed); since < p.Ramp {
+			delay = time.Duration(float64(delay) * float64(since) / float64(p.Ramp))
+		}
+	}
+	if p.Rate > 0 {
+		delay += time.Duration(int64(n) * int64(time.Second) / p.Rate)
+	}
+	return delay, inj.wake
 }
 
 // Flipped reports how many bits the current Corrupt plan has flipped.
@@ -264,8 +345,34 @@ var (
 	errInjectedClosed = &net.OpError{Op: "faultnet", Err: net.ErrClosed}
 )
 
+// slowGate sleeps an I/O behind the current Slow plan's delay for its
+// direction, re-evaluating on every plan change so a lifted fault releases
+// sleepers immediately (like gate does for Hang and Delay).
+func (c *Conn) slowGate(dir Direction, n int) error {
+	for {
+		d, wake := c.inj.slowDelay(dir, n)
+		if d <= 0 {
+			return nil
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+			return nil
+		case <-wake:
+			t.Stop()
+			continue
+		case <-c.closed:
+			t.Stop()
+			return errInjectedClosed
+		}
+	}
+}
+
 func (c *Conn) Read(p []byte) (int, error) {
 	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	if err := c.slowGate(Inbound, len(p)); err != nil {
 		return 0, err
 	}
 	if c.inj.Plan().Kind == DropAfter {
@@ -284,6 +391,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	if err := c.slowGate(Outbound, len(p)); err != nil {
 		return 0, err
 	}
 	if c.inj.Plan().Kind == DropAfter {

@@ -1,0 +1,125 @@
+package faultnet
+
+// Gray-failure (Slow) plan tests: per-direction selection, linear ramp,
+// seeded intermittency, byte-rate throttling, and the wake contract that
+// lifting the fault releases sleepers — the chaos primitives the
+// fail-slow detection and hedging planes are exercised against.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+func TestSlowDelaysCallAndLifts(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Slow, Delay: 60 * time.Millisecond})
+	_, addr := startServer(t, inj)
+	c := rpc.Dial(addr, 1).WithOptions(rpc.Options{CallTimeout: 5 * time.Second})
+	defer c.Close()
+
+	start := time.Now()
+	if err := ping(c); err != nil {
+		t.Fatalf("slow connection must still answer: %v", err)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("slowed call finished in %v, want ≥ 60ms", el)
+	}
+
+	inj.Set(Plan{})
+	start = time.Now()
+	if err := ping(c); err != nil {
+		t.Fatalf("after lifting Slow: %v", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("lifted plan still slow: %v", el)
+	}
+}
+
+func TestSlowDirectionSelection(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Slow, Delay: 100 * time.Millisecond, Dir: Inbound})
+	if d, _ := inj.slowDelay(Outbound, 64); d != 0 {
+		t.Fatalf("Inbound-only plan delayed an Outbound I/O by %v", d)
+	}
+	if d, _ := inj.slowDelay(Inbound, 64); d != 100*time.Millisecond {
+		t.Fatalf("Inbound delay = %v, want 100ms", d)
+	}
+	// The zero Dir means Both.
+	inj.Set(Plan{Kind: Slow, Delay: 10 * time.Millisecond})
+	for _, dir := range []Direction{Inbound, Outbound} {
+		if d, _ := inj.slowDelay(dir, 64); d != 10*time.Millisecond {
+			t.Fatalf("zero-Dir plan: direction %d delay = %v, want 10ms", dir, d)
+		}
+	}
+	// A non-Slow plan never delays.
+	inj.Set(Plan{Kind: Delay, Delay: time.Second})
+	if d, _ := inj.slowDelay(Inbound, 64); d != 0 {
+		t.Fatalf("non-Slow plan leaked a slow delay of %v", d)
+	}
+}
+
+func TestSlowRampStartsNearZero(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Slow, Delay: 200 * time.Millisecond, Ramp: time.Hour})
+	// Immediately after install the ramp has barely begun: the delay must
+	// be a tiny fraction of the target, not the full 200ms.
+	if d, _ := inj.slowDelay(Inbound, 64); d > 10*time.Millisecond {
+		t.Fatalf("ramped delay right after install = %v, want ≈0", d)
+	}
+	// Without a ramp the full delay applies from the first I/O.
+	inj.Set(Plan{Kind: Slow, Delay: 200 * time.Millisecond})
+	if d, _ := inj.slowDelay(Inbound, 64); d != 200*time.Millisecond {
+		t.Fatalf("unramped delay = %v, want 200ms", d)
+	}
+}
+
+func TestSlowDelayOneInIsSeeded(t *testing.T) {
+	draw := func(seed int64, n int) []bool {
+		inj := NewInjector(Plan{Kind: Slow, Delay: time.Millisecond, DelayOneIn: 3, Seed: seed})
+		out := make([]bool, n)
+		for i := range out {
+			d, _ := inj.slowDelay(Inbound, 64)
+			out[i] = d > 0
+		}
+		return out
+	}
+	a, b := draw(42, 200), draw(42, 200)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across same-seed injectors", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("DelayOneIn=3 delayed %d of %d calls; want intermittent", hits, len(a))
+	}
+}
+
+func TestSlowRateChargesTransmissionTime(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Slow, Rate: 1000}) // 1000 B/s, no base delay
+	if d, _ := inj.slowDelay(Outbound, 500); d != 500*time.Millisecond {
+		t.Fatalf("500 B at 1000 B/s = %v, want 500ms", d)
+	}
+}
+
+func TestSlowLiftReleasesSleepers(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Slow, Delay: time.Hour})
+	_, addr := startServer(t, inj)
+	c := rpc.Dial(addr, 1).WithOptions(rpc.Options{CallTimeout: 10 * time.Second})
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- ping(c) }()
+	time.Sleep(50 * time.Millisecond)
+	inj.Set(Plan{})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released call failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lifting the Slow plan did not release the sleeping I/O")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/latency"
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/qos"
@@ -115,6 +116,19 @@ type Config struct {
 	// mapping before degrading to the direct path; ≤0 selects 2s. Only
 	// meaningful with EpochFencing.
 	EpochWait time.Duration
+	// Hedge configures tail-tolerant hedged requests (see hedge.go): a
+	// span RPC that exceeds an adaptive per-I/O-node latency percentile
+	// launches one budget-capped backup attempt — writes as a same-stamp
+	// duplicate the daemon's dedup window makes exactly-once (so hedging
+	// requires Dedup), reads against the direct PFS path. The zero value
+	// disables hedging; the data path then pays one nil check.
+	Hedge HedgeConfig
+	// Latency, when set, receives one observation per successful span RPC
+	// keyed by I/O-node address. Share it with the health prober's sketch
+	// so fail-slow scoring sees client-observed service latency, not just
+	// probe RTTs; hedging reads its deadlines from the same sketch. Nil
+	// disables observation (and a hedging client creates a private one).
+	Latency *latency.Sketch
 	// Telemetry receives the client's metrics (app-labeled series:
 	// fwd_bytes_out_total{app="…"}, …) and is propagated to the rpc
 	// connections it dials. Nil selects a private registry so Stats()
@@ -184,6 +198,10 @@ type Client struct {
 		epochRetries                                           *telemetry.Counter // nil unless EpochFencing
 	}
 
+	// hedge is the hedged-request state (nil unless cfg.Hedge.Enabled —
+	// the data path pays one nil check).
+	hedge *hedgeState
+
 	// qos is the admission state built from cfg.QoS (nil when the app is
 	// unclassed — the forwarded data path then pays exactly one nil
 	// check), and wirePrio is the priority byte stamped on every
@@ -252,6 +270,15 @@ func NewClient(cfg Config) (*Client, error) {
 		cfg.CoalesceLimit = rpc.MaxData
 	}
 	cfg.Throttle = cfg.Throttle.withDefaults()
+	if cfg.Hedge.Enabled {
+		if !cfg.Dedup {
+			return nil, errors.New("fwd: hedged requests require Dedup (the daemon's dedup window is what makes a duplicated write exactly-once)")
+		}
+		cfg.Hedge = cfg.Hedge.withDefaults()
+		if cfg.Latency == nil {
+			cfg.Latency = latency.NewSketch(0)
+		}
+	}
 	c := &Client{cfg: cfg, conns: make(map[string]*rpc.Client), gates: make(map[string]*ionGate)}
 	c.reg = cfg.Telemetry
 	if c.reg == nil {
@@ -276,6 +303,15 @@ func NewClient(cfg Config) (*Client, error) {
 		}
 		c.cfg.EpochWait = cfg.EpochWait
 		c.stats.epochRetries = c.reg.Counter("epoch_stale_retries_total" + label)
+	}
+	if cfg.Hedge.Enabled {
+		c.hedge = &hedgeState{
+			cfg:      cfg.Hedge,
+			bucket:   hedgeBucket{tokens: cfg.Hedge.MaxTokens, max: cfg.Hedge.MaxTokens},
+			launched: c.reg.Counter("fwd_hedge_launched_total" + label),
+			wins:     c.reg.Counter("fwd_hedge_wins_total" + label),
+			denied:   c.reg.Counter("fwd_hedge_denied_total" + label),
+		}
 	}
 	if cfg.QoS != nil {
 		c.wirePrio = cfg.QoS.WirePriority()
@@ -843,20 +879,19 @@ const maxEpochRemaps = 3
 // bytesOut/forwarded for the payload, so every fallback and retry below
 // lands the bytes exactly once.
 func (c *Client) sendSpan(v *routeView, path string, s span, payload []byte, tr opTrace, depth int) (int, error) {
-	t, g := v.conns[s.target], v.gates[s.target]
 	req := &rpc.Message{Op: rpc.OpWrite, Path: path, Offset: s.off, Data: payload, Trace: tr.id(), Priority: c.wirePrio}
 	if c.cfg.EpochFencing {
 		req.Epoch = v.epoch
 	}
 	if c.cfg.Dedup {
 		// Stamp once per wire request: the transport retry (inside
-		// rpc.Client.Call) and the busy retry (inside callION) both resend
-		// this exact message, so a re-attempt carries the seq of the
-		// attempt it duplicates.
+		// rpc.Client.Call), the busy retry (inside callION), and a hedge
+		// (inside callWrite) all resend this exact identity, so every
+		// re-attempt carries the seq of the attempt it duplicates.
 		req.ClientID = c.clientID
 		req.Seq = c.seq.Add(1)
 	}
-	resp, err, degraded := c.callION(t, g, req)
+	resp, err, degraded := c.callWrite(v, s, req)
 	if degraded {
 		// The I/O node shed this span past the retry budget (or is marked
 		// saturated): write it directly. bytesOut was already counted for
@@ -1073,9 +1108,15 @@ func (c *Client) Read(path string, off int64, p []byte) (int, error) {
 func (c *Client) readSpan(v *routeView, path string, off int64, p []byte, s span, tr opTrace) (int, error) {
 	rel := s.off - off
 	dst := p[rel : rel+s.n]
-	t, g := v.conns[s.target], v.gates[s.target]
 	c.stats.forwarded.Inc()
-	resp, err, degraded := c.callION(t, g, &rpc.Message{Op: rpc.OpRead, Path: path, Offset: s.off, Size: s.n, Trace: tr.id(), Priority: c.wirePrio})
+	req := &rpc.Message{Op: rpc.OpRead, Path: path, Offset: s.off, Size: s.n, Trace: tr.id(), Priority: c.wirePrio}
+	resp, err, degraded, hk, won := c.callRead(v, path, s, req, dst)
+	if won {
+		// The hedge satisfied this span from the PFS directly; its bytes
+		// are already in dst and counted, and the primary is being drained
+		// in the background.
+		return hk, nil
+	}
 	if degraded {
 		// Shed past the retry budget: satisfy this span from the PFS
 		// directly with the usual short-read semantics.

@@ -1,0 +1,346 @@
+// Hedged requests: the tail-tolerance half of the gray-failure path. A
+// span whose primary RPC exceeds the per-I/O-node hedge deadline — an
+// adaptive percentile of that node's recently observed latencies, from
+// the same sketch the health prober scores — gets one backup attempt:
+//
+//   - writes hedge to the SAME I/O node with the same (ClientID, Seq)
+//     stamp, so whichever attempt arrives second is coalesced or replayed
+//     by the daemon's dedup window (see internal/ion) and the bytes land
+//     exactly once. That is why hedging requires Dedup: without the
+//     window a duplicate write would be a second apply.
+//   - reads hedge to the direct PFS path into a private buffer that is
+//     only copied into the caller's slice if the hedge wins, so a late
+//     primary can never race the copy.
+//
+// First usable response wins; the loser is drained in the background and
+// its pooled buffers released. Hedges are capped by a Finagle-style token
+// budget (each issued span earns a fraction of a token, each hedge spends
+// one) so a cluster-wide slowdown degrades into at most Budget extra
+// load, never a retry storm. Everything here is opt-in: with Hedge.Enabled
+// false the client never constructs hedge state and the data path pays a
+// single nil check.
+package fwd
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// HedgeConfig parameterizes tail-tolerant hedged requests. The zero value
+// disables hedging entirely.
+type HedgeConfig struct {
+	// Enabled turns hedging on. Requires Config.Dedup: the hedged write
+	// is a same-stamp duplicate that only the daemon's dedup window can
+	// make exactly-once.
+	Enabled bool
+	// Pct is the latency quantile (0,1) of a node's recent calls used as
+	// the hedge deadline: an op slower than this is assumed stuck behind
+	// a gray failure and a backup attempt launches. ≤0 or ≥1 selects
+	// 0.95 (hedge the slowest ~5%).
+	Pct float64
+	// MinDelay floors the hedge deadline so microsecond-fast healthy
+	// nodes do not hedge on scheduler jitter; ≤0 selects 1ms.
+	MinDelay time.Duration
+	// Budget is the fraction of a hedge token each issued span earns
+	// (Finagle-style): with 0.1, at most ~10% of spans can hedge in
+	// steady state. ≤0 selects 0.1.
+	Budget float64
+	// MaxTokens caps the token bucket so an idle period cannot bank an
+	// unbounded hedge burst; ≤0 selects 8.
+	MaxTokens float64
+}
+
+// withDefaults fills the derived defaults when hedging is enabled.
+func (h HedgeConfig) withDefaults() HedgeConfig {
+	if !h.Enabled {
+		return h
+	}
+	if h.Pct <= 0 || h.Pct >= 1 {
+		h.Pct = 0.95
+	}
+	if h.MinDelay <= 0 {
+		h.MinDelay = time.Millisecond
+	}
+	if h.Budget <= 0 {
+		h.Budget = 0.1
+	}
+	if h.MaxTokens <= 0 {
+		h.MaxTokens = 8
+	}
+	return h
+}
+
+// hedgeState is a hedging client's machinery: the resolved config, the
+// token budget, and the observability series. nil on non-hedging clients.
+type hedgeState struct {
+	cfg    HedgeConfig
+	bucket hedgeBucket
+
+	launched *telemetry.Counter
+	wins     *telemetry.Counter
+	denied   *telemetry.Counter
+}
+
+// hedgeBucket is the Finagle-style token budget: issued spans earn
+// fractional tokens, a hedge spends a whole one.
+type hedgeBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+}
+
+func (b *hedgeBucket) earn(x float64) {
+	b.mu.Lock()
+	b.tokens += x
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+func (b *hedgeBucket) trySpend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// ionResult carries one attempt's raw outcome between goroutines.
+type ionResult struct {
+	resp     *rpc.Message
+	err      error
+	degraded bool
+}
+
+// usable reports whether the attempt produced a response the span logic
+// can consume as a win: any direct-path fallback (degraded, unavailable)
+// must not win a write hedge, because the other attempt may still apply
+// on the I/O node.
+func (r ionResult) usable() bool { return r.err == nil && !r.degraded }
+
+// drainION consumes the losing attempt's result and returns its pooled
+// buffers to the transport.
+func drainION(ch <-chan ionResult) {
+	r := <-ch
+	r.resp.Release()
+}
+
+// timedCall is callION plus the latency observation that feeds the shared
+// sketch (and through it the health prober's fail-slow scorer and this
+// client's own hedge deadlines). Sketch-less clients fall straight
+// through — one nil check, no clock read.
+func (c *Client) timedCall(addr string, t *rpc.Client, g *ionGate, req *rpc.Message) (*rpc.Message, error, bool) {
+	if c.cfg.Latency == nil {
+		return c.callION(t, g, req)
+	}
+	start := time.Now()
+	resp, err, degraded := c.callION(t, g, req)
+	if err == nil && !degraded {
+		// Only accepted-and-answered calls are evidence of the node's
+		// service latency; sheds and transport failures have their own
+		// planes (overload detection, the breaker).
+		c.cfg.Latency.Observe(addr, time.Since(start))
+	}
+	return resp, err, degraded
+}
+
+// hedgeDelay resolves the hedge deadline for addr: the configured
+// quantile of its recent latencies, floored at MinDelay. ok=false (not
+// enough samples yet) means do not hedge — the sketch cannot distinguish
+// slow from unknown.
+func (c *Client) hedgeDelay(addr string) (time.Duration, bool) {
+	d, ok := c.cfg.Latency.Quantile(addr, c.hedge.cfg.Pct)
+	if !ok {
+		return 0, false
+	}
+	if d < c.hedge.cfg.MinDelay {
+		d = c.hedge.cfg.MinDelay
+	}
+	return d, true
+}
+
+// callWrite issues one span's write RPC, hedged when the client is
+// configured for it. The returned triple has exactly callION's contract,
+// so sendSpan's fallback chain (degraded → direct, stale-epoch → remap,
+// unavailable → failover) is untouched — hedging only changes which
+// attempt's outcome feeds it.
+func (c *Client) callWrite(v *routeView, s span, req *rpc.Message) (*rpc.Message, error, bool) {
+	addr := v.addrs[s.target]
+	t, g := v.conns[s.target], v.gates[s.target]
+	h := c.hedge
+	if h == nil {
+		return c.timedCall(addr, t, g, req)
+	}
+	h.bucket.earn(h.cfg.Budget)
+	delay, ok := c.hedgeDelay(addr)
+	if !ok {
+		return c.timedCall(addr, t, g, req)
+	}
+
+	// Both attempts work from a private heap copy of the message. Copying
+	// the payload decouples the hedge from the caller's buffer: a losing
+	// attempt keeps encoding after callWrite returns — and the moment
+	// Write returns, the caller is free to reuse its slice. Copying the
+	// Message keeps req itself out of the goroutines below, so the
+	// caller's literal stays off the heap on the unhedged path (escape
+	// analysis is path-insensitive).
+	hreq := new(rpc.Message)
+	*hreq = *req
+	hreq.Data = append([]byte(nil), req.Data...)
+
+	prim := make(chan ionResult, 1)
+	go func() {
+		resp, err, degraded := c.timedCall(addr, t, g, hreq)
+		prim <- ionResult{resp, err, degraded}
+	}()
+	timer := time.NewTimer(delay)
+	select {
+	case r := <-prim:
+		timer.Stop()
+		return r.resp, r.err, r.degraded
+	case <-timer.C:
+	}
+	if !h.bucket.trySpend() {
+		h.denied.Inc()
+		r := <-prim
+		return r.resp, r.err, r.degraded
+	}
+	h.launched.Inc()
+
+	// The duplicate shares the payload and — critically — the (ClientID,
+	// Seq) stamp, so the daemon's dedup window coalesces the in-flight
+	// pair or replays the committed outcome: one apply, two answers. A
+	// fresh Message value is used because two concurrent Calls must not
+	// share one encode source.
+	dup := *hreq
+	hch := make(chan ionResult, 1)
+	go func() {
+		resp, err, degraded := c.callION(t, g, &dup)
+		hch <- ionResult{resp, err, degraded}
+	}()
+
+	var first ionResult
+	firstIsHedge := false
+	select {
+	case first = <-prim:
+	case first = <-hch:
+		firstIsHedge = true
+	}
+	if first.usable() {
+		if firstIsHedge {
+			h.wins.Inc()
+			go drainION(prim)
+		} else {
+			go drainION(hch)
+		}
+		return first.resp, first.err, first.degraded
+	}
+	// The first arrival cannot win (error or direct-path fallback): wait
+	// for the other attempt rather than racing a direct write against an
+	// ION apply that may still be in flight.
+	var second ionResult
+	if firstIsHedge {
+		second = <-prim
+	} else {
+		second = <-hch
+	}
+	if second.usable() {
+		if !firstIsHedge {
+			h.wins.Inc() // the second arrival was the hedge
+		}
+		first.resp.Release()
+		return second.resp, second.err, second.degraded
+	}
+	// Both attempts failed: surface the primary's outcome so the error
+	// semantics match the unhedged path exactly.
+	primary, hedge := first, second
+	if firstIsHedge {
+		primary, hedge = second, first
+	}
+	hedge.resp.Release()
+	return primary.resp, primary.err, primary.degraded
+}
+
+// callRead issues one span's read RPC, hedged to the direct PFS path when
+// configured. won=true means the hedge completed first: k bytes are
+// already copied into dst and counted, and the caller returns them
+// without touching the (possibly still in-flight) primary. Otherwise the
+// returned triple is the primary's outcome with callION's contract.
+func (c *Client) callRead(v *routeView, path string, s span, req *rpc.Message, dst []byte) (resp *rpc.Message, err error, degraded bool, k int, won bool) {
+	addr := v.addrs[s.target]
+	t, g := v.conns[s.target], v.gates[s.target]
+	h := c.hedge
+	if h == nil {
+		resp, err, degraded = c.timedCall(addr, t, g, req)
+		return resp, err, degraded, 0, false
+	}
+	h.bucket.earn(h.cfg.Budget)
+	delay, ok := c.hedgeDelay(addr)
+	if !ok {
+		resp, err, degraded = c.timedCall(addr, t, g, req)
+		return resp, err, degraded, 0, false
+	}
+
+	// A private heap copy keeps req out of the goroutine below, so the
+	// caller's Message literal stays off the heap on the unhedged path.
+	hreq := new(rpc.Message)
+	*hreq = *req
+
+	prim := make(chan ionResult, 1)
+	go func() {
+		r, e, d := c.timedCall(addr, t, g, hreq)
+		prim <- ionResult{r, e, d}
+	}()
+	timer := time.NewTimer(delay)
+	select {
+	case r := <-prim:
+		timer.Stop()
+		return r.resp, r.err, r.degraded, 0, false
+	case <-timer.C:
+	}
+	if !h.bucket.trySpend() {
+		h.denied.Inc()
+		r := <-prim
+		return r.resp, r.err, r.degraded, 0, false
+	}
+	h.launched.Inc()
+
+	// The hedge reads into a private buffer: the primary owns dst until
+	// the hedge is declared the winner, so a late primary copy can never
+	// race the application's view of its own slice.
+	type directRead struct {
+		buf []byte
+		n   int
+		err error
+	}
+	hch := make(chan directRead, 1)
+	go func() {
+		buf := make([]byte, s.n)
+		n, derr := c.cfg.Direct.Read(path, s.off, buf)
+		hch <- directRead{buf, n, derr}
+	}()
+	select {
+	case r := <-prim:
+		go func() { <-hch }() // discard the direct read; it holds no pooled buffers
+		return r.resp, r.err, r.degraded, 0, false
+	case hr := <-hch:
+		if hr.err == nil || errors.Is(hr.err, pfs.ErrShortRead) {
+			h.wins.Inc()
+			k = copy(dst, hr.buf[:hr.n])
+			c.stats.bytesIn.Add(int64(k))
+			go drainION(prim)
+			return nil, nil, false, k, true
+		}
+		// The direct path itself failed: the primary is the only hope.
+		r := <-prim
+		return r.resp, r.err, r.degraded, 0, false
+	}
+}

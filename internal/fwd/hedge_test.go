@@ -1,0 +1,296 @@
+package fwd
+
+// Hedged-request tests: the client contract (opt-in validation, budget,
+// win accounting) and the interplay with the daemon's dedup window and
+// epoch fencing — the two integrity planes a duplicated write must not
+// be able to defeat.
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/agios"
+	"repro/internal/faultnet"
+	"repro/internal/ion"
+	"repro/internal/latency"
+	"repro/internal/mapping"
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// slowDaemon starts one real I/O-node daemon behind a faultnet injector,
+// so tests can make it arbitrarily (gray-)slow while its dedup window and
+// fence enforcement stay fully real.
+func slowDaemon(t *testing.T, cfg ion.Config, store *pfs.Store, inj *faultnet.Injector) (*ion.Daemon, string) {
+	t.Helper()
+	d := ion.New(cfg, store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.StartOn(faultnet.WrapListener(ln, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, addr
+}
+
+// seedLatency fills the shared sketch so the hedge deadline for addr is
+// known before the first real sample lands.
+func seedLatency(sk *latency.Sketch, addr string, d time.Duration) {
+	for i := 0; i < latency.DefaultWindow; i++ {
+		sk.Observe(addr, d)
+	}
+}
+
+func TestHedgeRequiresDedup(t *testing.T) {
+	_, err := NewClient(Config{
+		AppID:  "app",
+		Direct: pfs.NewStore(pfs.Config{}),
+		Hedge:  HedgeConfig{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("Hedge.Enabled without Dedup must be rejected")
+	}
+}
+
+// TestHedgedWriteDedupInFlight drives the hot interplay: the hedge is a
+// same-stamp duplicate launched while the primary is still in flight on a
+// gray-slow daemon, so the daemon's dedup window must coalesce the pair
+// into one apply and answer the loser with a replay.
+func TestHedgedWriteDedupInFlight(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	inj := faultnet.NewInjector(faultnet.Plan{})
+	d, addr := slowDaemon(t, ion.Config{ID: "ion0", Scheduler: agios.NewFIFO(), DedupWindow: 64}, store, inj)
+
+	sk := latency.NewSketch(0)
+	reg := telemetry.New()
+	c, err := NewClient(Config{
+		AppID: "app", Direct: store, ChunkSize: 256,
+		Dedup:     true,
+		RPC:       rpc.Options{CallTimeout: 5 * time.Second},
+		Hedge:     HedgeConfig{Enabled: true, Pct: 0.5, Budget: 1, MaxTokens: 8},
+		Latency:   sk,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+	if err := c.Create("/h"); err != nil {
+		t.Fatal(err)
+	}
+	seedLatency(sk, addr, 2*time.Millisecond)
+
+	// Every I/O on the daemon now pays 40ms: the primary write is far past
+	// the ~2ms hedge deadline when the duplicate launches, and both
+	// attempts reach the daemon.
+	inj.Set(faultnet.Plan{Kind: faultnet.Slow, Delay: 40 * time.Millisecond})
+	payload := bytes.Repeat([]byte{9}, 200) // one span
+	n, err := c.Write("/h", 0, payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("hedged write: n=%d err=%v", n, err)
+	}
+	inj.Set(faultnet.Plan{})
+
+	if got := reg.Counter("fwd_hedge_launched_total{app=\"app\"}").Value(); got < 1 {
+		t.Fatalf("fwd_hedge_launched_total = %d, want ≥ 1", got)
+	}
+	// The dedup window turned the duplicate into a replay: exactly one
+	// apply, two answers. The losing attempt drains in the background, so
+	// poll briefly for its replay to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().DedupReplays != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon dedup replays = %d, want exactly 1 (one apply for two attempts)", d.Stats().DedupReplays)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := make([]byte, len(payload))
+	if _, err := store.Read("/h", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("hedged write lost or corrupted bytes")
+	}
+	// The span's bytes were counted exactly once despite two wire attempts.
+	if s := c.Stats(); s.BytesOut != int64(len(payload)) {
+		t.Fatalf("BytesOut = %d, want %d (hedge must not double-count)", s.BytesOut, len(payload))
+	}
+}
+
+// TestHedgedReadWinsFromDirectPath pins the deterministic hedge win: a
+// gray-slow daemon holds the primary read while the direct-PFS hedge
+// completes, and the caller gets correct bytes counted exactly once.
+func TestHedgedReadWinsFromDirectPath(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	inj := faultnet.NewInjector(faultnet.Plan{})
+	_, addr := slowDaemon(t, ion.Config{ID: "ion0", Scheduler: agios.NewFIFO(), DedupWindow: 64}, store, inj)
+
+	payload := bytes.Repeat([]byte{5}, 300)
+	if err := store.Create("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("/r", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	sk := latency.NewSketch(0)
+	reg := telemetry.New()
+	c, err := NewClient(Config{
+		AppID: "app", Direct: store, ChunkSize: 512,
+		Dedup:     true,
+		RPC:       rpc.Options{CallTimeout: 10 * time.Second},
+		Hedge:     HedgeConfig{Enabled: true, Pct: 0.5, Budget: 1, MaxTokens: 8},
+		Latency:   sk,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+	seedLatency(sk, addr, 2*time.Millisecond)
+
+	// The daemon stalls every I/O for 2s; the hedge (direct PFS) answers
+	// in microseconds, so it must win long before the primary returns.
+	inj.Set(faultnet.Plan{Kind: faultnet.Slow, Delay: 2 * time.Second})
+	buf := make([]byte, len(payload))
+	start := time.Now()
+	n, err := c.Read("/r", 0, buf)
+	elapsed := time.Since(start)
+	inj.Set(faultnet.Plan{}) // release the drained primary promptly
+	if err != nil || n != len(payload) {
+		t.Fatalf("hedged read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("hedged read returned wrong bytes")
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("read took %v: the hedge never won against the stalled primary", elapsed)
+	}
+	if got := reg.Counter("fwd_hedge_wins_total{app=\"app\"}").Value(); got != 1 {
+		t.Fatalf("fwd_hedge_wins_total = %d, want 1", got)
+	}
+	if s := c.Stats(); s.BytesIn != int64(len(payload)) {
+		t.Fatalf("BytesIn = %d, want %d (winner counts, loser must not)", s.BytesIn, len(payload))
+	}
+}
+
+// TestHedgeBudgetDenies pins the Finagle-style cap: once the token bucket
+// is spent, slow ops wait for their primary instead of hedging.
+func TestHedgeBudgetDenies(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	inj := faultnet.NewInjector(faultnet.Plan{})
+	_, addr := slowDaemon(t, ion.Config{ID: "ion0", Scheduler: agios.NewFIFO(), DedupWindow: 64}, store, inj)
+
+	payload := bytes.Repeat([]byte{1}, 100)
+	if err := store.Create("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("/b", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	sk := latency.NewSketch(0)
+	reg := telemetry.New()
+	c, err := NewClient(Config{
+		AppID: "app", Direct: store, ChunkSize: 512,
+		Dedup: true,
+		RPC:   rpc.Options{CallTimeout: 10 * time.Second},
+		// One banked token, near-zero earn rate: the first slow op spends
+		// the bucket, the second is denied.
+		Hedge:     HedgeConfig{Enabled: true, Pct: 0.5, Budget: 0.01, MaxTokens: 1},
+		Latency:   sk,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIONs([]string{addr})
+	seedLatency(sk, addr, 2*time.Millisecond)
+
+	inj.Set(faultnet.Plan{Kind: faultnet.Slow, Delay: 100 * time.Millisecond})
+	buf := make([]byte, len(payload))
+	for i := 0; i < 2; i++ {
+		if _, err := c.Read("/b", 0, buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	inj.Set(faultnet.Plan{})
+	if got := reg.Counter("fwd_hedge_launched_total{app=\"app\"}").Value(); got != 1 {
+		t.Fatalf("fwd_hedge_launched_total = %d, want 1", got)
+	}
+	if got := reg.Counter("fwd_hedge_denied_total{app=\"app\"}").Value(); got != 1 {
+		t.Fatalf("fwd_hedge_denied_total = %d, want 1", got)
+	}
+}
+
+// TestHedgeEpochFenceInterplay: a fenced daemon rejects both the primary
+// and the hedged duplicate as stale; the client must take the normal
+// remap-then-direct path exactly once — no double apply, no double count.
+func TestHedgeEpochFenceInterplay(t *testing.T) {
+	store := pfs.NewStore(pfs.Config{})
+	inj := faultnet.NewInjector(faultnet.Plan{})
+	d, addr := slowDaemon(t, ion.Config{
+		ID: "ion0", Scheduler: agios.NewFIFO(), DedupWindow: 64, EpochFencing: true,
+	}, store, inj)
+
+	sk := latency.NewSketch(0)
+	reg := telemetry.New()
+	c, err := NewClient(Config{
+		AppID: "app", Direct: store, ChunkSize: 256,
+		Dedup:        true,
+		EpochFencing: true,
+		EpochWait:    50 * time.Millisecond,
+		RPC:          rpc.Options{CallTimeout: 5 * time.Second},
+		Hedge:        HedgeConfig{Enabled: true, Pct: 0.5, Budget: 1, MaxTokens: 8},
+		Latency:      sk,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ApplyMap(mapping.Map{Version: 5, IONs: map[string][]string{"app": {addr}}})
+	if err := c.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	seedLatency(sk, addr, 2*time.Millisecond)
+
+	// Fence above the client's epoch, and slow the daemon so the hedge
+	// launches before the primary's stale rejection arrives.
+	d.SetFence(100)
+	inj.Set(faultnet.Plan{Kind: faultnet.Slow, Delay: 40 * time.Millisecond})
+	payload := bytes.Repeat([]byte{3}, 200)
+	n, err := c.Write("/f", 0, payload)
+	inj.Set(faultnet.Plan{})
+	if err != nil || n != len(payload) {
+		t.Fatalf("fenced hedged write: n=%d err=%v", n, err)
+	}
+
+	if got := reg.Counter("fwd_hedge_launched_total{app=\"app\"}").Value(); got < 1 {
+		t.Fatalf("fwd_hedge_launched_total = %d, want ≥ 1", got)
+	}
+	if got := reg.Counter("epoch_stale_retries_total{app=\"app\"}").Value(); got != 1 {
+		t.Fatalf("epoch_stale_retries_total = %d, want exactly 1 (hedge must not double-count the fence)", got)
+	}
+	// The fenced daemon never applied; the direct fallback landed the
+	// bytes exactly once.
+	got := make([]byte, len(payload))
+	if _, err := store.Read("/f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fenced hedged write lost bytes")
+	}
+	if s := c.Stats(); s.BytesOut != int64(len(payload)) {
+		t.Fatalf("BytesOut = %d, want %d", s.BytesOut, len(payload))
+	}
+}

@@ -44,6 +44,13 @@ type ThrottleConfig struct {
 	// RetryAfterCap bounds the exponential hint growth under repeated
 	// sheds; ≤0 selects 100ms.
 	RetryAfterCap time.Duration
+	// IdleRecovery restores a shrunken window to InitialWindow when the
+	// gate has been idle (no acquire) for at least this long: the AIMD
+	// growth path only runs on successes, so without it a window halved
+	// during a burst stays pinned small across an idle gap — the
+	// saturation evidence is stale long before the next burst arrives.
+	// ≤0 selects 30s.
+	IdleRecovery time.Duration
 }
 
 // withDefaults fills the derived defaults when throttling is enabled.
@@ -75,6 +82,9 @@ func (t ThrottleConfig) withDefaults() ThrottleConfig {
 	if t.RetryAfterCap <= 0 {
 		t.RetryAfterCap = 100 * time.Millisecond
 	}
+	if t.IdleRecovery <= 0 {
+		t.IdleRecovery = 30 * time.Second
+	}
 	return t
 }
 
@@ -84,6 +94,7 @@ func (t ThrottleConfig) withDefaults() ThrottleConfig {
 // the application as write latency, not as lost requests.
 type ionGate struct {
 	cfg ThrottleConfig
+	now func() time.Time // clock seam; time.Now outside tests
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -91,12 +102,13 @@ type ionGate struct {
 	inflight   int
 	consecBusy int       // consecutive sheds; resets on any success
 	retryUntil time.Time // pacing gate from the last shed's hint
+	lastUse    time.Time // last acquire; zero until the first one
 
 	telWindow *telemetry.Gauge // window ×1000, for observability
 }
 
 func newIonGate(cfg ThrottleConfig, telWindow *telemetry.Gauge) *ionGate {
-	g := &ionGate{cfg: cfg, window: float64(cfg.InitialWindow), telWindow: telWindow}
+	g := &ionGate{cfg: cfg, now: time.Now, window: float64(cfg.InitialWindow), telWindow: telWindow}
 	g.cond = sync.NewCond(&g.mu)
 	g.publishWindow()
 	return g
@@ -125,13 +137,28 @@ func (g *ionGate) admitted() int {
 // whether the window reopens.
 func (g *ionGate) acquire() bool {
 	g.mu.Lock()
+	now := g.now()
+	if !g.lastUse.IsZero() && now.Sub(g.lastUse) >= g.cfg.IdleRecovery &&
+		g.window < float64(g.cfg.InitialWindow) {
+		// Idle recovery: the multiplicative decrease is evidence of
+		// saturation *at the time of the burst*. After a long idle gap
+		// that evidence is stale — and since the window only grows on
+		// successes, a gate left small would start the next burst pinned
+		// at the floor forever. Reopen to the initial posture and let
+		// fresh evidence speak.
+		g.window = float64(g.cfg.InitialWindow)
+		g.consecBusy = 0
+		g.retryUntil = time.Time{}
+		g.publishWindow()
+	}
+	g.lastUse = now
 	for {
-		if g.consecBusy >= g.cfg.DegradeAfter && time.Now().Before(g.retryUntil) {
+		if g.consecBusy >= g.cfg.DegradeAfter && g.now().Before(g.retryUntil) {
 			g.mu.Unlock()
 			return false
 		}
 		if g.inflight < g.admitted() {
-			if wait := time.Until(g.retryUntil); wait > 0 {
+			if wait := g.retryUntil.Sub(g.now()); wait > 0 {
 				// Pace behind the hint without holding the lock, then
 				// re-evaluate (another caller may have shed meanwhile).
 				g.mu.Unlock()
@@ -186,7 +213,7 @@ func (g *ionGate) onBusy(hint time.Duration) {
 	if d > g.cfg.RetryAfterCap {
 		d = g.cfg.RetryAfterCap
 	}
-	g.retryUntil = time.Now().Add(equalJitter(d))
+	g.retryUntil = g.now().Add(equalJitter(d))
 	g.publishWindow()
 	g.cond.Broadcast()
 	g.mu.Unlock()
@@ -206,7 +233,7 @@ func (g *ionGate) onError() {
 func (g *ionGate) saturated() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.consecBusy >= g.cfg.DegradeAfter && time.Now().Before(g.retryUntil)
+	return g.consecBusy >= g.cfg.DegradeAfter && g.now().Before(g.retryUntil)
 }
 
 // equalJitter spreads d over [d/2, d): half deterministic, half uniform —

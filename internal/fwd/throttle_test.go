@@ -246,3 +246,61 @@ func TestThrottleDisabledIsZeroOverheadPath(t *testing.T) {
 		t.Fatalf("healthy run counted shed=%d degraded=%d", s.ShedResponses, s.DegradedOps)
 	}
 }
+
+// TestGateIdleRecovery is the regression test for the pinned-window bug:
+// the AIMD window only ever grew on successes, so a gate halved during a
+// burst stayed small across an idle gap indefinitely — the next burst
+// started at the floor on saturation evidence that was minutes stale.
+// An idle gap of at least IdleRecovery now restores the initial window.
+func TestGateIdleRecovery(t *testing.T) {
+	g := testGate(ThrottleConfig{
+		MinWindow: 1, MaxWindow: 8, InitialWindow: 8,
+		RetryAfterCap: time.Millisecond, IdleRecovery: 10 * time.Second,
+	})
+	now := time.Unix(2000, 0)
+	g.mu.Lock()
+	g.now = func() time.Time { return now }
+	g.mu.Unlock()
+
+	// A burst shrinks the window to the floor. The clock steps past each
+	// shed's pacing hint (the frozen clock would otherwise hold acquire
+	// in its pacing loop forever).
+	for i := 0; i < 3; i++ {
+		if !g.acquire() {
+			t.Fatal("gate should admit below DegradeAfter")
+		}
+		g.onBusy(0)
+		now = now.Add(time.Second)
+	}
+	if got := g.admitted(); got != 1 {
+		t.Fatalf("window after burst = %d, want 1", got)
+	}
+
+	// A short gap does not reopen it: the evidence is still fresh.
+	now = now.Add(5 * time.Second)
+	if !g.acquire() {
+		t.Fatal("acquire blocked after short gap")
+	}
+	g.onError()
+	if got := g.admitted(); got != 1 {
+		t.Fatalf("window after short gap = %d, want still 1", got)
+	}
+
+	// An idle gap past IdleRecovery restores the initial posture —
+	// window, busy streak, and pacing gate all reset.
+	g.mu.Lock()
+	g.consecBusy = 5
+	g.retryUntil = now.Add(time.Hour) // stale pacing gate must not block
+	g.mu.Unlock()
+	now = now.Add(11 * time.Second)
+	if !g.acquire() {
+		t.Fatal("acquire blocked after idle recovery")
+	}
+	g.onSuccess()
+	if got := g.admitted(); got != 8 {
+		t.Fatalf("window after idle recovery = %d, want 8", got)
+	}
+	if g.saturated() {
+		t.Fatal("saturation evidence survived idle recovery")
+	}
+}

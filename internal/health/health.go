@@ -13,14 +13,29 @@
 // consecutive failed pings mark a node down (one lost packet is not an
 // outage), RiseThreshold consecutive successful pings mark it back up
 // (one lucky ping is not a recovery).
+//
+// Beyond the binary planes (up/down, overloaded/recovered) the prober
+// optionally runs a latency plane for gray failures: every successful
+// ping's round-trip time is recorded into a per-node latency sketch
+// (shared with the forwarding clients, which feed their own observed
+// call latencies into the same rings), and a peer-relative scorer marks
+// a node *degraded* when its median latency exceeds the median of its
+// peers' medians by a configurable factor, sustained over a window of
+// sweeps, with a longer clean window required to restore it. Degraded
+// is distinct from down (the node still answers) and from overloaded
+// (its queue may be empty — the node is slow, not busy); the arbiter
+// reacts by quarantining it from new allocations. The whole plane is
+// opt-in: SlowFactor ≤ 0 leaves behavior byte-identical to before.
 package health
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/latency"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
@@ -42,6 +57,17 @@ type Overload struct {
 	Addr string
 	// Overloaded is the new state.
 	Overloaded bool
+}
+
+// Degradation is one degraded/restored state change of a probed node —
+// the gray-failure signal. A degraded node is alive and may be idle;
+// it is just slow relative to its peers, so the arbiter quarantines it
+// from new allocations rather than removing or deprioritizing it.
+type Degradation struct {
+	// Addr is the I/O-node address whose state changed.
+	Addr string
+	// Degraded is the new state.
+	Degraded bool
 }
 
 // Config parameterizes a prober.
@@ -92,10 +118,43 @@ type Config struct {
 	// arbiter.MarkOverloaded).
 	OnOverload func(Overload)
 
+	// SlowFactor enables the fail-slow scorer: a node whose median
+	// latency exceeds the median of its peers' medians by this factor
+	// counts a slow sweep. ≤0 disables the latency plane entirely — no
+	// sketch, no scorer, no degraded transitions, no degraded series.
+	SlowFactor float64
+	// SlowWindow consecutive slow sweeps mark a node degraded; ≤0
+	// selects 3.
+	SlowWindow int
+	// SlowRecovery consecutive clean sweeps restore a degraded node;
+	// ≤0 selects 5 — recovery is deliberately slower than detection
+	// (hysteresis), so a node flickering around the threshold does not
+	// flap in and out of quarantine.
+	SlowRecovery int
+	// SlowMinLatency floors the scorer: medians below it never count as
+	// slow, however fast the peers are, so microsecond-level jitter on
+	// an idle stack cannot degrade anything. ≤0 selects 1ms.
+	SlowMinLatency time.Duration
+	// Latency is the sketch the scorer reads and probe RTTs feed. Leave
+	// nil to let the prober own a private sketch; pass a shared one so
+	// forwarding clients can feed client-observed call latencies into
+	// the same rings (livestack does). Ignored when SlowFactor ≤ 0.
+	Latency *latency.Sketch
+	// OnDegraded, when non-nil, is invoked synchronously from the probe
+	// goroutine for every degraded/restored transition (e.g.
+	// arbiter.MarkDegraded).
+	OnDegraded func(Degradation)
+
 	// WireChecksum makes probe pings carry a CRC32C trailer, matching a
 	// stack that runs with wire checksums on (daemons verify whatever
 	// arrives; the trailer keeps the probe path exercised end to end).
 	WireChecksum bool
+
+	// Now supplies the clock for load-sample ages; nil selects
+	// time.Now. Injected for deterministic tests, mirroring the elastic
+	// scaler's seam. (Probe RTTs always use the real monotonic clock —
+	// they measure the wire, not the schedule.)
+	Now func() time.Time
 
 	// Telemetry receives probe metrics; nil disables them.
 	Telemetry *telemetry.Registry
@@ -105,6 +164,16 @@ type Config struct {
 func (c Config) overloadActive() bool {
 	return c.OverloadQueueDepth > 0 || c.OverloadShedDelta > 0
 }
+
+// slowActive reports whether the fail-slow latency plane is configured.
+func (c Config) slowActive() bool {
+	return c.SlowFactor > 0
+}
+
+// slowMinSamples is how many sketch samples a node needs before the
+// scorer will judge it (or count it as a peer): scoring a node on one
+// or two pings would make the first sweep after a restart decisive.
+const slowMinSamples = 4
 
 // nodeState tracks one address's debounced liveness and overload.
 type nodeState struct {
@@ -118,6 +187,11 @@ type nodeState struct {
 	lastRejects int64 // cumulative reject counter from the last sweep
 	sawRejects  bool  // lastRejects holds a real sample (not the zero value)
 	lastDepth   int64 // queue depth from the last loaded sweep
+	sampleAt    time.Time // when lastDepth was sampled; zero = never
+
+	degraded    bool
+	slowSweeps  int // consecutive slow sweeps while clean
+	cleanSweeps int // consecutive clean sweeps while degraded
 }
 
 // Prober pings a dynamic set of I/O nodes and reports transitions. The
@@ -139,8 +213,10 @@ type Prober struct {
 		probes, failures     *telemetry.Counter
 		downs, ups           *telemetry.Counter
 		overloads, recovers  *telemetry.Counter
+		degrades, restores   *telemetry.Counter // registered only when slowActive
 		nodesUp              *telemetry.Gauge
 		nodesOverloaded      *telemetry.Gauge
+		nodesDegraded        *telemetry.Gauge // registered only when slowActive
 		queueDepth, shedRate map[string]*telemetry.Gauge // per ION
 	}
 }
@@ -172,6 +248,23 @@ func New(cfg Config) (*Prober, error) {
 	if cfg.OverloadRecovery <= 0 {
 		cfg.OverloadRecovery = 2
 	}
+	if cfg.slowActive() {
+		if cfg.SlowWindow <= 0 {
+			cfg.SlowWindow = 3
+		}
+		if cfg.SlowRecovery <= 0 {
+			cfg.SlowRecovery = 5
+		}
+		if cfg.SlowMinLatency <= 0 {
+			cfg.SlowMinLatency = time.Millisecond
+		}
+		if cfg.Latency == nil {
+			cfg.Latency = latency.NewSketch(0)
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	p := &Prober{
 		cfg:     cfg,
 		clients: make(map[string]*rpc.Client, len(cfg.Addrs)),
@@ -188,6 +281,13 @@ func New(cfg Config) (*Prober, error) {
 	p.tel.recovers = reg.Counter("health_transitions_recovered_total")
 	p.tel.nodesUp = reg.Gauge("health_ions_up")
 	p.tel.nodesOverloaded = reg.Gauge("health_ions_overloaded")
+	if cfg.slowActive() {
+		// Lazily registered: a stack without a slowness factor must not
+		// expose any health_degraded_* series (the absence test pins it).
+		p.tel.degrades = reg.Counter("health_degraded_transitions_total")
+		p.tel.restores = reg.Counter("health_degraded_recovered_total")
+		p.tel.nodesDegraded = reg.Gauge("health_degraded_ions")
+	}
 	p.tel.queueDepth = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
 	p.tel.shedRate = make(map[string]*telemetry.Gauge, len(cfg.Addrs))
 	for _, addr := range cfg.Addrs {
@@ -242,7 +342,11 @@ func (p *Prober) Remove(addr string) {
 	if st != nil && st.overloaded {
 		p.tel.nodesOverloaded.Add(-1)
 	}
+	if st != nil && st.degraded {
+		p.tel.nodesDegraded.Add(-1)
+	}
 	p.mu.Unlock()
+	p.cfg.Latency.Forget(addr) // stale samples must not haunt a reused address
 	if cli != nil {
 		cli.Close()
 	}
@@ -259,6 +363,24 @@ func (p *Prober) Load() map[string]int64 {
 	for addr, st := range p.state {
 		if st.up {
 			out[addr] = st.lastDepth
+		}
+	}
+	return out
+}
+
+// LoadAges reports, for every node that is up, how long ago its Load
+// sample was taken. Nodes that have never produced a loaded sweep are
+// omitted — their Load entry is the zero value, not a measurement, and
+// the autoscaler must not read an idle node into it. Ages use the
+// injected clock, so a frozen test clock reports frozen ages.
+func (p *Prober) LoadAges() map[string]time.Duration {
+	now := p.cfg.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]time.Duration, len(p.state))
+	for addr, st := range p.state {
+		if st.up && !st.sampleAt.IsZero() {
+			out[addr] = now.Sub(st.sampleAt)
 		}
 	}
 	return out
@@ -336,11 +458,17 @@ func (p *Prober) ProbeOnce() {
 		wg.Add(1)
 		go func(addr string, cli *rpc.Client) {
 			defer wg.Done()
+			start := time.Now()
 			resp, err := cli.Call(&rpc.Message{Op: rpc.OpPing})
+			rtt := time.Since(start)
 			var r probeResult
 			switch {
 			case err == nil:
 				r = probeResult{ok: true, loaded: true, depth: resp.Size, rejects: resp.Offset}
+				// Only clean pings feed the latency sketch: a busy
+				// response is shed before queueing and a failed one
+				// measures the timeout, not the node.
+				p.cfg.Latency.Observe(addr, rtt)
 			case errors.Is(err, rpc.ErrBusy):
 				r = probeResult{ok: true, busy: true}
 			}
@@ -399,6 +527,7 @@ func (p *Prober) ProbeOnce() {
 		var shedDelta int64
 		if r.loaded {
 			st.lastDepth = r.depth
+			st.sampleAt = p.cfg.Now()
 			p.tel.queueDepth[addr].Set(r.depth)
 			if st.sawRejects && r.rejects >= st.lastRejects {
 				shedDelta = r.rejects - st.lastRejects
@@ -442,6 +571,10 @@ func (p *Prober) ProbeOnce() {
 			st.coolSweeps = 0
 		}
 	}
+	var slowFired []Degradation
+	if p.cfg.slowActive() {
+		slowFired = p.scoreSlowLocked()
+	}
 	p.mu.Unlock()
 
 	// Callbacks run outside the prober lock so they may query the prober
@@ -456,6 +589,85 @@ func (p *Prober) ProbeOnce() {
 			p.cfg.OnOverload(ov)
 		}
 	}
+	if p.cfg.OnDegraded != nil {
+		for _, dg := range slowFired {
+			p.cfg.OnDegraded(dg)
+		}
+	}
+}
+
+// scoreSlowLocked runs one sweep of the peer-relative fail-slow scorer
+// and returns the transitions it fired. Caller holds p.mu.
+//
+// A node is slow on a sweep when its median sketch latency exceeds the
+// median of its peers' medians × SlowFactor (and the SlowMinLatency
+// floor). Judging against peers rather than an absolute bound makes
+// the scorer self-calibrating: a cluster that is uniformly slow — cold
+// caches, shared-disk contention — degrades nobody, while one node 50×
+// off its peers stands out within a window regardless of the absolute
+// numbers. Sweep-count debouncing (not wall time) keeps the state
+// machine deterministic under test-driven ProbeOnce calls.
+func (p *Prober) scoreSlowLocked() []Degradation {
+	// Median latency of every up node with enough samples to judge.
+	meds := make(map[string]time.Duration, len(p.state))
+	for addr, st := range p.state {
+		if !st.up || p.cfg.Latency.Samples(addr) < slowMinSamples {
+			continue
+		}
+		if m, ok := p.cfg.Latency.Median(addr); ok {
+			meds[addr] = m
+		}
+	}
+	var fired []Degradation
+	for addr, st := range p.state {
+		med, scored := meds[addr]
+		if !st.up || !scored {
+			// Down or unsampled nodes hold their degraded state as-is;
+			// the liveness plane owns them until they answer again.
+			continue
+		}
+		// Median of the peers' medians, the node under judgment
+		// excluded so a very slow node cannot raise its own bar.
+		peers := make([]time.Duration, 0, len(meds)-1)
+		for a, m := range meds {
+			if a != addr {
+				peers = append(peers, m)
+			}
+		}
+		if len(peers) < 2 {
+			continue // peer-relative scoring needs a quorum of peers
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		peerMed := peers[len(peers)/2]
+		slow := med >= p.cfg.SlowMinLatency &&
+			float64(med) > float64(peerMed)*p.cfg.SlowFactor
+		switch {
+		case !st.degraded && slow:
+			st.cleanSweeps = 0
+			st.slowSweeps++
+			if st.slowSweeps >= p.cfg.SlowWindow {
+				st.degraded = true
+				st.slowSweeps = 0
+				p.tel.degrades.Inc()
+				p.tel.nodesDegraded.Add(1)
+				fired = append(fired, Degradation{Addr: addr, Degraded: true})
+			}
+		case !st.degraded:
+			st.slowSweeps = 0
+		case st.degraded && !slow:
+			st.cleanSweeps++
+			if st.cleanSweeps >= p.cfg.SlowRecovery {
+				st.degraded = false
+				st.cleanSweeps = 0
+				p.tel.restores.Inc()
+				p.tel.nodesDegraded.Add(-1)
+				fired = append(fired, Degradation{Addr: addr, Degraded: false})
+			}
+		default: // degraded and still slow
+			st.cleanSweeps = 0
+		}
+	}
+	return fired
 }
 
 // IsUp reports the debounced state of addr (false for unknown addresses).
@@ -482,6 +694,28 @@ func (p *Prober) Overloaded() []string {
 	var out []string
 	for addr, st := range p.state {
 		if st.overloaded {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// IsDegraded reports the debounced fail-slow state of addr (false for
+// unknown addresses, and always false when no SlowFactor is set).
+func (p *Prober) IsDegraded(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[addr]
+	return ok && st.degraded
+}
+
+// Degraded returns the addresses currently marked degraded.
+func (p *Prober) Degraded() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for addr, st := range p.state {
+		if st.degraded {
 			out = append(out, addr)
 		}
 	}

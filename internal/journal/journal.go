@@ -61,6 +61,11 @@ const (
 	KindDrainAbort
 	KindAddION
 	KindRemoveION
+	// KindMarkDegraded/KindMarkRestored record the gray-failure
+	// quarantine plane. Appended after the original kinds: values are
+	// on-disk, so new kinds only ever grow the tail of this block.
+	KindMarkDegraded
+	KindMarkRestored
 )
 
 var kindNames = map[Kind]string{
@@ -76,6 +81,8 @@ var kindNames = map[Kind]string{
 	KindDrainAbort:     "drain-abort",
 	KindAddION:         "add-ion",
 	KindRemoveION:      "remove-ion",
+	KindMarkDegraded:   "mark-degraded",
+	KindMarkRestored:   "mark-restored",
 }
 
 func (k Kind) String() string {
@@ -129,6 +136,7 @@ type State struct {
 	Down       []string            `json:"down,omitempty"`
 	Overloaded []string            `json:"overloaded,omitempty"`
 	Draining   []string            `json:"draining,omitempty"`
+	Degraded   []string            `json:"degraded,omitempty"`
 	Running    []App               `json:"running,omitempty"`
 	Assign     map[string][]string `json:"assign,omitempty"`
 	Epoch      uint64              `json:"epoch,omitempty"`
@@ -144,6 +152,7 @@ func (s *State) Clone() *State {
 		Down:       append([]string(nil), s.Down...),
 		Overloaded: append([]string(nil), s.Overloaded...),
 		Draining:   append([]string(nil), s.Draining...),
+		Degraded:   append([]string(nil), s.Degraded...),
 		Running:    make([]App, len(s.Running)),
 		Epoch:      s.Epoch,
 	}
@@ -249,6 +258,11 @@ func (s *State) Apply(r Record) {
 		s.Down = dropAddr(s.Down, r.Addr)
 		s.Overloaded = dropAddr(s.Overloaded, r.Addr)
 		s.Draining = dropAddr(s.Draining, r.Addr)
+		s.Degraded = dropAddr(s.Degraded, r.Addr)
+	case KindMarkDegraded:
+		s.Degraded = addAddr(s.Degraded, r.Addr)
+	case KindMarkRestored:
+		s.Degraded = dropAddr(s.Degraded, r.Addr)
 	}
 }
 

@@ -1,0 +1,337 @@
+package livestack
+
+// Gray-failure acceptance scenario (`make grayfail`): a 12-ION stack
+// with fail-slow detection, quarantine arbitration, and hedged requests
+// on; one ION ramps to ~50× latency mid-workload while staying fully
+// alive — it answers every probe and every call, just slowly. The
+// asserted properties:
+//
+//   - detection before the SLO breaches: the fail-slow scorer marks the
+//     node degraded and the arbiter quarantines + re-steers within the
+//     latency budget a gold-class tenant could tolerate;
+//   - hedge wins: reads stuck behind the gray node are rescued by the
+//     direct-PFS hedge at least once;
+//   - zero double-applies: a per-byte apply-count oracle on every ION's
+//     backend (the torture suite's oracle) proves no hedged or retried
+//     write applied twice — every segment here is acknowledged on its
+//     first app-level attempt, so any count > 1 is a dedup failure;
+//   - bounded p99: once traffic is steered off the gray node, the write
+//     tail no longer pays the injected latency;
+//   - full recovery: when the fault lifts, hysteresis clears the mark
+//     and the node returns to the allocatable pool.
+//
+// `make grayfail` runs this twice under the race detector. Reproduce a
+// failing run with GRAYFAIL_SEED=<n> make grayfail.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/fwd"
+	"repro/internal/ion"
+	"repro/internal/rpc"
+)
+
+// grayfailSeed returns the scenario seed: GRAYFAIL_SEED when set, else 1
+// so CI runs are deterministic.
+func grayfailSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("GRAYFAIL_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("GRAYFAIL_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// grayOracle wraps one I/O node's backend and counts, per byte, how many
+// times this node applied a write covering it — the same oracle the
+// torture suite uses to pin exactly-once semantics.
+type grayOracle struct {
+	ion.Backend
+	mu    sync.Mutex
+	cover map[string][]uint8
+}
+
+func (o *grayOracle) record(path string, off int64, n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.cover[path]
+	if need := int(off) + n; len(s) < need {
+		s = append(s, make([]uint8, need-len(s))...)
+	}
+	for i := 0; i < n; i++ {
+		if s[int(off)+i] < 255 {
+			s[int(off)+i]++
+		}
+	}
+	o.cover[path] = s
+}
+
+func (o *grayOracle) Write(path string, off int64, p []byte) (int, error) {
+	o.record(path, off, len(p))
+	return o.Backend.Write(path, off, p)
+}
+
+func (o *grayOracle) WriteAs(writer, path string, off int64, p []byte) (int, error) {
+	o.record(path, off, len(p))
+	return o.Backend.WriteAs(writer, path, off, p)
+}
+
+// maxCover returns the highest per-byte apply count recorded for path.
+func (o *grayOracle) maxCover(path string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	max := 0
+	for _, c := range o.cover[path] {
+		if int(c) > max {
+			max = int(c)
+		}
+	}
+	return max
+}
+
+func TestGrayFailureDetectQuarantineHedgeRecover(t *testing.T) {
+	seed := grayfailSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		ions      = 12
+		segSize   = 4096 // one chunk: each segment lands on one ION
+		file      = "/gray"
+		grayDelay = 40 * time.Millisecond // ~50×: healthy loopback ops sit well under 1ms
+		grayRamp  = 500 * time.Millisecond
+		sloBudget = 8 * time.Second // detection + re-steer must land inside this
+	)
+
+	injs := make([]*faultnet.Injector, ions)
+	oracles := make([]*grayOracle, ions)
+	st, err := Start(Config{
+		IONs:      ions,
+		Scheduler: "FIFO",
+		ChunkSize: segSize,
+		// Generous deadlines: the gray node must stay *alive* — if the
+		// per-call deadline converted slowness into failure, this would
+		// collapse into the fail-stop chaos scenario and test nothing new.
+		RPC: rpc.Options{
+			CallTimeout:      2 * time.Second,
+			MaxRetries:       2,
+			RetryBackoff:     time.Millisecond,
+			RetryBackoffMax:  10 * time.Millisecond,
+			BreakerThreshold: 50,
+			BreakerCooldown:  100 * time.Millisecond,
+		},
+
+		HealthInterval:      20 * time.Millisecond,
+		HealthTimeout:       time.Second,
+		HealthFailThreshold: 3,
+		HealthRiseThreshold: 2,
+
+		DedupWindow: 256,
+
+		SlowFactor:      8,
+		SlowWindow:      3,
+		SlowRecovery:    3,
+		QuarantineFloor: 4,
+		Hedge: fwd.HedgeConfig{
+			Enabled:   true,
+			Pct:       0.9,
+			Budget:    0.5,
+			MaxTokens: 16,
+		},
+
+		WrapListener: func(i int, ln net.Listener) net.Listener {
+			injs[i] = faultnet.NewInjector(faultnet.Plan{})
+			return faultnet.WrapListener(ln, injs[i])
+		},
+		WrapBackend: func(i int, b ion.Backend) ion.Backend {
+			oracles[i] = &grayOracle{Backend: b, cover: map[string][]uint8{}}
+			return oracles[i]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := st.Telemetry
+
+	client, err := st.NewClient("gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated, err := st.Arbiter.JobStarted(appFor(t, "IOR-MPI", "gray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocated) == 0 {
+		t.Fatal("no allocation")
+	}
+	if err := waitForSomeAllocation(client, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Create(file); err != nil {
+		t.Fatal(err)
+	}
+
+	// The seed picks the victim among the allocated IONs, so every run
+	// hits a node that actually carries this app's traffic.
+	victim := allocated[rng.Intn(len(allocated))]
+	victimIdx := -1
+	for i, a := range st.Addrs {
+		if a == victim {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatalf("victim %s not in stack addrs", victim)
+	}
+
+	seg := make([]byte, segSize)
+	segs := 0
+	writeSeg := func() time.Duration {
+		off := int64(segs) * segSize
+		fill(off, seg)
+		start := time.Now()
+		n, err := client.Write(file, off, seg)
+		if err != nil || n != segSize {
+			t.Fatalf("write segment %d: n=%d err=%v", segs, n, err)
+		}
+		segs++
+		return time.Since(start)
+	}
+
+	// Phase A — healthy baseline: fills the shared latency sketch with
+	// peer-relative evidence (probe RTTs are flowing too).
+	for i := 0; i < 4*ions; i++ {
+		writeSeg()
+	}
+
+	// Phase B — gray failure: the victim's latency ramps toward ~50× on
+	// both directions while it keeps answering everything. The workload
+	// never stops; reads give the direct-PFS hedge races to win.
+	injs[victimIdx].Set(faultnet.Plan{
+		Kind:  faultnet.Slow,
+		Delay: grayDelay,
+		Ramp:  grayRamp,
+		Seed:  seed,
+	})
+	faultStart := time.Now()
+	rbuf := make([]byte, 8*segSize)
+	detected := false
+	for time.Since(faultStart) < sloBudget {
+		writeSeg()
+		// Read a stripe of earlier segments: spans routed at the gray
+		// node must be rescued by the hedge.
+		if segs%4 == 0 {
+			if n, err := client.Read(file, 0, rbuf); err != nil || n != len(rbuf) {
+				t.Fatalf("read during gray failure: n=%d err=%v", n, err)
+			}
+		}
+		if !contains(client.IONs(), victim) && len(client.IONs()) > 0 {
+			detected = true
+			break
+		}
+	}
+	detectLatency := time.Since(faultStart)
+	if !detected {
+		t.Fatalf("SLO breach: client still mapped to gray ION %s after %v (degraded_ions=%d quarantined=%d)",
+			victim, sloBudget,
+			reg.Gauge("health_degraded_ions").Value(),
+			reg.Counter("arbiter_quarantine_marked_total").Value())
+	}
+	t.Logf("gray ION detected, quarantined, and steered away from in %v (seed %d)", detectLatency, seed)
+
+	// The detection and the quarantine are observable, and the published
+	// mapping no longer hands out the gray node.
+	if v := reg.Counter("health_degraded_transitions_total").Value(); v < 1 {
+		t.Fatalf("health_degraded_transitions_total = %d, want ≥1", v)
+	}
+	if v := reg.Gauge("health_degraded_ions").Value(); v != 1 {
+		t.Fatalf("health_degraded_ions = %d, want 1", v)
+	}
+	if v := reg.Counter("arbiter_quarantine_marked_total").Value(); v < 1 {
+		t.Fatalf("arbiter_quarantine_marked_total = %d, want ≥1", v)
+	}
+	if v := reg.Gauge("arbiter_quarantine_ions").Value(); v != 1 {
+		t.Fatalf("arbiter_quarantine_ions = %d, want 1", v)
+	}
+	if m := st.Bus.Current().For("gray"); contains(m, victim) || len(m) == 0 {
+		t.Fatalf("published mapping still hands out the gray ION: %v", m)
+	}
+
+	// Bounded p99 after the re-steer: the write tail must not pay the
+	// injected gray latency once traffic is off the quarantined node.
+	post := make([]time.Duration, 0, 200)
+	for i := 0; i < 200; i++ {
+		post = append(post, writeSeg())
+	}
+	sort.Slice(post, func(i, j int) bool { return post[i] < post[j] })
+	if p99 := post[len(post)*99/100]; p99 >= grayDelay {
+		t.Fatalf("post-quarantine write p99 = %v, want < %v (tail still pays the gray latency)", p99, grayDelay)
+	}
+
+	// Hedges fired and at least one read was rescued by the direct path.
+	appLabel := fmt.Sprintf("{app=%q}", "gray")
+	if v := reg.Counter("fwd_hedge_launched_total" + appLabel).Value(); v < 1 {
+		t.Fatalf("fwd_hedge_launched_total = %d, want ≥1", v)
+	}
+	if v := reg.Counter("fwd_hedge_wins_total" + appLabel).Value(); v < 1 {
+		t.Fatalf("fwd_hedge_wins_total = %d, want ≥1 (no hedge ever won)", v)
+	}
+
+	// Phase C — recovery: lift the fault; clean sweeps plus hysteresis
+	// must restore the node to the allocatable pool.
+	injs[victimIdx].Set(faultnet.Plan{})
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Gauge("arbiter_quarantine_ions").Value() != 0 ||
+		reg.Gauge("health_degraded_ions").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gray ION never restored: degraded_ions=%d quarantine_ions=%d restored=%d",
+				reg.Gauge("health_degraded_ions").Value(),
+				reg.Gauge("arbiter_quarantine_ions").Value(),
+				reg.Counter("arbiter_quarantine_restored_total").Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := reg.Counter("health_degraded_recovered_total").Value(); v < 1 {
+		t.Fatalf("health_degraded_recovered_total = %d, want ≥1", v)
+	}
+	if v := reg.Counter("arbiter_quarantine_restored_total").Value(); v < 1 {
+		t.Fatalf("arbiter_quarantine_restored_total = %d, want ≥1", v)
+	}
+
+	// Exactly-once: every segment was acknowledged on its first app-level
+	// attempt, so no ION may have applied any byte of the file twice —
+	// hedged duplicates and transport retries must all have collapsed in
+	// the dedup window.
+	for i, o := range oracles {
+		if m := o.maxCover(file); m > 1 {
+			t.Fatalf("ion%02d applied bytes of %s up to %d times — a hedged write double-applied", i, file, m)
+		}
+	}
+
+	// Byte conservation across healthy → gray → recovered phases.
+	total := segs * segSize
+	got := make([]byte, total)
+	if n, err := client.Read(file, 0, got); err != nil || n != total {
+		t.Fatalf("read back: n=%d err=%v", n, err)
+	}
+	for i := range got {
+		if got[i] != pat(int64(i)) {
+			t.Fatalf("byte %d corrupted: got %d want %d", i, got[i], pat(int64(i)))
+		}
+	}
+	if v := reg.Counter("fwd_bytes_out_total" + appLabel).Value(); v != int64(total) {
+		t.Fatalf("fwd_bytes_out_total = %d, want %d (no write lost, none double-counted)", v, total)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/ion"
 	"repro/internal/journal"
+	"repro/internal/latency"
 	"repro/internal/mapping"
 	"repro/internal/pfs"
 	"repro/internal/policy"
@@ -78,6 +79,31 @@ type Config struct {
 	// ≤0 selects the prober defaults.
 	HealthFailThreshold int
 	HealthRiseThreshold int
+
+	// SlowFactor enables fail-slow (gray failure) detection on the
+	// health prober: a node whose probe-RTT median exceeds the median of
+	// its peers' medians × SlowFactor for SlowWindow consecutive sweeps
+	// is marked degraded, and the arbiter quarantines it — excluded from
+	// new allocations while it stays in the pool (MarkDegraded), restored
+	// after SlowRecovery clean sweeps (MarkRestored). Requires
+	// HealthInterval > 0. ≤0 keeps detection off, behavior byte for byte.
+	SlowFactor float64
+	// SlowWindow / SlowRecovery debounce degraded transitions; ≤0 selects
+	// the prober defaults (3 slow sweeps in, 5 clean sweeps out).
+	SlowWindow   int
+	SlowRecovery int
+	// QuarantineFloor is the live-capacity floor the quarantine may not
+	// dig below (see arbiter.WithQuarantine); ≤0 selects 1. Only
+	// meaningful with SlowFactor > 0.
+	QuarantineFloor int
+	// Hedge configures tail-tolerant hedged requests on every forwarding
+	// client this stack creates (see fwd.HedgeConfig). Requires
+	// DedupWindow > 0: the hedged write is a same-stamp duplicate that
+	// only the daemon's dedup window makes exactly-once. When SlowFactor
+	// is also set, clients and the prober share one latency sketch, so
+	// probe RTTs and data-path RTTs pool into the same per-node
+	// distribution the hedge deadline is drawn from.
+	Hedge fwd.HedgeConfig
 
 	// QueueCap bounds each daemon's AGIOS queue (requests); >0 enables
 	// bounded admission — past the cap, requests are answered with a busy
@@ -202,6 +228,11 @@ type Stack struct {
 	cfg       Config
 	schedName string
 
+	// latSketch is the per-ION latency distribution shared by the health
+	// prober's fail-slow scorer and the clients' hedge deadlines (nil
+	// unless SlowFactor or Hedge opted in).
+	latSketch *latency.Sketch
+
 	// mu guards the mutable pool state below plus the Daemons/Addrs
 	// slices, which the scaler's spawn path appends to concurrently with
 	// test readers. Static stacks never mutate them after Start.
@@ -258,6 +289,18 @@ func Start(cfg Config) (*Stack, error) {
 	if cfg.Elastic != nil && cfg.HealthInterval <= 0 {
 		return nil, errors.New("livestack: Elastic requires HealthInterval > 0 (the scaler feeds on prober load samples)")
 	}
+	if cfg.SlowFactor > 0 && cfg.HealthInterval <= 0 {
+		return nil, errors.New("livestack: SlowFactor requires HealthInterval > 0 (the fail-slow scorer feeds on probe RTTs)")
+	}
+	if cfg.QuarantineFloor > 0 && cfg.SlowFactor <= 0 {
+		return nil, errors.New("livestack: QuarantineFloor requires SlowFactor > 0 (nothing quarantines without detection)")
+	}
+	if cfg.Hedge.Enabled && cfg.DedupWindow <= 0 {
+		return nil, errors.New("livestack: Hedge requires DedupWindow > 0 (dedup is what makes a duplicated write exactly-once)")
+	}
+	if cfg.SlowFactor > 0 || cfg.Hedge.Enabled {
+		st.latSketch = latency.NewSketch(0)
+	}
 	for i := 0; i < cfg.IONs; i++ {
 		d, addr, err := st.newDaemon(i)
 		if err != nil {
@@ -275,6 +318,9 @@ func Start(cfg Config) (*Stack, error) {
 	st.Arbiter = arb.Instrument(reg)
 	if cfg.QoS != nil && !cfg.QoS.Empty() {
 		st.Arbiter.WithWeights(cfg.QoS.Weight)
+	}
+	if cfg.SlowFactor > 0 {
+		st.Arbiter.WithQuarantine(cfg.QuarantineFloor)
 	}
 
 	if cfg.JournalDir != "" {
@@ -320,6 +366,10 @@ func (s *Stack) startHealth(arb *arbiter.Arbiter, addrs []string) error {
 		OverloadShedDelta:  s.cfg.OverloadShedDelta,
 		OverloadThreshold:  s.cfg.OverloadThreshold,
 		OverloadRecovery:   s.cfg.OverloadRecovery,
+		SlowFactor:         s.cfg.SlowFactor,
+		SlowWindow:         s.cfg.SlowWindow,
+		SlowRecovery:       s.cfg.SlowRecovery,
+		Latency:            s.latSketch,
 		WireChecksum:       s.cfg.WireChecksum,
 		Telemetry:          s.Telemetry,
 		OnTransition: func(tr health.Transition) {
@@ -339,6 +389,16 @@ func (s *Stack) startHealth(arb *arbiter.Arbiter, addrs []string) error {
 				arb.MarkOverloaded(ov.Addr)
 			} else {
 				arb.MarkRecovered(ov.Addr)
+			}
+		},
+		OnDegraded: func(dg health.Degradation) {
+			// Advisory too: a fail-slow node still answers, just slowly.
+			// The floor inside MarkDegraded may refuse the quarantine —
+			// hedging then carries the tail until capacity returns.
+			if dg.Degraded {
+				arb.MarkDegraded(dg.Addr)
+			} else {
+				arb.MarkRestored(dg.Addr)
 			}
 		},
 	})
@@ -463,6 +523,14 @@ func (s *Stack) RecoverControlPlane() error {
 	if s.cfg.QoS != nil && !s.cfg.QoS.Empty() {
 		weights = s.cfg.QoS.Weight
 	}
+	quarFloor := 0
+	if s.cfg.SlowFactor > 0 {
+		// Re-arm the quarantine on the recovered arbiter: journaled
+		// degraded marks replay as quarantines again, under the same floor.
+		if quarFloor = s.cfg.QuarantineFloor; quarFloor < 1 {
+			quarFloor = 1
+		}
+	}
 	arb, rerr := arbiter.Recover(arbiter.RecoverConfig{
 		Journal: jn,
 		Policy:  pol,
@@ -478,8 +546,9 @@ func (s *Stack) RecoverControlPlane() error {
 				d.SetFence(fence)
 			}
 		},
-		Weights:   weights,
-		Telemetry: s.Telemetry,
+		Weights:         weights,
+		QuarantineFloor: quarFloor,
+		Telemetry:       s.Telemetry,
 	})
 	if arb == nil {
 		jn.Close()
@@ -740,6 +809,8 @@ func (s *Stack) NewClient(appID string) (*fwd.Client, error) {
 		CoalesceLimit: s.cfg.CoalesceLimit,
 		RPC:           rpcOpts,
 		Throttle:      s.cfg.Throttle,
+		Hedge:         s.cfg.Hedge,
+		Latency:       s.latSketch,
 		Dedup:         s.cfg.DedupWindow > 0,
 		EpochFencing:  s.cfg.JournalDir != "",
 		QoS:           s.cfg.QoS.ClassFor(appID),

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/elastic"
+	"repro/internal/fwd"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
@@ -163,6 +164,13 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 		// A journal dir registers the journal_* family and turns on epoch
 		// fencing, whose per-node/per-app series join the audit too.
 		JournalDir: t.TempDir(),
+		// The gray-failure planes register the health_degraded_*,
+		// arbiter_quarantine_*, and fwd_hedge_* families. The slowness
+		// factor is set absurdly high so a healthy two-node stack never
+		// actually degrades anything — the series are audited at zero.
+		SlowFactor:      100,
+		QuarantineFloor: 1,
+		Hedge:           fwd.HedgeConfig{Enabled: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -223,6 +231,11 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 	if v, ok := snap.Gauges["elastic_pool_size"]; !ok || v != 2 {
 		t.Errorf("elastic_pool_size = %d (registered=%v), want 2", v, ok)
 	}
+	for _, gauge := range []string{"health_degraded_ions", "arbiter_quarantine_ions"} {
+		if v, ok := snap.Gauges[gauge]; !ok || v != 0 {
+			t.Errorf("%s = %d (registered=%v), want registered and 0 on a healthy stack", gauge, v, ok)
+		}
+	}
 	for counter, wantNonZero := range map[string]bool{
 		`rpc_checksum_errors_total{node="ion00"}`:    false, // clean wire: present, zero
 		`ion_dedup_replays_total{node="ion00"}`:      true,
@@ -233,6 +246,13 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 		"journal_append_errors_total":                false, // healthy disk: present, zero
 		`epoch_fence_rejections_total{node="ion00"}`: false, // no blackout here: present, zero
 		`epoch_stale_retries_total{app="audit"}`:     false,
+		"health_degraded_transitions_total":          false, // healthy stack: present, zero
+		"health_degraded_recovered_total":            false,
+		"arbiter_quarantine_marked_total":            false,
+		"arbiter_quarantine_restored_total":          false,
+		`fwd_hedge_denied_total{app="audit"}`:        false,
+		`fwd_hedge_launched_total{app="audit"}`:      false, // may legitimately move; presence is the contract
+		`fwd_hedge_wins_total{app="audit"}`:          false,
 	} {
 		v, ok := snap.Counters[counter]
 		if !ok {
@@ -310,6 +330,55 @@ func TestCounterAuditRoundTrip(t *testing.T) {
 	}
 	if len(perFamily) == 0 {
 		t.Fatal("cardinality audit saw no labeled families — the stack labels per node and per app")
+	}
+}
+
+// TestGrayFailureSeriesAbsentWhenUnconfigured pins the opt-in contract:
+// a stack with no slowness factor and no hedging must register none of
+// the gray-failure series — not even at zero. Their absence is how an
+// operator knows the planes are off.
+func TestGrayFailureSeriesAbsentWhenUnconfigured(t *testing.T) {
+	st, err := Start(Config{
+		IONs: 2, Scheduler: "FIFO", ChunkSize: 4096,
+		Telemetry:      telemetry.New(),
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	client, err := st.NewClient("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Arbiter.JobStarted(policy.Application{ID: "plain", Nodes: 2, Processes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForSomeAllocation(client, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Create("/plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write("/plain", 0, bytes.Repeat([]byte("y"), 8192)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := st.Telemetry.Snapshot()
+	check := func(name string) {
+		// fwd_degraded_ops_total (overload shedding) predates this PR and
+		// is always on; the gray-failure families all carry these prefixes.
+		for _, prefix := range []string{"fwd_hedge_", "health_degraded_", "arbiter_quarantine_"} {
+			if strings.HasPrefix(name, prefix) {
+				t.Errorf("series %s registered on a stack that never opted into gray-failure handling", name)
+			}
+		}
+	}
+	for name := range snap.Counters {
+		check(name)
+	}
+	for name := range snap.Gauges {
+		check(name)
 	}
 }
 
